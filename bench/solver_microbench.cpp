@@ -1,0 +1,208 @@
+//===- bench/solver_microbench.cpp - Constraint solver microbenchmarks -----===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks backing the Section 3.1 claim that
+/// atomic qualifier constraints solve in linear time [HR97]: solve time per
+/// constraint should stay flat as systems grow, across topologies (chains,
+/// stars, layered DAGs, random graphs), and incremental re-solves should be
+/// proportional to the newly added constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qual/ConstraintSystem.h"
+#include "qual/TypeScheme.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace quals;
+
+namespace {
+
+QualifierSet makeQuals() {
+  QualifierSet QS;
+  QS.add("const", Polarity::Positive);
+  QS.add("tainted", Polarity::Positive);
+  QS.add("nonzero", Polarity::Negative);
+  return QS;
+}
+
+/// Deterministic generator (benchmarks must not depend on global state).
+struct Lcg {
+  uint64_t State = 88172645463325252ULL;
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  unsigned below(unsigned N) { return next() % N; }
+};
+
+void BM_SolveChain(benchmark::State &State) {
+  QualifierSet QS = makeQuals();
+  unsigned N = State.range(0);
+  for (auto _ : State) {
+    ConstraintSystem Sys(QS);
+    QualVarId Prev = Sys.freshVar("v0");
+    Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({0})),
+               QualExpr::makeVar(Prev), {"seed"});
+    for (unsigned I = 1; I != N; ++I) {
+      QualVarId Next = Sys.freshVar("v");
+      Sys.addLeq(QualExpr::makeVar(Prev), QualExpr::makeVar(Next), {"edge"});
+      Prev = Next;
+    }
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Sys.lower(Prev));
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_SolveChain)->Range(1 << 8, 1 << 17);
+
+void BM_SolveStar(benchmark::State &State) {
+  // One hub with N spokes: stresses fan-out.
+  QualifierSet QS = makeQuals();
+  unsigned N = State.range(0);
+  for (auto _ : State) {
+    ConstraintSystem Sys(QS);
+    QualVarId Hub = Sys.freshVar("hub");
+    Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({1})),
+               QualExpr::makeVar(Hub), {"seed"});
+    for (unsigned I = 0; I != N; ++I) {
+      QualVarId Spoke = Sys.freshVar("s");
+      Sys.addLeq(QualExpr::makeVar(Hub), QualExpr::makeVar(Spoke), {"edge"});
+    }
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_SolveStar)->Range(1 << 8, 1 << 17);
+
+void BM_SolveRandomDag(benchmark::State &State) {
+  QualifierSet QS = makeQuals();
+  unsigned N = State.range(0);
+  for (auto _ : State) {
+    ConstraintSystem Sys(QS);
+    Lcg R;
+    std::vector<QualVarId> Vars;
+    Vars.reserve(N);
+    for (unsigned I = 0; I != N; ++I)
+      Vars.push_back(Sys.freshVar("v"));
+    // ~4 edges per var, respecting creation order (a DAG).
+    for (unsigned I = 1; I != N; ++I)
+      for (unsigned E = 0; E != 4; ++E)
+        Sys.addLeq(QualExpr::makeVar(Vars[R.below(I)]),
+                   QualExpr::makeVar(Vars[I]), {"edge"});
+    for (unsigned S = 0; S != N / 20 + 1; ++S)
+      Sys.addLeq(QualExpr::makeConst(LatticeValue(R.below(8))),
+                 QualExpr::makeVar(Vars[R.below(N)]), {"seed"});
+    for (unsigned U = 0; U != N / 20 + 1; ++U)
+      Sys.addLeq(QualExpr::makeVar(Vars[R.below(N)]),
+                 QualExpr::makeConst(QS.top()), {"bound"});
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N * 4);
+}
+BENCHMARK(BM_SolveRandomDag)->Range(1 << 8, 1 << 15);
+
+void BM_UpperBoundBackward(benchmark::State &State) {
+  // A chain with an upper bound at the end: exercises backward meets.
+  QualifierSet QS = makeQuals();
+  unsigned N = State.range(0);
+  for (auto _ : State) {
+    ConstraintSystem Sys(QS);
+    QualVarId First = Sys.freshVar("v0");
+    QualVarId Prev = First;
+    for (unsigned I = 1; I != N; ++I) {
+      QualVarId Next = Sys.freshVar("v");
+      Sys.addLeq(QualExpr::makeVar(Prev), QualExpr::makeVar(Next), {"edge"});
+      Prev = Next;
+    }
+    QualifierId Const;
+    QS.lookup("const", Const);
+    Sys.addLeq(QualExpr::makeVar(Prev),
+               QualExpr::makeConst(QS.notQual(Const)), {"cap"});
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Sys.upper(First));
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_UpperBoundBackward)->Range(1 << 8, 1 << 17);
+
+void BM_IncrementalResolve(benchmark::State &State) {
+  // Re-solve cost after adding a small batch to a large solved system:
+  // should be proportional to the batch, not the system.
+  QualifierSet QS = makeQuals();
+  unsigned N = 1 << 16;
+  ConstraintSystem Sys(QS);
+  Lcg R;
+  std::vector<QualVarId> Vars;
+  for (unsigned I = 0; I != N; ++I)
+    Vars.push_back(Sys.freshVar("v"));
+  for (unsigned I = 1; I != N; ++I)
+    Sys.addLeq(QualExpr::makeVar(Vars[R.below(I)]),
+               QualExpr::makeVar(Vars[I]), {"edge"});
+  Sys.solve();
+  for (auto _ : State) {
+    for (unsigned I = 0; I != 16; ++I) {
+      QualVarId V = Sys.freshVar("inc");
+      Sys.addLeq(QualExpr::makeVar(Vars[R.below(N)]), QualExpr::makeVar(V),
+                 {"inc"});
+    }
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * 16);
+}
+BENCHMARK(BM_IncrementalResolve);
+
+void BM_SchemeGeneralizeInstantiate(benchmark::State &State) {
+  // Generalize a body-sized subgraph down to interface summaries, then
+  // instantiate repeatedly -- the poly inference inner loop.
+  QualifierSet QS = makeQuals();
+  unsigned BodySize = State.range(0);
+  for (auto _ : State) {
+    ConstraintSystem Sys(QS);
+    QualTypeFactory Factory;
+    TypeCtor Int("int", {});
+    TypeCtor Fn("->", {Variance::Contravariant, Variance::Covariant},
+                PrintStyle::Infix);
+    Watermark Mark = takeWatermark(Sys);
+    QualVarId P = Sys.freshVar("p");
+    QualVarId Ret = Sys.freshVar("r");
+    // Internal chain p -> ... -> ret to be compressed away.
+    QualVarId Prev = P;
+    for (unsigned I = 0; I != BodySize; ++I) {
+      QualVarId Next = Sys.freshVar("i");
+      Sys.addLeq(QualExpr::makeVar(Prev), QualExpr::makeVar(Next), {"body"});
+      Prev = Next;
+    }
+    Sys.addLeq(QualExpr::makeVar(Prev), QualExpr::makeVar(Ret), {"body"});
+    QualType PT = Factory.make(QualExpr::makeVar(P), &Int);
+    QualType RT = Factory.make(QualExpr::makeVar(Ret), &Int);
+    QualType FnTy =
+        Factory.make(QualExpr::makeVar(Sys.freshVar("f")), &Fn, {PT, RT});
+    QualScheme S = QualScheme::generalize(Sys, FnTy, Mark);
+    for (unsigned Use = 0; Use != 32; ++Use) {
+      QualType T = S.instantiate(Sys, Factory);
+      benchmark::DoNotOptimize(T);
+    }
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          BodySize);
+}
+BENCHMARK(BM_SchemeGeneralizeInstantiate)->Range(1 << 4, 1 << 12);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+//===- bench/table2_const_inference.cpp - Regenerates Table 2 --------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 2: per benchmark, the front-end ("compile") time, the
+/// monomorphic and polymorphic inference times (average of five runs, as in
+/// the paper), and the four const counts -- Declared, Mono, Poly, Total
+/// possible. The paper's numbers are printed alongside; absolute values
+/// differ (different programs, hardware, and 27 years), but the shape should
+/// hold: Declared < Mono <= Poly < Total, inference roughly linear in
+/// program size, and poly no more than ~3x mono time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace quals;
+using namespace quals::bench;
+
+int main() {
+  std::printf("Table 2: Number of inferred possibly-const positions\n\n");
+
+  TextTable T;
+  T.addColumn("Name");
+  T.addColumn("Compile (s)", Align::Right);
+  T.addColumn("Mono (s)", Align::Right);
+  T.addColumn("Poly (s)", Align::Right);
+  T.addColumn("Declared", Align::Right);
+  T.addColumn("Mono", Align::Right);
+  T.addColumn("Poly", Align::Right);
+  T.addColumn("Total", Align::Right);
+  T.addColumn("[paper D/M/P/T]");
+
+  bool AllOk = true;
+  double MaxPolyOverMono = 0;
+  for (const BenchmarkSpec &Spec : suite()) {
+    synth::SynthProgram Prog = generate(Spec);
+    auto C = compile(Spec.Name, Prog.Source);
+    if (!C->Ok) {
+      AllOk = false;
+      continue;
+    }
+    InferRun Mono = inferTimed(*C, /*Polymorphic=*/false);
+    InferRun Poly = inferTimed(*C, /*Polymorphic=*/true);
+    if (!Mono.Ok || !Poly.Ok) {
+      AllOk = false;
+      continue;
+    }
+    if (Mono.Seconds > 0)
+      MaxPolyOverMono =
+          std::max(MaxPolyOverMono, Poly.Seconds / Mono.Seconds);
+
+    std::string PaperRef = std::to_string(Spec.PaperDeclared) + "/" +
+                           std::to_string(Spec.PaperMono) + "/" +
+                           std::to_string(Spec.PaperPoly) + "/" +
+                           std::to_string(Spec.PaperTotal);
+    T.addRow({Spec.Name, fmt(C->CompileSeconds, 3), fmt(Mono.Seconds, 3),
+              fmt(Poly.Seconds, 3), std::to_string(Mono.Counts.Declared),
+              std::to_string(Mono.Counts.PossibleConst),
+              std::to_string(Poly.Counts.PossibleConst),
+              std::to_string(Mono.Counts.Total), PaperRef});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("max poly/mono time ratio: %.2fx (paper: at most 3x)\n",
+              MaxPolyOverMono);
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+//===- examples/nonnull_checking.cpp - nonnull, two ways --------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs lclint-style nonnull checking over a C program twice:
+//
+//   * flow-INsensitively, as the paper's framework does out of the box
+//     (Section 6 admits it "cannot express the analysis of lclint, in which
+//     annotations on a given location may vary at each program point"), and
+//   * flow-SENSITIVELY, using the paper's own Section 6 proposal: a fresh
+//     type per program point with subtyping constraints between them,
+//     strong updates dropping the old constraint.
+//
+// Build: cmake --build build && ./build/examples/nonnull_checking
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/FlowNonNull.h"
+#include "apps/NonNull.h"
+#include "cfront/CParser.h"
+#include "cfront/CSema.h"
+
+#include <cstdio>
+
+using namespace quals;
+using namespace quals::apps;
+using namespace quals::cfront;
+
+static const char *Program = R"C(
+struct node { int value; struct node *next; };
+
+int sum_list(struct node *head, int limit) {
+  int total = 0;
+  struct node *cur = head;
+  while (limit--) {
+    total = total + cur->value;   /* next-field loads assumed non-null
+                                     (lclint would demand an annotation) */
+    cur = cur->next;
+  }
+  return total;
+}
+
+int reuse_pointer(int flag) {
+  int slot;
+  int *p = 0;                     /* starts null... */
+  p = &slot;                      /* ...but is strongly updated */
+  *p = flag;
+  return *p;                      /* fine flow-sensitively */
+}
+
+int branch_trouble(int flag) {
+  int slot;
+  int *q = &slot;
+  if (flag)
+    q = 0;                        /* one arm nulls q */
+  return *q;                      /* join may be null: both checkers warn */
+}
+)C";
+
+int main() {
+  std::printf("== nonnull checking example ==\n\n%s\n", Program);
+
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  CAstContext Ast;
+  CTypeContext Types;
+  StringInterner Idents;
+  TranslationUnit TU;
+  if (!parseCSource(SM, "nonnull.c", Program, Ast, Types, Idents, Diags,
+                    TU) ) {
+    std::printf("parse failed:\n%s\n", Diags.renderAll().c_str());
+    return 1;
+  }
+  CSema Sema(Ast, Types, Idents, Diags);
+  if (!Sema.analyze(TU)) {
+    std::printf("sema failed:\n%s\n", Diags.renderAll().c_str());
+    return 1;
+  }
+
+  auto show = [&SM](const char *Title, const auto &Warnings) {
+    std::printf("-- %s: %zu warning(s) --\n", Title, Warnings.size());
+    for (const auto &W : Warnings) {
+      PresumedLoc P = SM.getPresumedLoc(W.Loc);
+      std::printf("  %s:%u: %s\n",
+                  std::string(P.Filename).c_str(), P.Line,
+                  W.Message.c_str());
+    }
+    std::printf("\n");
+  };
+
+  NonNullChecker Insensitive;
+  Insensitive.analyze(TU);
+  show("flow-insensitive (the paper's framework as-is)",
+       Insensitive.warnings());
+
+  FlowNonNullChecker Flow;
+  Flow.analyze(TU);
+  show("flow-sensitive (the Section 6 proposal, implemented)",
+       Flow.warnings());
+
+  std::printf("reuse_pointer is clean flow-sensitively because the strong\n"
+              "update p = &slot drops the constraint from the null program\n"
+              "point; the flow-insensitive checker cannot tell them "
+              "apart.\n");
+  return 0;
+}

@@ -1,0 +1,2 @@
+# Assign' (Section 2.4): writing through a const ref is a qualifier error.
+let c = {const} ref 1 in c := 2 ni

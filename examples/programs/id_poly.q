@@ -1,0 +1,7 @@
+# Section 3.2: one identity function used at two different qualifiers.
+# Accepted polymorphically; `qualcheck --mono` rejects it.
+let id = fn x. x in
+ let y = id (ref 1) in
+  let z = id ({const} ref 1) in
+   y := 2
+  ni ni ni

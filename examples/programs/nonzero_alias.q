@@ -1,0 +1,8 @@
+# Section 2.4: the unsound-ref-subtyping example. The alias y smuggles a
+# zero into x's cell; the invariant (SubRef) rule rejects this statically,
+# and running it (`qualcheck --run`) gets stuck on the assertion.
+let x = ref {nonzero} 37 in
+ let y = x in
+  let s = y := ({~nonzero} 0) in
+   (!x)|{nonzero}
+  ni ni ni

@@ -1,0 +1,7 @@
+# The well-typed variant of nonzero_alias.q: the stored value is nonzero,
+# so the assertion holds statically and dynamically.
+let x = ref {nonzero} 37 in
+ let y = x in
+  let s = y := ({nonzero} 12) in
+   (!x)|{nonzero}
+  ni ni ni

@@ -1,0 +1,15 @@
+# Section 2.3's sorted-lists scenario. The paper makes `sorted` a NEGATIVE
+# qualifier: sorted data may be used as ordinary data (sorted tau <= tau),
+# and the assertion |{sorted} demands sortedness. Sorting functions are
+# trusted via annotation ("we do not attempt to verify that sorted is
+# placed correctly -- we simply assume it is"); possibly-unsorted inputs
+# are marked {~sorted}; merge asserts its input is sorted.
+#
+# Run:  qualcheck --quals sorted:neg examples/programs/sorted_merge.q
+# This program is REJECTED: raw (possibly unsorted) data reaches merge.
+let sort = fn xs. {sorted} 1 in
+ let merge = fn a. (a |{sorted}) in
+  let raw = {~sorted} 42 in
+   let ok = merge (sort raw) in
+    merge raw
+   ni ni ni ni

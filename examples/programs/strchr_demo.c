@@ -1,0 +1,25 @@
+/* The introduction's motivating example: strchr takes a const char *s and
+ * returns a char * into s -- C's monomorphic qualifiers force the cast.
+ * Run `qualcc --protos` on this file to see what inference recovers. */
+
+char *find_char(char *s, int c) {
+  while (*s && *s != c)
+    s = s + 1;
+  return s;
+}
+
+int count_char(char *text, int c) {
+  int n = 0;
+  char *p = find_char(text, c);
+  while (*p) {
+    n = n + 1;
+    p = find_char(p + 1, c);
+  }
+  return n;
+}
+
+void replace_first(char *buf, int from, int to) {
+  char *p = find_char(buf, from);
+  if (*p)
+    *p = to;
+}

@@ -1,0 +1,5 @@
+# Taint flows through a mutable cell into a guarded sink: rejected.
+let buffer = ref 0 in
+ let s = buffer := ({tainted} 13) in
+  ((!buffer) |{~tainted})
+ ni ni

@@ -1,0 +1,65 @@
+//===- examples/taint_tracking.cpp - Taint tracking example ----------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Taint tracking as a qualifier system (the trust/security-flow systems of
+// Section 5's related work): {tainted} marks untrusted sources; |{~tainted}
+// guards sensitive sinks; inference reports every source-to-sink flow with
+// the full constraint path.
+//
+// Build: cmake --build build && ./build/examples/taint_tracking
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Taint.h"
+
+#include <cstdio>
+
+using namespace quals;
+using namespace quals::apps;
+
+static void analyze(const char *Title, const std::string &Source) {
+  std::printf("---- %s ----\n%s\n", Title, Source.c_str());
+  TaintAnalysis TA;
+  if (TA.analyze(Source)) {
+    std::printf("no tainted data reaches a guarded sink.\n\n");
+    return;
+  }
+  if (!TA.errors().empty())
+    std::printf("%s", TA.errors().c_str());
+  for (const std::string &Leak : TA.leaks())
+    std::printf("LEAK:\n%s\n", Leak.c_str());
+}
+
+int main() {
+  std::printf("== taint tracking example ==\n\n");
+
+  analyze("clean pipeline",
+          "let config = 42 in\n"
+          " let render = fn x. x in\n"
+          "  (render config) |{~tainted}\n"
+          " ni ni");
+
+  analyze("direct source-to-sink flow",
+          "let user_input = {tainted} 7 in\n"
+          " let query = (fn s. s) user_input in\n"
+          "  (query) |{~tainted}\n"
+          " ni ni");
+
+  analyze("taint laundered through a mutable cell",
+          "let buffer = ref 0 in\n"
+          " let s = buffer := ({tainted} 13) in\n"
+          "  ((!buffer) |{~tainted})\n"
+          " ni ni");
+
+  analyze("polymorphic sanit-aware helper keeps clean uses clean",
+          "let id = fn x. x in\n"
+          " let danger = id ({tainted} 1) in\n"
+          "  (id 2) |{~tainted}\n"
+          " ni ni");
+
+  return 0;
+}

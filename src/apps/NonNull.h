@@ -1,0 +1,84 @@
+//===- apps/NonNull.h - lclint-style nonnull checking for C -----*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A nonnull qualifier system over the C front end, after Evans's lclint
+/// [Eva96] as discussed in Sections 1 and 5: nonnull is a *negative*
+/// qualifier (nonnull tau <= tau -- the set of non-null pointers is a subset
+/// of all pointers). Null literals introduce may-be-null facts; assignments
+/// propagate them through the constraint graph; dereferences demand nonnull.
+///
+/// As the paper notes in Section 6, the framework is flow-insensitive, so
+/// lclint's per-program-point annotations cannot be expressed: a pointer
+/// assigned null anywhere is may-be-null everywhere. Warnings therefore
+/// over-approximate (an `if (p)` guard does not silence them); this checker
+/// demonstrates the qualifier machinery, not a shippable lint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_APPS_NONNULL_H
+#define QUALS_APPS_NONNULL_H
+
+#include "cfront/CAst.h"
+#include "qual/ConstraintSystem.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace quals {
+namespace apps {
+
+/// Whole-program may-be-null checking.
+class NonNullChecker {
+public:
+  struct Warning {
+    SourceLoc Loc;
+    std::string Message;
+  };
+
+  NonNullChecker();
+
+  /// Analyzes \p TU (semantic analysis must have run). Returns true iff no
+  /// dereference of a may-be-null pointer was found.
+  bool analyze(const cfront::TranslationUnit &TU);
+
+  const std::vector<Warning> &warnings() const { return Warnings; }
+
+  /// True if the analysis concluded \p VD may hold null.
+  bool mayBeNull(const cfront::VarDecl *VD);
+
+private:
+  QualifierSet QS;
+  QualifierId NonNull;
+  ConstraintSystem Sys;
+  std::unordered_map<const cfront::VarDecl *, QualVarId> PtrVars;
+  struct DerefSite {
+    const cfront::VarDecl *Var;
+    SourceLoc Loc;
+  };
+  std::vector<DerefSite> Derefs;
+  std::vector<Warning> Warnings;
+
+  QualVarId varFor(const cfront::VarDecl *VD);
+  /// The qualifier variable of a pointer-valued expression, when it is a
+  /// direct variable reference (the granularity of this demo checker).
+  const cfront::VarDecl *pointerVarOf(const cfront::CExpr *E);
+  /// True if \p E is definitely a null pointer constant.
+  static bool isNullConstant(const cfront::CExpr *E);
+
+  void walkStmt(const cfront::CStmt *S);
+  void walkExpr(const cfront::CExpr *E);
+  void recordFlow(const cfront::CExpr *Target, const cfront::CExpr *Value,
+                  SourceLoc Loc);
+};
+
+} // namespace apps
+} // namespace quals
+
+#endif // QUALS_APPS_NONNULL_H

@@ -1,0 +1,71 @@
+//===- apps/Taint.h - Taint/trust tracking ----------------------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Taint tracking as a qualifier system, in the spirit of the trust
+/// annotations of [OP97] and the secure-information-flow system of [VS97]
+/// cited in Section 5. Untrusted inputs are annotated {tainted}; sensitive
+/// sinks assert |{~tainted}. The qualifier is downward closed (a tainted
+/// container has tainted contents), and inference propagates taint through
+/// every value flow, reporting each source-to-sink path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_APPS_TAINT_H
+#define QUALS_APPS_TAINT_H
+
+#include "lambda/Parser.h"
+#include "lambda/QualInfer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace quals {
+namespace apps {
+
+/// One-program taint analysis over the demonstration language.
+class TaintAnalysis {
+public:
+  TaintAnalysis();
+  ~TaintAnalysis();
+
+  /// Parses and analyzes \p Source; returns true iff no tainted value can
+  /// reach an untainted-asserting sink.
+  bool analyze(const std::string &Source);
+
+  /// Human-readable flow explanations for every violated sink.
+  const std::vector<std::string> &leaks() const { return Leaks; }
+
+  /// Parse/type errors.
+  std::string errors() const;
+
+  /// True if the expression's value may be tainted.
+  bool mayBeTainted(const lambda::Expr *E) const;
+
+  const lambda::Expr *program() const { return Program; }
+
+private:
+  QualifierSet QS;
+  QualifierId Tainted;
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  lambda::AstContext Ast;
+  StringInterner Idents;
+  lambda::STyContext STys;
+  std::unique_ptr<ConstraintSystem> Sys;
+  QualTypeFactory Factory;
+  lambda::LambdaTypeCtors Ctors;
+  std::unique_ptr<lambda::QualInferencer> Inferencer;
+  const lambda::Expr *Program = nullptr;
+  std::vector<std::string> Leaks;
+};
+
+} // namespace apps
+} // namespace quals
+
+#endif // QUALS_APPS_TAINT_H

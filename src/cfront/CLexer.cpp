@@ -1,0 +1,374 @@
+//===- cfront/CLexer.cpp - C lexer -----------------------------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CLexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace quals;
+using namespace quals::cfront;
+
+const char *quals::cfront::ctokName(CTok Kind) {
+  switch (Kind) {
+  case CTok::Eof:        return "end of input";
+  case CTok::Error:      return "invalid token";
+  case CTok::Ident:      return "identifier";
+  case CTok::IntLit:     return "integer literal";
+  case CTok::CharLit:    return "character literal";
+  case CTok::FloatLit:   return "floating literal";
+  case CTok::StringLit:  return "string literal";
+  case CTok::KwVoid:     return "'void'";
+  case CTok::KwChar:     return "'char'";
+  case CTok::KwShort:    return "'short'";
+  case CTok::KwInt:      return "'int'";
+  case CTok::KwLong:     return "'long'";
+  case CTok::KwFloat:    return "'float'";
+  case CTok::KwDouble:   return "'double'";
+  case CTok::KwSigned:   return "'signed'";
+  case CTok::KwUnsigned: return "'unsigned'";
+  case CTok::KwStruct:   return "'struct'";
+  case CTok::KwUnion:    return "'union'";
+  case CTok::KwEnum:     return "'enum'";
+  case CTok::KwTypedef:  return "'typedef'";
+  case CTok::KwConst:    return "'const'";
+  case CTok::KwVolatile: return "'volatile'";
+  case CTok::KwStatic:   return "'static'";
+  case CTok::KwExtern:   return "'extern'";
+  case CTok::KwRegister: return "'register'";
+  case CTok::KwAuto:     return "'auto'";
+  case CTok::KwReturn:   return "'return'";
+  case CTok::KwIf:       return "'if'";
+  case CTok::KwElse:     return "'else'";
+  case CTok::KwWhile:    return "'while'";
+  case CTok::KwFor:      return "'for'";
+  case CTok::KwDo:       return "'do'";
+  case CTok::KwBreak:    return "'break'";
+  case CTok::KwContinue: return "'continue'";
+  case CTok::KwSwitch:   return "'switch'";
+  case CTok::KwCase:     return "'case'";
+  case CTok::KwDefault:  return "'default'";
+  case CTok::KwSizeof:   return "'sizeof'";
+  case CTok::KwGoto:     return "'goto'";
+  case CTok::LParen:     return "'('";
+  case CTok::RParen:     return "')'";
+  case CTok::LBrace:     return "'{'";
+  case CTok::RBrace:     return "'}'";
+  case CTok::LBracket:   return "'['";
+  case CTok::RBracket:   return "']'";
+  case CTok::Semi:       return "';'";
+  case CTok::Comma:      return "','";
+  case CTok::Colon:      return "':'";
+  case CTok::Question:   return "'?'";
+  case CTok::Ellipsis:   return "'...'";
+  case CTok::Dot:        return "'.'";
+  case CTok::Arrow:      return "'->'";
+  case CTok::Amp:        return "'&'";
+  case CTok::AmpAmp:     return "'&&'";
+  case CTok::Pipe:       return "'|'";
+  case CTok::PipePipe:   return "'||'";
+  case CTok::Caret:      return "'^'";
+  case CTok::Tilde:      return "'~'";
+  case CTok::Bang:       return "'!'";
+  case CTok::Plus:       return "'+'";
+  case CTok::PlusPlus:   return "'++'";
+  case CTok::Minus:      return "'-'";
+  case CTok::MinusMinus: return "'--'";
+  case CTok::Star:       return "'*'";
+  case CTok::Slash:      return "'/'";
+  case CTok::Percent:    return "'%'";
+  case CTok::Less:       return "'<'";
+  case CTok::LessEq:     return "'<='";
+  case CTok::Greater:    return "'>'";
+  case CTok::GreaterEq:  return "'>='";
+  case CTok::EqEq:       return "'=='";
+  case CTok::BangEq:     return "'!='";
+  case CTok::LessLess:   return "'<<'";
+  case CTok::GreaterGreater: return "'>>'";
+  case CTok::Assign:     return "'='";
+  case CTok::PlusAssign: return "'+='";
+  case CTok::MinusAssign: return "'-='";
+  case CTok::StarAssign: return "'*='";
+  case CTok::SlashAssign: return "'/='";
+  case CTok::PercentAssign: return "'%='";
+  case CTok::AmpAssign:  return "'&='";
+  case CTok::PipeAssign: return "'|='";
+  case CTok::CaretAssign: return "'^='";
+  case CTok::LessLessAssign: return "'<<='";
+  case CTok::GreaterGreaterAssign: return "'>>='";
+  }
+  return "unknown token";
+}
+
+CLexer::CLexer(const SourceManager &SM, unsigned BufferId,
+               DiagnosticEngine &Diags)
+    : SM(SM), Diags(Diags), Text(SM.getBufferText(BufferId)),
+      BufferId(BufferId) {}
+
+void CLexer::skipTrivia() {
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '#') { // Preprocessor directive: skip to end of line.
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Text.size()) {
+      if (Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (Text[Pos + 1] == '*') {
+        size_t Start = Pos;
+        Pos += 2;
+        while (Pos + 1 < Text.size() &&
+               !(Text[Pos] == '*' && Text[Pos + 1] == '/'))
+          ++Pos;
+        if (Pos + 1 >= Text.size()) {
+          Diags.error(locAt(Start), "unterminated block comment");
+          Pos = Text.size();
+          return;
+        }
+        Pos += 2;
+        continue;
+      }
+    }
+    break;
+  }
+}
+
+CToken CLexer::make(CTok Kind, size_t Begin) {
+  CToken T;
+  T.Kind = Kind;
+  T.Loc = locAt(Begin);
+  T.Text = Text.substr(Begin, Pos - Begin);
+  return T;
+}
+
+CToken CLexer::lexNumber(size_t Begin) {
+  bool IsFloat = false;
+  if (Text[Pos] == '0' && Pos + 1 < Text.size() &&
+      (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X')) {
+    Pos += 2;
+    while (Pos < Text.size() &&
+           std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  } else {
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsFloat = true;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsFloat = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+  }
+  // Integer/float suffixes.
+  while (Pos < Text.size() &&
+         (Text[Pos] == 'u' || Text[Pos] == 'U' || Text[Pos] == 'l' ||
+          Text[Pos] == 'L' || Text[Pos] == 'f' || Text[Pos] == 'F')) {
+    if (Text[Pos] == 'f' || Text[Pos] == 'F')
+      IsFloat = true;
+    ++Pos;
+  }
+  CToken T = make(IsFloat ? CTok::FloatLit : CTok::IntLit, Begin);
+  std::string Spelling(T.Text);
+  if (IsFloat)
+    T.FloatValue = std::strtod(Spelling.c_str(), nullptr);
+  else
+    T.IntValue = std::strtol(Spelling.c_str(), nullptr, 0);
+  return T;
+}
+
+CToken CLexer::lexIdentOrKeyword(size_t Begin) {
+  while (Pos < Text.size() &&
+         (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+          Text[Pos] == '_'))
+    ++Pos;
+  static const std::unordered_map<std::string_view, CTok> Keywords = {
+      {"void", CTok::KwVoid},         {"char", CTok::KwChar},
+      {"short", CTok::KwShort},       {"int", CTok::KwInt},
+      {"long", CTok::KwLong},         {"float", CTok::KwFloat},
+      {"double", CTok::KwDouble},     {"signed", CTok::KwSigned},
+      {"unsigned", CTok::KwUnsigned}, {"struct", CTok::KwStruct},
+      {"union", CTok::KwUnion},       {"enum", CTok::KwEnum},
+      {"typedef", CTok::KwTypedef},   {"const", CTok::KwConst},
+      {"volatile", CTok::KwVolatile}, {"static", CTok::KwStatic},
+      {"extern", CTok::KwExtern},     {"register", CTok::KwRegister},
+      {"auto", CTok::KwAuto},         {"return", CTok::KwReturn},
+      {"if", CTok::KwIf},             {"else", CTok::KwElse},
+      {"while", CTok::KwWhile},       {"for", CTok::KwFor},
+      {"do", CTok::KwDo},             {"break", CTok::KwBreak},
+      {"continue", CTok::KwContinue}, {"switch", CTok::KwSwitch},
+      {"case", CTok::KwCase},         {"default", CTok::KwDefault},
+      {"sizeof", CTok::KwSizeof},     {"goto", CTok::KwGoto}};
+  std::string_view Word = Text.substr(Begin, Pos - Begin);
+  auto It = Keywords.find(Word);
+  return make(It == Keywords.end() ? CTok::Ident : It->second, Begin);
+}
+
+CToken CLexer::lexCharLit(size_t Begin) {
+  ++Pos; // consume '
+  long Value = 0;
+  if (Pos < Text.size() && Text[Pos] == '\\') {
+    ++Pos;
+    if (Pos < Text.size()) {
+      switch (Text[Pos]) {
+      case 'n': Value = '\n'; break;
+      case 't': Value = '\t'; break;
+      case 'r': Value = '\r'; break;
+      case '0': Value = '\0'; break;
+      case '\\': Value = '\\'; break;
+      case '\'': Value = '\''; break;
+      case '"': Value = '"'; break;
+      default: Value = Text[Pos]; break;
+      }
+      ++Pos;
+    }
+  } else if (Pos < Text.size()) {
+    Value = Text[Pos];
+    ++Pos;
+  }
+  if (Pos < Text.size() && Text[Pos] == '\'')
+    ++Pos;
+  else
+    Diags.error(locAt(Begin), "unterminated character literal");
+  CToken T = make(CTok::CharLit, Begin);
+  T.IntValue = Value;
+  return T;
+}
+
+CToken CLexer::lexStringLit(size_t Begin) {
+  ++Pos; // consume "
+  while (Pos < Text.size() && Text[Pos] != '"') {
+    if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+      ++Pos;
+    ++Pos;
+  }
+  if (Pos < Text.size())
+    ++Pos;
+  else
+    Diags.error(locAt(Begin), "unterminated string literal");
+  return make(CTok::StringLit, Begin);
+}
+
+CToken CLexer::next() {
+  skipTrivia();
+  if (Pos >= Text.size())
+    return make(CTok::Eof, Pos);
+
+  size_t Begin = Pos;
+  char C = Text[Pos];
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Begin);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    return lexIdentOrKeyword(Begin);
+  }
+  if (C == '\'')
+    return lexCharLit(Begin);
+  if (C == '"')
+    return lexStringLit(Begin);
+
+  auto twoChar = [&](char Next, CTok Two, CTok One) {
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == Next) {
+      ++Pos;
+      return make(Two, Begin);
+    }
+    return make(One, Begin);
+  };
+
+  switch (C) {
+  case '(': ++Pos; return make(CTok::LParen, Begin);
+  case ')': ++Pos; return make(CTok::RParen, Begin);
+  case '{': ++Pos; return make(CTok::LBrace, Begin);
+  case '}': ++Pos; return make(CTok::RBrace, Begin);
+  case '[': ++Pos; return make(CTok::LBracket, Begin);
+  case ']': ++Pos; return make(CTok::RBracket, Begin);
+  case ';': ++Pos; return make(CTok::Semi, Begin);
+  case ',': ++Pos; return make(CTok::Comma, Begin);
+  case ':': ++Pos; return make(CTok::Colon, Begin);
+  case '?': ++Pos; return make(CTok::Question, Begin);
+  case '~': ++Pos; return make(CTok::Tilde, Begin);
+  case '.':
+    if (Pos + 2 < Text.size() && Text[Pos + 1] == '.' &&
+        Text[Pos + 2] == '.') {
+      Pos += 3;
+      return make(CTok::Ellipsis, Begin);
+    }
+    ++Pos;
+    return make(CTok::Dot, Begin);
+  case '!': return twoChar('=', CTok::BangEq, CTok::Bang);
+  case '=': return twoChar('=', CTok::EqEq, CTok::Assign);
+  case '^': return twoChar('=', CTok::CaretAssign, CTok::Caret);
+  case '*': return twoChar('=', CTok::StarAssign, CTok::Star);
+  case '/': return twoChar('=', CTok::SlashAssign, CTok::Slash);
+  case '%': return twoChar('=', CTok::PercentAssign, CTok::Percent);
+  case '+':
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '+') { ++Pos; return make(CTok::PlusPlus, Begin); }
+    if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::PlusAssign, Begin); }
+    return make(CTok::Plus, Begin);
+  case '-':
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '-') { ++Pos; return make(CTok::MinusMinus, Begin); }
+    if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::MinusAssign, Begin); }
+    if (Pos < Text.size() && Text[Pos] == '>') { ++Pos; return make(CTok::Arrow, Begin); }
+    return make(CTok::Minus, Begin);
+  case '&':
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '&') { ++Pos; return make(CTok::AmpAmp, Begin); }
+    if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::AmpAssign, Begin); }
+    return make(CTok::Amp, Begin);
+  case '|':
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '|') { ++Pos; return make(CTok::PipePipe, Begin); }
+    if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::PipeAssign, Begin); }
+    return make(CTok::Pipe, Begin);
+  case '<':
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '<') {
+      ++Pos;
+      if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::LessLessAssign, Begin); }
+      return make(CTok::LessLess, Begin);
+    }
+    if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::LessEq, Begin); }
+    return make(CTok::Less, Begin);
+  case '>':
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '>') {
+      ++Pos;
+      if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::GreaterGreaterAssign, Begin); }
+      return make(CTok::GreaterGreater, Begin);
+    }
+    if (Pos < Text.size() && Text[Pos] == '=') { ++Pos; return make(CTok::GreaterEq, Begin); }
+    return make(CTok::Greater, Begin);
+  default:
+    break;
+  }
+  ++Pos;
+  Diags.error(locAt(Begin), std::string("unexpected character '") + C + "'");
+  return make(CTok::Error, Begin);
+}

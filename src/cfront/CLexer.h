@@ -1,0 +1,48 @@
+//===- cfront/CLexer.h - C lexer ---------------------------------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_CFRONT_CLEXER_H
+#define QUALS_CFRONT_CLEXER_H
+
+#include "cfront/CToken.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+namespace quals {
+namespace cfront {
+
+/// Hand-written C lexer. Handles // and /* */ comments; lines starting with
+/// '#' (preprocessor directives) are skipped wholesale -- benchmark inputs
+/// are expected to be preprocessed or directive-free.
+class CLexer {
+public:
+  CLexer(const SourceManager &SM, unsigned BufferId, DiagnosticEngine &Diags);
+
+  CToken next();
+
+private:
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned BufferId;
+
+  SourceLoc locAt(size_t Offset) const {
+    return SM.getLocForOffset(BufferId, Offset);
+  }
+  void skipTrivia();
+  CToken make(CTok Kind, size_t Begin);
+  CToken lexNumber(size_t Begin);
+  CToken lexIdentOrKeyword(size_t Begin);
+  CToken lexCharLit(size_t Begin);
+  CToken lexStringLit(size_t Begin);
+};
+
+} // namespace cfront
+} // namespace quals
+
+#endif // QUALS_CFRONT_CLEXER_H

@@ -1,0 +1,184 @@
+//===- cfront/CParser.h - C parser -------------------------------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the C subset. Highlights:
+///
+/// \li Full declarator syntax (pointers with qualifier lists, arrays,
+///     function declarators including function pointers) via the classic
+///     chunk-collection algorithm.
+/// \li Typedef-name disambiguation with a scoped typedef table (the "lexer
+///     hack" hosted in the parser).
+/// \li struct/union/enum definitions with forward references; one tag
+///     namespace, scoped.
+/// \li The full C89 statement and expression grammar (minus bitfields and
+///     K&R parameter definitions).
+///
+/// Multiple buffers can be parsed into one TranslationUnit, matching the
+/// paper's whole-program analysis of multi-file benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_CFRONT_CPARSER_H
+#define QUALS_CFRONT_CPARSER_H
+
+#include "cfront/CAst.h"
+#include "cfront/CLexer.h"
+#include "support/StringInterner.h"
+
+#include <unordered_map>
+
+namespace quals {
+namespace cfront {
+
+/// Parses one buffer into (an extension of) a TranslationUnit.
+class CParser {
+public:
+  CParser(const SourceManager &SM, unsigned BufferId, CAstContext &Ast,
+          CTypeContext &Types, StringInterner &Idents,
+          DiagnosticEngine &Diags, TranslationUnit &TU);
+
+  /// Parses every external declaration in the buffer. Returns false if any
+  /// parse error was reported.
+  bool parseTranslationUnit();
+
+private:
+  CLexer Lex;
+  CAstContext &Ast;
+  CTypeContext &Types;
+  StringInterner &Idents;
+  DiagnosticEngine &Diags;
+  TranslationUnit &TU;
+  CToken Tok;
+  CToken PeekTok;
+  bool HasPeek = false;
+  bool HadError = false;
+  unsigned InitialErrors = 0;
+
+  // Scoped name tables. Tags (struct/union/enum) share one namespace;
+  // typedef names live in the ordinary namespace but only the typedef
+  // subset matters for parsing.
+  std::vector<std::unordered_map<std::string_view, TypedefDecl *>>
+      TypedefScopes;
+  std::vector<std::unordered_map<std::string_view, CDecl *>> TagScopes;
+
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+  void advance() {
+    if (HasPeek) {
+      Tok = PeekTok;
+      HasPeek = false;
+    } else {
+      Tok = Lex.next();
+    }
+  }
+  const CToken &peek() {
+    if (!HasPeek) {
+      PeekTok = Lex.next();
+      HasPeek = true;
+    }
+    return PeekTok;
+  }
+  bool expect(CTok Kind);
+  bool consumeIf(CTok Kind);
+  void error(const std::string &Message);
+  /// Skips tokens until a likely recovery point (';' or '}').
+  void skipToRecovery();
+
+  void pushScope();
+  void popScope();
+  TypedefDecl *lookupTypedef(std::string_view Name) const;
+  CDecl *lookupTag(std::string_view Name) const;
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+  struct DeclSpec {
+    CQualType Base;
+    StorageClass SC = StorageClass::None;
+    SourceLoc Loc;
+  };
+
+  /// One declarator "chunk"; see parseDeclaratorChunks for ordering.
+  struct DeclChunk {
+    enum class K { Pointer, Array, Function } Kind;
+    unsigned Quals = CQ_None;               // Pointer
+    long ArraySize = -1;                    // Array
+    std::vector<VarDecl *> Params;          // Function
+    std::vector<CQualType> ParamTypes;      // Function
+    bool Variadic = false;                  // Function
+    bool NoPrototype = false;               // Function
+  };
+
+  struct Declarator {
+    std::string_view Name; ///< Empty for abstract declarators.
+    SourceLoc Loc;
+    std::vector<DeclChunk> Chunks; ///< From the name outward.
+    /// Parameter VarDecls of the *outermost* function chunk, for function
+    /// definitions.
+    std::vector<VarDecl *> TopParams;
+    bool TopIsFunction = false;
+  };
+
+  /// True if the current token can begin a declaration.
+  bool atDeclarationStart();
+  /// True if the current token can begin a type name (for casts/sizeof).
+  bool atTypeNameStart();
+
+  bool parseDeclSpec(DeclSpec &DS);
+  const CType *parseStructOrUnionSpec();
+  const CType *parseEnumSpec();
+  bool parseDeclarator(Declarator &D, bool AllowAbstract);
+  bool parseDeclaratorChunks(Declarator &D, bool AllowAbstract);
+  bool parseParamList(DeclChunk &Chunk);
+  CQualType buildType(CQualType Base, const Declarator &D);
+  /// Parses a type-name (declspec + abstract declarator), for casts/sizeof.
+  bool parseTypeName(CQualType &Out);
+
+  /// Parses one external declaration (function def, prototype, globals,
+  /// typedef, or tag-only declaration).
+  bool parseExternalDecl();
+  /// Parses the declarator list after the first declarator of a
+  /// declaration; shared by globals and locals.
+  bool parseInitDeclarators(const DeclSpec &DS, Declarator &First,
+                            std::vector<VarDecl *> &Out, bool IsGlobal);
+  VarDecl *makeVarDecl(const DeclSpec &DS, const Declarator &D,
+                       bool IsGlobal);
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+  const CStmt *parseStmt();
+  const CStmt *parseCompoundStmt();
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===//
+  const CExpr *parseExpr();           ///< Includes comma.
+  const CExpr *parseAssignExpr();
+  const CExpr *parseConditionalExpr();
+  const CExpr *parseBinaryExpr(int MinPrec);
+  const CExpr *parseCastExpr();
+  const CExpr *parseUnaryExpr();
+  const CExpr *parsePostfixExpr();
+  const CExpr *parsePrimaryExpr();
+  /// Parses a constant integer expression (enum values, array sizes).
+  bool parseConstantInt(long &Out);
+};
+
+/// Parses \p Source (registered under \p Name) into \p TU; returns false on
+/// any parse error.
+bool parseCSource(SourceManager &SM, std::string Name, std::string Source,
+                  CAstContext &Ast, CTypeContext &Types,
+                  StringInterner &Idents, DiagnosticEngine &Diags,
+                  TranslationUnit &TU);
+
+} // namespace cfront
+} // namespace quals
+
+#endif // QUALS_CFRONT_CPARSER_H

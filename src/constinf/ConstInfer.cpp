@@ -1,0 +1,216 @@
+//===- constinf/ConstInfer.cpp - Whole-program const inference --------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "constinf/ConstInfer.h"
+
+#include <algorithm>
+
+using namespace quals;
+using namespace quals::constinf;
+using namespace quals::cfront;
+
+ConstInference::ConstInference(TranslationUnit &TU, DiagnosticEngine &Diags,
+                               Options Opts)
+    : TU(TU), Diags(Diags), Opts(Opts) {
+  ConstQual = QS.add("const", Polarity::Positive);
+  Sys = std::make_unique<ConstraintSystem>(QS);
+  Translator = std::make_unique<RefTranslator>(
+      *Sys, Factory, Ctors, ConstQual, this->Opts.ConservativeLibraries,
+      this->Opts.StructFieldsShared);
+}
+
+ConstInference::~ConstInference() = default;
+
+QualType ConstInference::functionUse(const FunctionDecl *FD) {
+  if (Opts.Polymorphic) {
+    auto It = Schemes.find(FD);
+    if (It != Schemes.end() && It->second.isPolymorphic())
+      return It->second.instantiate(*Sys, Factory, FD->getLoc());
+  }
+  return Translator->functionInterfaceType(FD);
+}
+
+bool ConstInference::run() {
+  // 1. Global variables (and their shared cells) come first so their
+  //    qualifier variables are never generalized.
+  for (VarDecl *G : TU.Globals)
+    Translator->varLValueType(G);
+  // Library (undefined) function interfaces also predate the traversal.
+  for (FunctionDecl *F : TU.Functions)
+    if (!F->isDefined())
+      Translator->functionInterfaceType(F);
+
+  ConstraintGen Gen(*Sys, Factory, Ctors, *Translator, ConstQual, Diags,
+                    [this](const FunctionDecl *FD) {
+                      return functionUse(FD);
+                    },
+                    Opts.CastsSeverFlow, Opts.ConservativeLibraries);
+
+  // 2-3. FDG traversal, callees before callers (or callers-first in the
+  // ablation mode, which starves the polymorphic instantiation).
+  Fdg Graph = buildFdg(TU);
+  std::vector<const std::vector<unsigned> *> Order;
+  Order.reserve(Graph.Sccs.Components.size());
+  for (const std::vector<unsigned> &Component : Graph.Sccs.Components)
+    Order.push_back(&Component);
+  if (!Opts.CalleesFirst)
+    std::reverse(Order.begin(), Order.end());
+  for (const std::vector<unsigned> *ComponentPtr : Order) {
+    const std::vector<unsigned> &Component = *ComponentPtr;
+    Watermark Mark = takeWatermark(*Sys);
+    // Interfaces for the whole SCC first (mutual recursion uses them
+    // monomorphically within the component, as in the paper).
+    for (unsigned Node : Component)
+      Translator->functionInterfaceType(Graph.Functions[Node]);
+    for (unsigned Node : Component) {
+      FunctionDecl *F = Graph.Functions[Node];
+      if (F->isDefined())
+        Gen.genFunction(F, Translator->functionInterfaceType(F));
+    }
+    if (!Opts.Polymorphic)
+      continue;
+    for (unsigned Node : Component) {
+      FunctionDecl *F = Graph.Functions[Node];
+      if (!F->isDefined())
+        continue;
+      Schemes.emplace(F,
+                      QualScheme::generalize(
+                          *Sys, Translator->functionInterfaceType(F), Mark));
+    }
+  }
+
+  // 4. Global variable definitions are analyzed after the FDG traversal.
+  for (VarDecl *G : TU.Globals)
+    Gen.genGlobalInit(G);
+
+  // 5. Solve.
+  bool Ok = Sys->solve();
+  if (!Ok || !Sys->collectViolations().empty()) {
+    for (const Violation &V : Sys->collectViolations())
+      Diags.error(Sys->getConstraint(V.Cause).Origin.Loc,
+                  Sys->explain(V));
+    return false;
+  }
+  return true;
+}
+
+const std::vector<InterestingPos> &ConstInference::positions() const {
+  return Translator->interestingPositions();
+}
+
+PosClass ConstInference::classify(const InterestingPos &Pos) const {
+  if (!Sys->mayHave(Pos.Var, ConstQual))
+    return PosClass::MustNonConst;
+  if (Sys->mustHave(Pos.Var, ConstQual))
+    return PosClass::MustConst;
+  return PosClass::Either;
+}
+
+ConstCounts ConstInference::counts() const {
+  ConstCounts C;
+  for (const InterestingPos &Pos : positions()) {
+    ++C.Total;
+    if (Pos.DeclaredConst)
+      ++C.Declared;
+    switch (classify(Pos)) {
+    case PosClass::MustNonConst:
+      ++C.MustNonConst;
+      break;
+    case PosClass::MustConst:
+    case PosClass::Either:
+      ++C.PossibleConst;
+      break;
+    }
+  }
+  return C;
+}
+
+const QualScheme *
+ConstInference::schemeFor(const FunctionDecl *FD) const {
+  auto It = Schemes.find(FD);
+  return It == Schemes.end() ? nullptr : &It->second;
+}
+
+unsigned ConstInference::numQualVars() const { return Sys->getNumVars(); }
+unsigned ConstInference::numConstraints() const {
+  return Sys->getNumConstraints();
+}
+
+std::string ConstInference::renderAnnotatedPrototypes() const {
+  // Group positions by function, then rebuild each prototype with const
+  // inserted at every may-be-const pointer level.
+  std::unordered_map<const FunctionDecl *,
+                     std::vector<const InterestingPos *>>
+      ByFn;
+  std::vector<const FunctionDecl *> Order;
+  for (const InterestingPos &Pos : positions()) {
+    if (!ByFn.count(Pos.Fn))
+      Order.push_back(Pos.Fn);
+    ByFn[Pos.Fn].push_back(&Pos);
+  }
+
+  auto constAt = [&](const FunctionDecl *FD, int ParamIndex,
+                     unsigned Depth) {
+    for (const InterestingPos *P : ByFn[FD])
+      if (P->ParamIndex == ParamIndex && P->Depth == Depth)
+        return classify(*P) != PosClass::MustNonConst;
+    return false;
+  };
+
+  // Renders T with const inserted at the annotatable pointer depths. C
+  // spelling: a const pointee that is itself a pointer reads "T * const *",
+  // while a const non-pointer pointee reads "const T *".
+  std::function<std::string(CQualType, const FunctionDecl *, int, unsigned)>
+      render = [&](CQualType T, const FunctionDecl *FD, int ParamIndex,
+                   unsigned Depth) -> std::string {
+    const CType *Ty = T.isNull() ? nullptr : T.getType();
+    if (Ty && (isa<PointerType>(Ty) || isa<ArrayType>(Ty))) {
+      CQualType Pointee = isa<PointerType>(Ty)
+                              ? cast<PointerType>(Ty)->getPointee()
+                              : cast<ArrayType>(Ty)->getElement();
+      std::string Inner = render(Pointee, FD, ParamIndex, Depth + 1);
+      bool PointeeIsPtr = !Pointee.isNull() &&
+                          (isa<PointerType>(Pointee.getType()) ||
+                           isa<ArrayType>(Pointee.getType()));
+      if (constAt(FD, ParamIndex, Depth) && !Pointee.isConst()) {
+        if (PointeeIsPtr)
+          Inner += "const ";   // e.g. "char * const *"
+        else
+          Inner = "const " + Inner; // e.g. "const char *"
+      }
+      if (!Inner.empty() && Inner.back() != ' ' && Inner.back() != '*')
+        Inner += ' ';
+      return Inner + "*";
+    }
+    return toString(T);
+  };
+
+  std::string Out;
+  for (const FunctionDecl *FD : Order) {
+    Out += render(FD->getType()->getReturn(), FD, -1, 0);
+    if (Out.size() && Out.back() != '*')
+      Out += ' ';
+    Out += FD->getName();
+    Out += '(';
+    const auto &ParamTypes = FD->getType()->getParams();
+    const auto &Params = FD->getParams();
+    for (unsigned I = 0; I != ParamTypes.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += render(ParamTypes[I], FD, static_cast<int>(I), 0);
+      if (I < Params.size() && !Params[I]->getName().empty()) {
+        if (Out.back() != '*' && Out.back() != ' ')
+          Out += ' ';
+        Out += Params[I]->getName();
+      }
+    }
+    if (FD->getType()->isVariadic())
+      Out += ", ...";
+    Out += ");\n";
+  }
+  return Out;
+}

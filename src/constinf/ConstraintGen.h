@@ -1,0 +1,100 @@
+//===- constinf/ConstraintGen.h - Qualifier constraints from C ASTs -*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks typed C function bodies and global initializers emitting atomic
+/// qualifier constraints over the l-translated types (RefTypes.h):
+///
+/// \li assignment (and ++/--/compound assignment) upper-bounds the target
+///     cell's qualifier with :const (rule Assign');
+/// \li value flow (initialization, assignment right-hand sides, argument
+///     passing, returns) adds structural <= constraints, with ref contents
+///     invariant (SubRef);
+/// \li explicit casts sever qualifier flow (fresh variables, Section 4.2);
+///     implicit conversions keep as much structure as matches;
+/// \li extra arguments to undefined/variadic functions are conservatively
+///     forced non-const at every pointer level; extra arguments to defined
+///     functions are ignored (Section 4.2);
+/// \li function name uses go through a hook so the driver can instantiate
+///     polymorphic schemes per use site (rule Var').
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_CONSTINF_CONSTRAINTGEN_H
+#define QUALS_CONSTINF_CONSTRAINTGEN_H
+
+#include "constinf/RefTypes.h"
+#include "support/Diagnostics.h"
+
+#include <functional>
+
+namespace quals {
+namespace constinf {
+
+/// Generates constraints for one function body or initializer at a time.
+class ConstraintGen {
+public:
+  /// \p FunctionUse maps a referenced function to the qualified type to use
+  /// for this occurrence (monomorphic interface or fresh instantiation).
+  ConstraintGen(ConstraintSystem &Sys, QualTypeFactory &Factory,
+                ConstCtors &Ctors, RefTranslator &Translator,
+                QualifierId ConstQual, DiagnosticEngine &Diags,
+                std::function<QualType(const cfront::FunctionDecl *)>
+                    FunctionUse,
+                bool CastsSeverFlow = true,
+                bool ConservativeLibraries = true)
+      : Sys(Sys), Factory(Factory), Ctors(Ctors), Translator(Translator),
+        ConstQual(ConstQual), Diags(Diags),
+        FunctionUse(std::move(FunctionUse)),
+        CastsSeverFlow(CastsSeverFlow),
+        ConservativeLibraries(ConservativeLibraries) {}
+
+  /// Emits constraints for \p FD's body against its interface type \p FnTy.
+  void genFunction(const cfront::FunctionDecl *FD, QualType FnTy);
+
+  /// Emits constraints for a global variable's initializer.
+  void genGlobalInit(const cfront::VarDecl *VD);
+
+  /// Structural flow A <= B where the shapes match; silently stops at shape
+  /// mismatches (conversions drop the association).
+  void flowInto(QualType A, QualType B, const ConstraintOrigin &Origin);
+
+private:
+  ConstraintSystem &Sys;
+  QualTypeFactory &Factory;
+  ConstCtors &Ctors;
+  RefTranslator &Translator;
+  QualifierId ConstQual;
+  DiagnosticEngine &Diags;
+  std::function<QualType(const cfront::FunctionDecl *)> FunctionUse;
+  bool CastsSeverFlow;
+  bool ConservativeLibraries;
+
+  QualType CurrentRet;                 ///< Result position of CurrentFn.
+  const cfront::FunctionDecl *CurrentFn = nullptr;
+
+  void genStmt(const cfront::CStmt *S);
+  /// Qualified type of \p E: the l-type (shape ref) for l-values, the
+  /// r-type otherwise. Null only on internal inconsistency.
+  QualType genExpr(const cfront::CExpr *E);
+  /// r-value type of \p E (auto-dereference of l-values).
+  QualType rvalue(const cfront::CExpr *E);
+
+  void flowBoth(QualType A, QualType B, const ConstraintOrigin &Origin);
+  void genInitInto(QualType CellContents, const cfront::CExpr *Init);
+  void requireNonConstCell(QualType LType, SourceLoc Loc,
+                           const char *What);
+  QualType freshVal(SourceLoc Loc) {
+    return Factory.make(QualExpr::makeVar(Sys.freshVar("tmp", Loc)),
+                        Ctors.val());
+  }
+};
+
+} // namespace constinf
+} // namespace quals
+
+#endif // QUALS_CONSTINF_CONSTRAINTGEN_H

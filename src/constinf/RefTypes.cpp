@@ -1,0 +1,201 @@
+//===- constinf/RefTypes.cpp - The l translation from C types --------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "constinf/RefTypes.h"
+
+using namespace quals;
+using namespace quals::constinf;
+using namespace quals::cfront;
+
+ConstCtors::ConstCtors()
+    : Val("val", {}), Ref("ref", {Variance::Invariant}) {}
+
+const TypeCtor *ConstCtors::fn(unsigned NumParams) {
+  auto It = FnCtors.find(NumParams);
+  if (It != FnCtors.end())
+    return It->second;
+  std::vector<Variance> Args(NumParams, Variance::Contravariant);
+  Args.push_back(Variance::Covariant);
+  Owned.emplace_back("fn" + std::to_string(NumParams), std::move(Args));
+  FnCtors[NumParams] = &Owned.back();
+  return &Owned.back();
+}
+
+const TypeCtor *ConstCtors::record(const RecordDecl *RD) {
+  auto It = Records.find(RD);
+  if (It != Records.end())
+    return It->second;
+  std::string Name =
+      (RD->isUnion() ? "union " : "struct ") + std::string(RD->getName());
+  Owned.emplace_back(std::move(Name), std::vector<Variance>());
+  Records[RD] = &Owned.back();
+  return &Owned.back();
+}
+
+RefTranslator::LPair
+RefTranslator::lprime(CQualType T, SourceLoc Loc, const std::string &Hint,
+                      std::vector<InterestingPos> *Collect, unsigned Depth) {
+  LPair Result;
+  Result.TopQual = freshQual(Hint, Loc);
+  if (!T.isNull() && T.isConst())
+    Sys.addLeq(QualExpr::makeConst(
+                   Sys.getQualifierSet().withQual(
+                       Sys.getQualifierSet().bottom(), ConstQual)),
+               Result.TopQual, ConstraintOrigin(Loc, "declared const"));
+
+  const CType *Ty = T.isNull() ? nullptr : T.getType();
+  if (!Ty) {
+    Result.Contents = Factory.make(freshQual(Hint, Loc), Ctors.val());
+    return Result;
+  }
+
+  switch (Ty->getKind()) {
+  case CType::Kind::Builtin:
+  case CType::Kind::Enum:
+    Result.Contents = Factory.make(freshQual(Hint, Loc), Ctors.val());
+    break;
+  case CType::Kind::Pointer:
+  case CType::Kind::Array: {
+    CQualType Pointee = isa<PointerType>(Ty)
+                            ? cast<PointerType>(Ty)->getPointee()
+                            : cast<ArrayType>(Ty)->getElement();
+    LPair Inner = lprime(Pointee, Loc, Hint, Collect, Depth + 1);
+    if (Collect && Inner.TopQual.isVar()) {
+      InterestingPos Pos;
+      Pos.Depth = Depth;
+      Pos.Var = Inner.TopQual.getVar();
+      Pos.DeclaredConst = Pointee.isConst();
+      Collect->push_back(Pos);
+    }
+    Result.Contents =
+        Factory.make(Inner.TopQual, Ctors.ref(), {Inner.Contents});
+    break;
+  }
+  case CType::Kind::Record:
+    Result.Contents = Factory.make(
+        freshQual(Hint, Loc), Ctors.record(cast<RecordType>(Ty)->getDecl()));
+    break;
+  case CType::Kind::Function: {
+    const auto *FT = cast<FunctionType>(Ty);
+    // Function types nested inside other types (function pointers): build
+    // the interface shape; interesting-position collection does not descend
+    // into them (only direct parameters/results are counted, Section 4.4).
+    std::vector<QualType> Args;
+    for (CQualType P : FT->getParams())
+      Args.push_back(
+          lprime(P, Loc, Hint, /*Collect=*/nullptr, 0).Contents);
+    Args.push_back(
+        lprime(FT->getReturn(), Loc, Hint, /*Collect=*/nullptr, 0).Contents);
+    Result.Contents = Factory.make(freshQual(Hint, Loc),
+                                   Ctors.fn(FT->getParams().size()), Args);
+    break;
+  }
+  }
+  return Result;
+}
+
+QualType RefTranslator::varLValueType(const VarDecl *VD) {
+  auto It = VarTypes.find(VD);
+  if (It != VarTypes.end())
+    return It->second;
+  LPair LP = lprime(VD->getType(), VD->getLoc(), std::string(VD->getName()),
+                    /*Collect=*/nullptr, 0);
+  QualType T = Factory.make(LP.TopQual, Ctors.ref(), {LP.Contents});
+  VarTypes.emplace(VD, T);
+  return T;
+}
+
+QualType RefTranslator::fieldLValueType(const FieldDecl *FD) {
+  auto It = FieldTypes.find(FD);
+  if (It != FieldTypes.end())
+    return It->second;
+  LPair LP = lprime(FD->getType(), FD->getLoc(), std::string(FD->getName()),
+                    /*Collect=*/nullptr, 0);
+  QualType T = Factory.make(LP.TopQual, Ctors.ref(), {LP.Contents});
+  // Section 4.2: all variables with the same struct type share the field
+  // declaration, so field qualifiers are shared (memoized). The ablation
+  // mode skips the memoization, giving each access fresh (unsound)
+  // qualifiers.
+  if (StructFieldsShared)
+    FieldTypes.emplace(FD, T);
+  return T;
+}
+
+QualType RefTranslator::functionInterfaceType(const FunctionDecl *FD) {
+  auto It = FnTypes.find(FD);
+  if (It != FnTypes.end())
+    return It->second;
+
+  const FunctionType *FT = FD->getType();
+  const QualifierSet &QS = Sys.getQualifierSet();
+  bool Defined = FD->isDefined();
+  std::vector<QualType> Args;
+  std::vector<InterestingPos> Collected;
+
+  const auto &Params = FD->getParams();
+  for (unsigned I = 0, E = FT->getParams().size(); I != E; ++I) {
+    std::vector<InterestingPos> ParamPositions;
+    std::string Hint = std::string(FD->getName()) + ".param" +
+                       std::to_string(I);
+    LPair LP = lprime(FT->getParams()[I],
+                      I < Params.size() ? Params[I]->getLoc() : FD->getLoc(),
+                      Hint, &ParamPositions, 0);
+    for (InterestingPos &Pos : ParamPositions) {
+      Pos.Fn = FD;
+      Pos.ParamIndex = static_cast<int>(I);
+      if (Defined)
+        Collected.push_back(Pos);
+      else if (ConservativeLibraries && !Pos.DeclaredConst)
+        // Section 4.2: parameters of undefined (library) functions not
+        // declared const are treated as non-const.
+        Sys.addLeq(QualExpr::makeVar(Pos.Var),
+                   QualExpr::makeConst(QS.notQual(ConstQual)),
+                   ConstraintOrigin(FD->getLoc(),
+                                    "library function '" +
+                                        std::string(FD->getName()) +
+                                        "' parameter not declared const"));
+    }
+    // The parameter *variable* shares the interface r-type as its cell
+    // contents, so writes through the pointer inside the body constrain the
+    // interface.
+    if (Defined && I < Params.size())
+      VarTypes.emplace(Params[I],
+                       Factory.make(LP.TopQual, Ctors.ref(), {LP.Contents}));
+    Args.push_back(LP.Contents);
+  }
+
+  std::vector<InterestingPos> RetPositions;
+  LPair Ret = lprime(FT->getReturn(), FD->getLoc(),
+                     std::string(FD->getName()) + ".ret", &RetPositions, 0);
+  for (InterestingPos &Pos : RetPositions) {
+    Pos.Fn = FD;
+    Pos.ParamIndex = -1;
+    if (Defined)
+      Collected.push_back(Pos);
+  }
+  Args.push_back(Ret.Contents);
+
+  QualType T = Factory.make(freshQual(std::string(FD->getName()), FD->getLoc()),
+                            Ctors.fn(FT->getParams().size()), Args);
+  FnTypes.emplace(FD, T);
+  Interesting.insert(Interesting.end(), Collected.begin(), Collected.end());
+  return T;
+}
+
+QualType RefTranslator::freshRValueType(CQualType T, SourceLoc Loc) {
+  return lprime(T, Loc, "cast", /*Collect=*/nullptr, 0).Contents;
+}
+
+void RefTranslator::forceNonConstRefs(QualType T,
+                                      const ConstraintOrigin &Origin) {
+  const QualifierSet &QS = Sys.getQualifierSet();
+  T.visit([&](QualType Node) {
+    if (Node.getCtor() == Ctors.ref() && Node.getQual().isVar())
+      Sys.addLeq(Node.getQual(), QualExpr::makeConst(QS.notQual(ConstQual)),
+                 Origin);
+  });
+}

@@ -1,0 +1,153 @@
+//===- constinf/RefTypes.h - The l translation from C types ------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.1's translation from C types to qualified ref types:
+///
+///   l(CTyp)         = Q' ref(rho)   where (Q', rho) = l'(CTyp)
+///   l'(Q int)       = (Q, bottom int)
+///   l'(Q ptr(CTyp)) = (Q, (Q'' ref(rho')))  where (Q'', rho') = l'(CTyp)
+///
+/// Every C variable is an updateable memory cell (one extra ref on the
+/// outside); const shifts up one level, attaching to the ref constructor.
+/// In inference mode every qualifier position is a fresh variable; a
+/// source-level const becomes a lower bound on the corresponding variable.
+///
+/// Design decisions from Section 4.2 encoded here:
+/// \li struct/union values are *nominal* nullary constructors; all variables
+///     of the same record type share one field environment (identical field
+///     qualifiers), while their top-level ref qualifiers stay independent.
+/// \li typedefs were macro-expanded by the parser, so they share nothing.
+/// \li arrays translate like pointers to their element cells.
+/// \li functions translate to per-arity constructors over the parameter and
+///     result r-types (contravariant/covariant).
+///
+/// The translator also records the "interesting" const positions of
+/// Section 4.4: one per pointer level inside the parameters and result of a
+/// function type (arguments are by-value, so only pointer contents can
+/// meaningfully be const).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_CONSTINF_REFTYPES_H
+#define QUALS_CONSTINF_REFTYPES_H
+
+#include "cfront/CAst.h"
+#include "qual/QualType.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace quals {
+namespace constinf {
+
+/// Type constructors for the translated C types. Function constructors are
+/// created per arity on demand.
+class ConstCtors {
+public:
+  ConstCtors();
+
+  const TypeCtor *val() const { return &Val; }
+  const TypeCtor *ref() const { return &Ref; }
+
+  /// fnN: N contravariant parameters plus one covariant result.
+  const TypeCtor *fn(unsigned NumParams);
+
+  /// The nullary nominal constructor for \p RD.
+  const TypeCtor *record(const cfront::RecordDecl *RD);
+
+private:
+  TypeCtor Val;
+  TypeCtor Ref;
+  std::deque<TypeCtor> Owned;
+  std::unordered_map<unsigned, const TypeCtor *> FnCtors;
+  std::unordered_map<const cfront::RecordDecl *, const TypeCtor *> Records;
+};
+
+/// An "interesting" const position (Section 4.4): a place in a defined
+/// function's parameters or result where the C syntax can carry const.
+struct InterestingPos {
+  const cfront::FunctionDecl *Fn = nullptr;
+  /// -1 for the result, otherwise the parameter index.
+  int ParamIndex = -1;
+  /// Pointer depth of the position (0 = pointee of the outer pointer).
+  unsigned Depth = 0;
+  QualVarId Var = InvalidQualVar;
+  bool DeclaredConst = false;
+};
+
+/// Performs the l translation, memoizing shared structure (record field
+/// environments, variable cell types, function interfaces).
+class RefTranslator {
+public:
+  RefTranslator(ConstraintSystem &Sys, QualTypeFactory &Factory,
+                ConstCtors &Ctors, QualifierId ConstQual,
+                bool ConservativeLibraries = true,
+                bool StructFieldsShared = true)
+      : Sys(Sys), Factory(Factory), Ctors(Ctors), ConstQual(ConstQual),
+        ConservativeLibraries(ConservativeLibraries),
+        StructFieldsShared(StructFieldsShared) {}
+
+  /// The l-value type of \p VD: kappa ref(rho). Memoized.
+  QualType varLValueType(const cfront::VarDecl *VD);
+
+  /// The shared l-value type of record field \p FD. Memoized per FieldDecl,
+  /// so every instance of the record shares the field's qualifiers
+  /// (Section 4.2's struct rule).
+  QualType fieldLValueType(const cfront::FieldDecl *FD);
+
+  /// The interface type of \p FD: fnN(param r-types..., result r-type).
+  /// Memoized; interesting positions are recorded on first creation for
+  /// *defined* functions, and the Section 4.2 library rule (undeclared
+  /// non-const parameters are non-const) is applied for undefined ones.
+  QualType functionInterfaceType(const cfront::FunctionDecl *FD);
+
+  /// Translates a C type to an r-value qualified type with all-fresh
+  /// variables (used for casts, which sever qualifier flow).
+  QualType freshRValueType(cfront::CQualType T, SourceLoc Loc);
+
+  const std::vector<InterestingPos> &interestingPositions() const {
+    return Interesting;
+  }
+
+  /// Adds "kappa must not be const" upper bounds on every ref level of
+  /// \p T (the conservative treatment of values escaping to unknown code).
+  void forceNonConstRefs(QualType T, const ConstraintOrigin &Origin);
+
+private:
+  ConstraintSystem &Sys;
+  QualTypeFactory &Factory;
+  ConstCtors &Ctors;
+  QualifierId ConstQual;
+  bool ConservativeLibraries;
+  bool StructFieldsShared;
+
+  std::unordered_map<const cfront::VarDecl *, QualType> VarTypes;
+  std::unordered_map<const cfront::FieldDecl *, QualType> FieldTypes;
+  std::unordered_map<const cfront::FunctionDecl *, QualType> FnTypes;
+  std::vector<InterestingPos> Interesting;
+
+  struct LPair {
+    QualExpr TopQual;
+    QualType Contents;
+  };
+
+  /// The l' operation. When \p Collect is non-null, the top qualifiers of
+  /// pointee levels are appended as interesting positions.
+  LPair lprime(cfront::CQualType T, SourceLoc Loc, const std::string &Hint,
+               std::vector<InterestingPos> *Collect, unsigned Depth);
+
+  QualExpr freshQual(const std::string &Hint, SourceLoc Loc) {
+    return QualExpr::makeVar(Sys.freshVar(Hint, Loc));
+  }
+};
+
+} // namespace constinf
+} // namespace quals
+
+#endif // QUALS_CONSTINF_REFTYPES_H

@@ -1,0 +1,386 @@
+//===- gen/SynthGen.cpp - Synthetic C benchmark generator -------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/SynthGen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace quals;
+using namespace quals::synth;
+
+namespace {
+
+/// SplitMix64: tiny, deterministic, well-distributed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed + 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  unsigned below(unsigned N) { return N ? next() % N : 0; }
+  bool chance(double P) {
+    return (next() >> 11) * 0x1.0p-53 < P;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Kind of a generated function.
+enum class FnKind { Reader, Writer, IdLike, SccPair };
+
+struct ParamInfo {
+  bool IsPointer;
+  bool Written;       ///< The body writes through it.
+  bool DeclConst;     ///< Annotated const in the source.
+  bool UseTypedef;    ///< Spelled with the iptr typedef.
+};
+
+struct FnInfo {
+  FnKind Kind;
+  std::vector<ParamInfo> Params; ///< Pointer params first, then one int n.
+  int Partner = -1;              ///< SCC partner index.
+  bool TakesStruct = false;
+  unsigned StructIdx = 0;
+  bool WritesStructField = false;
+};
+
+class Generator {
+public:
+  Generator(const SynthParams &P) : P(P), R(P.Seed) {}
+
+  SynthProgram run();
+
+private:
+  const SynthParams &P;
+  Rng R;
+  std::vector<FnInfo> Fns;
+  std::string Out;
+
+  void line(const std::string &S) {
+    Out += S;
+    Out += '\n';
+  }
+
+  void planFunctions();
+  void emitPrelude();
+  void emitGlobals();
+  std::string signature(unsigned I);
+  void emitFunction(unsigned I);
+  std::string pickReadablePtrArg(const FnInfo &F);
+  std::string pickWritablePtrArg(const FnInfo &F);
+  void emitCall(const FnInfo &Caller, unsigned CalleeIdx,
+                std::vector<std::string> &Body);
+};
+
+void Generator::planFunctions() {
+  Fns.resize(P.NumFunctions);
+  for (unsigned I = 0; I != P.NumFunctions; ++I) {
+    FnInfo &F = Fns[I];
+    if (F.Partner >= 0)
+      continue; // Second half of an SCC pair, already planned.
+
+    if (I + 1 < P.NumFunctions && R.chance(P.SccRate)) {
+      F.Kind = FnKind::SccPair;
+      F.Partner = I + 1;
+      F.Params = {{true, false, R.chance(P.ConstDeclRate), false}};
+      Fns[I + 1] = F;
+      Fns[I + 1].Partner = I;
+      ++I; // Skip the partner.
+      continue;
+    }
+    if (R.chance(P.IdLikeRate)) {
+      F.Kind = FnKind::IdLike;
+      // Return-a-pointer-parameter shape; never declared const so callers
+      // may write through the result (the latent polymorphism pattern).
+      F.Params = {{true, false, false, R.chance(0.3)}};
+      continue;
+    }
+    bool Writer = R.chance(P.WriterRate);
+    F.Kind = Writer ? FnKind::Writer : FnKind::Reader;
+    unsigned NumPtr = 1 + R.below(P.MaxPtrParams);
+    for (unsigned J = 0; J != NumPtr; ++J) {
+      ParamInfo Param;
+      Param.IsPointer = true;
+      Param.Written = Writer && J == 0;
+      Param.DeclConst = !Param.Written && R.chance(P.ConstDeclRate);
+      Param.UseTypedef =
+          !Param.DeclConst && P.NumTypedefs > 0 && R.chance(0.15);
+      F.Params.push_back(Param);
+    }
+    if (P.NumStructs > 0 && R.chance(0.25)) {
+      F.TakesStruct = true;
+      F.StructIdx = R.below(P.NumStructs);
+      F.WritesStructField = Writer && R.chance(0.4);
+    }
+  }
+}
+
+void Generator::emitPrelude() {
+  line("/* Generated benchmark: seed " + std::to_string(P.Seed) + ", " +
+       std::to_string(P.NumFunctions) + " functions. */");
+  line("");
+  line("int printf(const char *fmt, ...);");
+  line("char *strcpy(char *dst, const char *src);");
+  line("int strcmp(const char *a, const char *b);");
+  line("int external_io(int *buf);");
+  line("int external_peek(const int *buf);");
+  line("");
+  for (unsigned S = 0; S != P.NumStructs; ++S) {
+    line("struct rec" + std::to_string(S) + " {");
+    line("  int value;");
+    line("  int *slot;");
+    line("  struct rec" + std::to_string(S) + " *next;");
+    line("};");
+  }
+  for (unsigned T = 0; T != P.NumTypedefs; ++T)
+    line("typedef int *iptr" + std::to_string(T) + ";");
+  line("");
+}
+
+void Generator::emitGlobals() {
+  for (unsigned G = 0; G != P.NumGlobals; ++G)
+    line("int gval" + std::to_string(G) + " = " + std::to_string(G * 3) +
+         ";");
+  for (unsigned S = 0; S != P.NumStructs; ++S)
+    line("struct rec" + std::to_string(S) + " grec" + std::to_string(S) +
+         ";");
+  line("int *gptr = &gval0;");
+  line("");
+}
+
+std::string Generator::signature(unsigned I) {
+  const FnInfo &F = Fns[I];
+  std::string Sig;
+  Sig += F.Kind == FnKind::IdLike ? "int *" : "int ";
+  Sig += "fn" + std::to_string(I) + "(";
+  unsigned TdIdx = I % std::max(1u, P.NumTypedefs);
+  for (unsigned J = 0; J != F.Params.size(); ++J) {
+    if (J)
+      Sig += ", ";
+    const ParamInfo &Param = F.Params[J];
+    if (Param.UseTypedef && P.NumTypedefs > 0)
+      Sig += "iptr" + std::to_string(TdIdx) + " p" + std::to_string(J);
+    else
+      Sig += std::string(Param.DeclConst ? "const int *" : "int *") + "p" +
+             std::to_string(J);
+  }
+  if (F.TakesStruct)
+    Sig += std::string(F.Params.empty() ? "" : ", ") + "struct rec" +
+           std::to_string(F.StructIdx) + " *st";
+  Sig += F.Params.empty() && !F.TakesStruct ? "int n)" : ", int n)";
+  return Sig;
+}
+
+std::string Generator::pickReadablePtrArg(const FnInfo &F) {
+  // For declared-const slots (and const library params): any pointer param
+  // -- including declared-const ones -- a global, or a local address.
+  unsigned NumChoices = F.Params.size() + 2;
+  unsigned C = R.below(NumChoices);
+  if (C < F.Params.size())
+    return "p" + std::to_string(C);
+  if (C == F.Params.size())
+    return "&loc";
+  return "&gval" + std::to_string(R.below(std::max(1u, P.NumGlobals)));
+}
+
+std::string Generator::pickWritablePtrArg(const FnInfo &F) {
+  // For every slot that is not declared const: exclude the caller's
+  // declared-const parameters. A non-const slot may be written through
+  // transitively (by a deeper callee or library call), and passing a
+  // declared-const pointer there would make the generated program an
+  // incorrect C program. By induction this keeps declared-const pointers
+  // inside declared-const slots only.
+  std::vector<std::string> Choices;
+  for (unsigned J = 0; J != F.Params.size(); ++J)
+    if (!F.Params[J].DeclConst)
+      Choices.push_back("p" + std::to_string(J));
+  Choices.push_back("&loc");
+  Choices.push_back("&gval" +
+                    std::to_string(R.below(std::max(1u, P.NumGlobals))));
+  return Choices[R.below(Choices.size())];
+}
+
+void Generator::emitCall(const FnInfo &Caller, unsigned CalleeIdx,
+                         std::vector<std::string> &Body) {
+  const FnInfo &Callee = Fns[CalleeIdx];
+  std::string Call = "fn" + std::to_string(CalleeIdx) + "(";
+  for (unsigned J = 0; J != Callee.Params.size(); ++J) {
+    if (J)
+      Call += ", ";
+    // Declared-const slots accept anything; all other slots must not
+    // receive the caller's declared-const pointers (see pickWritablePtrArg).
+    Call += Callee.Params[J].DeclConst ? pickReadablePtrArg(Caller)
+                                       : pickWritablePtrArg(Caller);
+  }
+  if (Callee.TakesStruct)
+    Call += std::string(Callee.Params.empty() ? "" : ", ") + "&grec" +
+            std::to_string(Callee.StructIdx);
+  Call += Callee.Params.empty() && !Callee.TakesStruct ? "n - 1)" : ", n - 1)";
+
+  if (Callee.Kind == FnKind::IdLike) {
+    if (R.chance(0.5)) {
+      // Writing use of an id-like result: the argument must be writable.
+      std::string Arg = pickWritablePtrArg(Caller);
+      Body.push_back("  *fn" + std::to_string(CalleeIdx) + "(" + Arg +
+                     ", n - 1) = t;");
+    } else {
+      Body.push_back("  t += *" + Call + ";");
+    }
+    return;
+  }
+  Body.push_back("  t += " + Call + ";");
+}
+
+void Generator::emitFunction(unsigned I) {
+  const FnInfo &F = Fns[I];
+  std::vector<std::string> Body;
+  Body.push_back("  int t = 0;");
+  Body.push_back("  int loc = n + " + std::to_string(R.below(17)) + ";");
+
+  // Reads of every pointer parameter.
+  for (unsigned J = 0; J != F.Params.size(); ++J)
+    if (!F.Params[J].Written)
+      Body.push_back("  t += *p" + std::to_string(J) + ";");
+
+  // The writer's store.
+  for (unsigned J = 0; J != F.Params.size(); ++J)
+    if (F.Params[J].Written)
+      Body.push_back("  *p" + std::to_string(J) + " = t + n;");
+
+  if (F.TakesStruct) {
+    Body.push_back("  t += st->value;");
+    if (F.WritesStructField)
+      Body.push_back("  st->value = t;");
+    else
+      Body.push_back("  if (st->next) t += st->next->value;");
+  }
+
+  switch (F.Kind) {
+  case FnKind::SccPair:
+    Body.push_back("  if (n > 0) t += fn" + std::to_string(F.Partner) +
+                   "(p0, n - 1);");
+    break;
+  case FnKind::IdLike:
+    break;
+  case FnKind::Reader:
+  case FnKind::Writer: {
+    unsigned Calls = std::min<unsigned>(P.CallsPerFunction, I);
+    for (unsigned C = 0; C != Calls; ++C)
+      emitCall(F, R.below(I), Body);
+    break;
+  }
+  }
+
+  if (R.chance(P.CastRate))
+    // The cast severs the qualifier association, so even a declared-const
+    // pointer is fair game here.
+    Body.push_back("  t += *(const int *)" + pickReadablePtrArg(F) + ";");
+  if (R.chance(P.VarargsCallRate))
+    Body.push_back("  printf(\"%d %d\\n\", t, loc);");
+  if (R.chance(P.LibraryCallRate)) {
+    if (R.chance(0.5))
+      Body.push_back("  t += external_peek(" + pickReadablePtrArg(F) + ");");
+    else
+      Body.push_back("  t += external_io(" + pickWritablePtrArg(F) + ");");
+  }
+  if (R.chance(0.3))
+    Body.push_back("  if (t > 100) t -= loc;");
+
+  if (F.Kind == FnKind::IdLike) {
+    line(signature(I) + " {");
+    for (const std::string &L : Body)
+      line(L);
+    line("  (void)t;");
+    line("  return p0;");
+    line("}");
+    line("");
+    return;
+  }
+
+  line(signature(I) + " {");
+  for (const std::string &L : Body)
+    line(L);
+  line("  return t;");
+  line("}");
+  line("");
+}
+
+SynthProgram Generator::run() {
+  planFunctions();
+  emitPrelude();
+  emitGlobals();
+
+  // Forward declarations for SCC partners (called before their definition).
+  for (unsigned I = 0; I != P.NumFunctions; ++I)
+    if (Fns[I].Partner > static_cast<int>(I))
+      line(signature(Fns[I].Partner) + ";");
+  line("");
+
+  for (unsigned I = 0; I != P.NumFunctions; ++I)
+    emitFunction(I);
+
+  // main() exercises a handful of entry points.
+  line("int main(void) {");
+  line("  int t = 0;");
+  line("  int loc = 41;");
+  line("  int n = 7;");
+  unsigned Entries = std::min(4u, P.NumFunctions);
+  for (unsigned E = 0; E != Entries; ++E) {
+    unsigned I = P.NumFunctions - 1 - E;
+    FnInfo Main; // main has no pointer params; args come from globals/loc.
+    std::vector<std::string> Body;
+    emitCall(Main, I, Body);
+    for (const std::string &L : Body)
+      line(L);
+  }
+  line("  return t;");
+  line("}");
+
+  SynthProgram Result;
+  Result.LineCount =
+      static_cast<unsigned>(std::count(Out.begin(), Out.end(), '\n'));
+  Result.Source = std::move(Out);
+  return Result;
+}
+
+} // namespace
+
+SynthProgram quals::synth::generateProgram(const SynthParams &Params) {
+  Generator G(Params);
+  return G.run();
+}
+
+SynthParams quals::synth::paramsForLines(uint64_t Seed,
+                                         unsigned TargetLines) {
+  SynthParams P;
+  P.Seed = Seed;
+  // Roughly 11 lines per function plus a fixed prelude; refine by
+  // regenerating (deterministic, so the returned params reproduce exactly).
+  P.NumFunctions = std::max(4u, TargetLines / 11);
+  for (int Iter = 0; Iter != 3; ++Iter) {
+    P.NumGlobals = std::max(6u, P.NumFunctions / 8);
+    P.NumStructs = std::max(2u, P.NumFunctions / 40);
+    P.NumTypedefs = std::max(2u, P.NumFunctions / 60);
+    SynthProgram Probe = generateProgram(P);
+    if (Probe.LineCount == 0)
+      break;
+    double Ratio = static_cast<double>(TargetLines) / Probe.LineCount;
+    if (Ratio > 0.97 && Ratio < 1.03)
+      break;
+    P.NumFunctions = std::max(
+        4u, static_cast<unsigned>(P.NumFunctions * Ratio + 0.5));
+  }
+  return P;
+}

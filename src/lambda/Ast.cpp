@@ -1,0 +1,185 @@
+//===- lambda/Ast.cpp - AST of the demonstration language -----------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Ast.h"
+
+using namespace quals;
+using namespace quals::lambda;
+
+bool quals::lambda::isSyntacticValue(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::Var:
+  case Expr::Kind::Lambda:
+  case Expr::Kind::Loc:
+    return true;
+  case Expr::Kind::Annot:
+    return isSyntacticValue(cast<AnnotExpr>(E)->getOperand());
+  default:
+    return false;
+  }
+}
+
+const Expr *quals::lambda::stripQualifiers(AstContext &Ctx, const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::Var:
+  case Expr::Kind::Loc:
+    return E;
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    return Ctx.create<LambdaExpr>(L->getParam(),
+                                  stripQualifiers(Ctx, L->getBody()),
+                                  L->getLoc());
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    return Ctx.create<AppExpr>(stripQualifiers(Ctx, A->getFn()),
+                               stripQualifiers(Ctx, A->getArg()),
+                               A->getLoc());
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return Ctx.create<IfExpr>(stripQualifiers(Ctx, I->getCond()),
+                              stripQualifiers(Ctx, I->getThen()),
+                              stripQualifiers(Ctx, I->getElse()),
+                              I->getLoc());
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    return Ctx.create<LetExpr>(L->getName(),
+                               stripQualifiers(Ctx, L->getInit()),
+                               stripQualifiers(Ctx, L->getBody()),
+                               L->getLoc());
+  }
+  case Expr::Kind::Ref: {
+    const auto *R = cast<RefExpr>(E);
+    return Ctx.create<RefExpr>(stripQualifiers(Ctx, R->getInit()),
+                               R->getLoc());
+  }
+  case Expr::Kind::Deref: {
+    const auto *D = cast<DerefExpr>(E);
+    return Ctx.create<DerefExpr>(stripQualifiers(Ctx, D->getRef()),
+                                 D->getLoc());
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    return Ctx.create<AssignExpr>(stripQualifiers(Ctx, A->getTarget()),
+                                  stripQualifiers(Ctx, A->getValue()),
+                                  A->getLoc());
+  }
+  case Expr::Kind::Annot:
+    return stripQualifiers(Ctx, cast<AnnotExpr>(E)->getOperand());
+  case Expr::Kind::Assert:
+    return stripQualifiers(Ctx, cast<AssertExpr>(E)->getOperand());
+  }
+  return E;
+}
+
+static void print(const QualifierSet &QS, const Expr *E, std::string &Out) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    Out += std::to_string(cast<IntLitExpr>(E)->getValue());
+    return;
+  case Expr::Kind::UnitLit:
+    Out += "()";
+    return;
+  case Expr::Kind::Var:
+    Out += cast<VarExpr>(E)->getName();
+    return;
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    Out += "(fn ";
+    Out += L->getParam();
+    Out += ". ";
+    print(QS, L->getBody(), Out);
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    Out += '(';
+    print(QS, A->getFn(), Out);
+    Out += ' ';
+    print(QS, A->getArg(), Out);
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Out += "if ";
+    print(QS, I->getCond(), Out);
+    Out += " then ";
+    print(QS, I->getThen(), Out);
+    Out += " else ";
+    print(QS, I->getElse(), Out);
+    Out += " fi";
+    return;
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    Out += "let ";
+    Out += L->getName();
+    Out += " = ";
+    print(QS, L->getInit(), Out);
+    Out += " in ";
+    print(QS, L->getBody(), Out);
+    Out += " ni";
+    return;
+  }
+  case Expr::Kind::Ref: {
+    Out += "(ref ";
+    print(QS, cast<RefExpr>(E)->getInit(), Out);
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::Deref: {
+    Out += "(!";
+    print(QS, cast<DerefExpr>(E)->getRef(), Out);
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    Out += '(';
+    print(QS, A->getTarget(), Out);
+    Out += " := ";
+    print(QS, A->getValue(), Out);
+    Out += ')';
+    return;
+  }
+  case Expr::Kind::Annot: {
+    const auto *A = cast<AnnotExpr>(E);
+    Out += '{';
+    Out += QS.toString(A->getQual());
+    Out += "} ";
+    print(QS, A->getOperand(), Out);
+    return;
+  }
+  case Expr::Kind::Assert: {
+    const auto *A = cast<AssertExpr>(E);
+    print(QS, A->getOperand(), Out);
+    Out += " |{";
+    Out += QS.toString(A->getBound());
+    Out += '}';
+    return;
+  }
+  case Expr::Kind::Loc:
+    Out += "<loc ";
+    Out += std::to_string(cast<LocExpr>(E)->getAddress());
+    Out += '>';
+    return;
+  }
+}
+
+std::string quals::lambda::toString(const QualifierSet &QS, const Expr *E) {
+  std::string Out;
+  print(QS, E, Out);
+  return Out;
+}

@@ -1,0 +1,256 @@
+//===- lambda/Ast.h - AST of the demonstration language --------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of the paper's language (Figure 1) with references
+/// (Section 2.4), qualifier annotations/assertions (Section 2.2), and the
+/// runtime-only store-location form used by the operational semantics
+/// (Figure 5). Nodes are arena-allocated and immutable; the evaluator builds
+/// new nodes rather than mutating.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_LAMBDA_AST_H
+#define QUALS_LAMBDA_AST_H
+
+#include "qual/Qualifier.h"
+#include "support/Allocator.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <string_view>
+
+namespace quals {
+namespace lambda {
+
+/// Base class of every expression node.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    UnitLit,
+    Var,
+    Lambda,
+    App,
+    If,
+    Let,
+    Ref,
+    Deref,
+    Assign,
+    Annot,  ///< {l} e  -- qualifier annotation.
+    Assert, ///< e |{l} -- qualifier assertion.
+    Loc     ///< Runtime store location (never produced by the parser).
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// Integer literal n.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(long Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  long getValue() const { return Value; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+
+private:
+  long Value;
+};
+
+/// The unit value ().
+class UnitLitExpr : public Expr {
+public:
+  explicit UnitLitExpr(SourceLoc Loc) : Expr(Kind::UnitLit, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::UnitLit; }
+};
+
+/// Variable occurrence x. Names are interned string views.
+class VarExpr : public Expr {
+public:
+  VarExpr(std::string_view Name, SourceLoc Loc)
+      : Expr(Kind::Var, Loc), Name(Name) {}
+  std::string_view getName() const { return Name; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Var; }
+
+private:
+  std::string_view Name;
+};
+
+/// fn x. e
+class LambdaExpr : public Expr {
+public:
+  LambdaExpr(std::string_view Param, const Expr *Body, SourceLoc Loc)
+      : Expr(Kind::Lambda, Loc), Param(Param), Body(Body) {}
+  std::string_view getParam() const { return Param; }
+  const Expr *getBody() const { return Body; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Lambda; }
+
+private:
+  std::string_view Param;
+  const Expr *Body;
+};
+
+/// e1 e2
+class AppExpr : public Expr {
+public:
+  AppExpr(const Expr *Fn, const Expr *Arg, SourceLoc Loc)
+      : Expr(Kind::App, Loc), Fn(Fn), Arg(Arg) {}
+  const Expr *getFn() const { return Fn; }
+  const Expr *getArg() const { return Arg; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::App; }
+
+private:
+  const Expr *Fn;
+  const Expr *Arg;
+};
+
+/// if e1 then e2 else e3 fi  (0 is false, non-zero true, C style)
+class IfExpr : public Expr {
+public:
+  IfExpr(const Expr *Cond, const Expr *Then, const Expr *Else, SourceLoc Loc)
+      : Expr(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  const Expr *getCond() const { return Cond; }
+  const Expr *getThen() const { return Then; }
+  const Expr *getElse() const { return Else; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::If; }
+
+private:
+  const Expr *Cond;
+  const Expr *Then;
+  const Expr *Else;
+};
+
+/// let x = e1 in e2 ni
+class LetExpr : public Expr {
+public:
+  LetExpr(std::string_view Name, const Expr *Init, const Expr *Body,
+          SourceLoc Loc)
+      : Expr(Kind::Let, Loc), Name(Name), Init(Init), Body(Body) {}
+  std::string_view getName() const { return Name; }
+  const Expr *getInit() const { return Init; }
+  const Expr *getBody() const { return Body; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Let; }
+
+private:
+  std::string_view Name;
+  const Expr *Init;
+  const Expr *Body;
+};
+
+/// ref e
+class RefExpr : public Expr {
+public:
+  RefExpr(const Expr *Init, SourceLoc Loc)
+      : Expr(Kind::Ref, Loc), Init(Init) {}
+  const Expr *getInit() const { return Init; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Ref; }
+
+private:
+  const Expr *Init;
+};
+
+/// !e
+class DerefExpr : public Expr {
+public:
+  DerefExpr(const Expr *Ref, SourceLoc Loc)
+      : Expr(Kind::Deref, Loc), Ref(Ref) {}
+  const Expr *getRef() const { return Ref; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Deref; }
+
+private:
+  const Expr *Ref;
+};
+
+/// e1 := e2
+class AssignExpr : public Expr {
+public:
+  AssignExpr(const Expr *Target, const Expr *Value, SourceLoc Loc)
+      : Expr(Kind::Assign, Loc), Target(Target), Value(Value) {}
+  const Expr *getTarget() const { return Target; }
+  const Expr *getValue() const { return Value; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assign; }
+
+private:
+  const Expr *Target;
+  const Expr *Value;
+};
+
+/// {l} e -- raises e's top-level qualifier to exactly l (rule Annot).
+class AnnotExpr : public Expr {
+public:
+  AnnotExpr(LatticeValue Qual, const Expr *Operand, SourceLoc Loc)
+      : Expr(Kind::Annot, Loc), Qual(Qual), Operand(Operand) {}
+  LatticeValue getQual() const { return Qual; }
+  const Expr *getOperand() const { return Operand; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Annot; }
+
+private:
+  LatticeValue Qual;
+  const Expr *Operand;
+};
+
+/// e |{l} -- asserts e's top-level qualifier is <= l (rule Assert).
+class AssertExpr : public Expr {
+public:
+  AssertExpr(const Expr *Operand, LatticeValue Bound, SourceLoc Loc)
+      : Expr(Kind::Assert, Loc), Operand(Operand), Bound(Bound) {}
+  const Expr *getOperand() const { return Operand; }
+  LatticeValue getBound() const { return Bound; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assert; }
+
+private:
+  const Expr *Operand;
+  LatticeValue Bound;
+};
+
+/// A store location a (runtime only; Figure 5's semantics).
+class LocExpr : public Expr {
+public:
+  LocExpr(unsigned Address, SourceLoc Loc)
+      : Expr(Kind::Loc, Loc), Address(Address) {}
+  unsigned getAddress() const { return Address; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Loc; }
+
+private:
+  unsigned Address;
+};
+
+/// Owns the arena behind a parsed (or evaluator-built) AST.
+class AstContext {
+public:
+  template <typename T, typename... Args> const T *create(Args &&...A) {
+    return Arena.create<T>(std::forward<Args>(A)...);
+  }
+
+private:
+  BumpPtrAllocator Arena;
+};
+
+/// True for the paper's syntactic values v ::= x | n | fn x.e | () and, to
+/// support the qualified-value runtime form, annotations of values and store
+/// locations. Used by the value restriction (Letv) and the evaluator.
+bool isSyntacticValue(const Expr *E);
+
+/// strip(e): e with every annotation and assertion removed (Section 2.3).
+/// Fresh nodes are built in \p Ctx.
+const Expr *stripQualifiers(AstContext &Ctx, const Expr *E);
+
+/// Renders an expression in source syntax (qualifiers via \p QS).
+std::string toString(const QualifierSet &QS, const Expr *E);
+
+} // namespace lambda
+} // namespace quals
+
+#endif // QUALS_LAMBDA_AST_H

@@ -1,0 +1,387 @@
+//===- lambda/Eval.cpp - Small-step operational semantics -----------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Eval.h"
+
+using namespace quals;
+using namespace quals::lambda;
+
+static bool isBareValue(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::Lambda:
+  case Expr::Kind::Loc:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Evaluator::isRuntimeValue(const Expr *E) {
+  if (isBareValue(E))
+    return true;
+  if (const auto *A = dyn_cast<AnnotExpr>(E))
+    return isBareValue(A->getOperand());
+  return false;
+}
+
+LatticeValue Evaluator::valueQual(const Expr *E) const {
+  if (const auto *A = dyn_cast<AnnotExpr>(E))
+    return A->getQual();
+  return QS.bottom();
+}
+
+const Expr *Evaluator::bareValue(const Expr *E) {
+  if (const auto *A = dyn_cast<AnnotExpr>(E))
+    return A->getOperand();
+  return E;
+}
+
+const Expr *Evaluator::subst(const Expr *E, std::string_view Name,
+                             const Expr *Value) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::Loc:
+    return E;
+  case Expr::Kind::Var:
+    return cast<VarExpr>(E)->getName() == Name ? Value : E;
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    if (L->getParam() == Name)
+      return E; // Shadowed.
+    const Expr *Body = subst(L->getBody(), Name, Value);
+    if (Body == L->getBody())
+      return E;
+    return Ctx.create<LambdaExpr>(L->getParam(), Body, L->getLoc());
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Expr *Fn = subst(A->getFn(), Name, Value);
+    const Expr *Arg = subst(A->getArg(), Name, Value);
+    if (Fn == A->getFn() && Arg == A->getArg())
+      return E;
+    return Ctx.create<AppExpr>(Fn, Arg, A->getLoc());
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    const Expr *C = subst(I->getCond(), Name, Value);
+    const Expr *T = subst(I->getThen(), Name, Value);
+    const Expr *F = subst(I->getElse(), Name, Value);
+    if (C == I->getCond() && T == I->getThen() && F == I->getElse())
+      return E;
+    return Ctx.create<IfExpr>(C, T, F, I->getLoc());
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    const Expr *Init = subst(L->getInit(), Name, Value);
+    const Expr *Body =
+        L->getName() == Name ? L->getBody() : subst(L->getBody(), Name, Value);
+    if (Init == L->getInit() && Body == L->getBody())
+      return E;
+    return Ctx.create<LetExpr>(L->getName(), Init, Body, L->getLoc());
+  }
+  case Expr::Kind::Ref: {
+    const auto *R = cast<RefExpr>(E);
+    const Expr *Init = subst(R->getInit(), Name, Value);
+    if (Init == R->getInit())
+      return E;
+    return Ctx.create<RefExpr>(Init, R->getLoc());
+  }
+  case Expr::Kind::Deref: {
+    const auto *D = cast<DerefExpr>(E);
+    const Expr *Ref = subst(D->getRef(), Name, Value);
+    if (Ref == D->getRef())
+      return E;
+    return Ctx.create<DerefExpr>(Ref, D->getLoc());
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    const Expr *T = subst(A->getTarget(), Name, Value);
+    const Expr *V = subst(A->getValue(), Name, Value);
+    if (T == A->getTarget() && V == A->getValue())
+      return E;
+    return Ctx.create<AssignExpr>(T, V, A->getLoc());
+  }
+  case Expr::Kind::Annot: {
+    const auto *A = cast<AnnotExpr>(E);
+    const Expr *Op = subst(A->getOperand(), Name, Value);
+    if (Op == A->getOperand())
+      return E;
+    return Ctx.create<AnnotExpr>(A->getQual(), Op, A->getLoc());
+  }
+  case Expr::Kind::Assert: {
+    const auto *A = cast<AssertExpr>(E);
+    const Expr *Op = subst(A->getOperand(), Name, Value);
+    if (Op == A->getOperand())
+      return E;
+    return Ctx.create<AssertExpr>(Op, A->getBound(), A->getLoc());
+  }
+  }
+  return E;
+}
+
+Evaluator::StepStatus Evaluator::step(const Expr *E, const Expr *&Out,
+                                      std::string &Reason,
+                                      SourceLoc &StuckLoc) {
+  // Helper to step a subexpression and rebuild the context around it.
+  auto stepSub = [&](const Expr *Sub, const Expr *&NewSub) -> StepStatus {
+    StepStatus S = step(Sub, NewSub, Reason, StuckLoc);
+    return S;
+  };
+
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::Lambda:
+  case Expr::Kind::Loc:
+    return StepStatus::Value;
+
+  case Expr::Kind::Var:
+    Reason = "free variable '" +
+             std::string(cast<VarExpr>(E)->getName()) + "'";
+    StuckLoc = E->getLoc();
+    return StepStatus::Stuck;
+
+  case Expr::Kind::Annot: {
+    const auto *A = cast<AnnotExpr>(E);
+    const Expr *Inner = A->getOperand();
+    // Context rule Q ref R: an annotated ref allocates jointly with its
+    // annotation once the initializer is a value.
+    if (const auto *R = dyn_cast<RefExpr>(Inner)) {
+      if (isRuntimeValue(R->getInit())) {
+        Store.push_back(R->getInit());
+        Out = Ctx.create<AnnotExpr>(
+            A->getQual(),
+            Ctx.create<LocExpr>(Store.size() - 1, R->getLoc()), A->getLoc());
+        return StepStatus::Stepped;
+      }
+      const Expr *NewInit;
+      StepStatus S = stepSub(R->getInit(), NewInit);
+      if (S != StepStatus::Stepped)
+        return S;
+      Out = Ctx.create<AnnotExpr>(A->getQual(),
+                                  Ctx.create<RefExpr>(NewInit, R->getLoc()),
+                                  A->getLoc());
+      return StepStatus::Stepped;
+    }
+    if (isBareValue(Inner))
+      return StepStatus::Value; // l v is a runtime value.
+    if (const auto *InnerAnnot = dyn_cast<AnnotExpr>(Inner)) {
+      if (isBareValue(InnerAnnot->getOperand())) {
+        // l1 (l2 v) -> l1 v when l2 <= l1 (Figure 5); otherwise stuck.
+        if (!InnerAnnot->getQual().subsumedBy(A->getQual())) {
+          Reason = "annotation {" + QS.toString(A->getQual()) +
+                   "} cannot lower a value's qualifier {" +
+                   QS.toString(InnerAnnot->getQual()) + "}";
+          StuckLoc = A->getLoc();
+          return StepStatus::Stuck;
+        }
+        Out = Ctx.create<AnnotExpr>(A->getQual(), InnerAnnot->getOperand(),
+                                    A->getLoc());
+        return StepStatus::Stepped;
+      }
+    }
+    const Expr *NewInner;
+    StepStatus S = stepSub(Inner, NewInner);
+    if (S != StepStatus::Stepped)
+      return S;
+    Out = Ctx.create<AnnotExpr>(A->getQual(), NewInner, A->getLoc());
+    return StepStatus::Stepped;
+  }
+
+  case Expr::Kind::Assert: {
+    const auto *A = cast<AssertExpr>(E);
+    if (isRuntimeValue(A->getOperand())) {
+      // (l2 v)|l1 -> l2 v when l2 <= l1 (Figure 5); otherwise stuck.
+      LatticeValue Actual = valueQual(A->getOperand());
+      if (!Actual.subsumedBy(A->getBound())) {
+        Reason = "assertion |{" + QS.toString(A->getBound()) +
+                 "} failed on a value with qualifier {" +
+                 QS.toString(Actual) + "}";
+        StuckLoc = A->getLoc();
+        return StepStatus::Stuck;
+      }
+      Out = A->getOperand();
+      return StepStatus::Stepped;
+    }
+    const Expr *NewOp;
+    StepStatus S = stepSub(A->getOperand(), NewOp);
+    if (S != StepStatus::Stepped)
+      return S;
+    Out = Ctx.create<AssertExpr>(NewOp, A->getBound(), A->getLoc());
+    return StepStatus::Stepped;
+  }
+
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    if (isRuntimeValue(I->getCond())) {
+      const auto *N = dyn_cast<IntLitExpr>(bareValue(I->getCond()));
+      if (!N) {
+        Reason = "if-condition is not an integer";
+        StuckLoc = I->getLoc();
+        return StepStatus::Stuck;
+      }
+      Out = N->getValue() != 0 ? I->getThen() : I->getElse();
+      return StepStatus::Stepped;
+    }
+    const Expr *NewCond;
+    StepStatus S = stepSub(I->getCond(), NewCond);
+    if (S != StepStatus::Stepped)
+      return S;
+    Out = Ctx.create<IfExpr>(NewCond, I->getThen(), I->getElse(),
+                             I->getLoc());
+    return StepStatus::Stepped;
+  }
+
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    if (!isRuntimeValue(A->getFn())) {
+      const Expr *NewFn;
+      StepStatus S = stepSub(A->getFn(), NewFn);
+      if (S != StepStatus::Stepped)
+        return S;
+      Out = Ctx.create<AppExpr>(NewFn, A->getArg(), A->getLoc());
+      return StepStatus::Stepped;
+    }
+    if (!isRuntimeValue(A->getArg())) {
+      const Expr *NewArg;
+      StepStatus S = stepSub(A->getArg(), NewArg);
+      if (S != StepStatus::Stepped)
+        return S;
+      Out = Ctx.create<AppExpr>(A->getFn(), NewArg, A->getLoc());
+      return StepStatus::Stepped;
+    }
+    const auto *L = dyn_cast<LambdaExpr>(bareValue(A->getFn()));
+    if (!L) {
+      Reason = "applying a non-function value";
+      StuckLoc = A->getLoc();
+      return StepStatus::Stuck;
+    }
+    Out = subst(L->getBody(), L->getParam(), A->getArg());
+    return StepStatus::Stepped;
+  }
+
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    if (isRuntimeValue(L->getInit())) {
+      Out = subst(L->getBody(), L->getName(), L->getInit());
+      return StepStatus::Stepped;
+    }
+    const Expr *NewInit;
+    StepStatus S = stepSub(L->getInit(), NewInit);
+    if (S != StepStatus::Stepped)
+      return S;
+    Out = Ctx.create<LetExpr>(L->getName(), NewInit, L->getBody(),
+                              L->getLoc());
+    return StepStatus::Stepped;
+  }
+
+  case Expr::Kind::Ref: {
+    // Bare ref: implicit bottom annotation; allocates to a bare location.
+    const auto *R = cast<RefExpr>(E);
+    if (isRuntimeValue(R->getInit())) {
+      Store.push_back(R->getInit());
+      Out = Ctx.create<LocExpr>(Store.size() - 1, R->getLoc());
+      return StepStatus::Stepped;
+    }
+    const Expr *NewInit;
+    StepStatus S = stepSub(R->getInit(), NewInit);
+    if (S != StepStatus::Stepped)
+      return S;
+    Out = Ctx.create<RefExpr>(NewInit, R->getLoc());
+    return StepStatus::Stepped;
+  }
+
+  case Expr::Kind::Deref: {
+    const auto *D = cast<DerefExpr>(E);
+    if (isRuntimeValue(D->getRef())) {
+      const auto *L = dyn_cast<LocExpr>(bareValue(D->getRef()));
+      if (!L || L->getAddress() >= Store.size()) {
+        Reason = "dereferencing a non-location value";
+        StuckLoc = D->getLoc();
+        return StepStatus::Stuck;
+      }
+      Out = Store[L->getAddress()];
+      return StepStatus::Stepped;
+    }
+    const Expr *NewRef;
+    StepStatus S = stepSub(D->getRef(), NewRef);
+    if (S != StepStatus::Stepped)
+      return S;
+    Out = Ctx.create<DerefExpr>(NewRef, D->getLoc());
+    return StepStatus::Stepped;
+  }
+
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    if (!isRuntimeValue(A->getTarget())) {
+      const Expr *NewT;
+      StepStatus S = stepSub(A->getTarget(), NewT);
+      if (S != StepStatus::Stepped)
+        return S;
+      Out = Ctx.create<AssignExpr>(NewT, A->getValue(), A->getLoc());
+      return StepStatus::Stepped;
+    }
+    if (!isRuntimeValue(A->getValue())) {
+      const Expr *NewV;
+      StepStatus S = stepSub(A->getValue(), NewV);
+      if (S != StepStatus::Stepped)
+        return S;
+      Out = Ctx.create<AssignExpr>(A->getTarget(), NewV, A->getLoc());
+      return StepStatus::Stepped;
+    }
+    const auto *L = dyn_cast<LocExpr>(bareValue(A->getTarget()));
+    if (!L || L->getAddress() >= Store.size()) {
+      Reason = "assigning through a non-location value";
+      StuckLoc = A->getLoc();
+      return StepStatus::Stuck;
+    }
+    Store[L->getAddress()] = A->getValue();
+    Out = Ctx.create<UnitLitExpr>(A->getLoc());
+    return StepStatus::Stepped;
+  }
+  }
+  Reason = "no reduction applies";
+  StuckLoc = E->getLoc();
+  return StepStatus::Stuck;
+}
+
+EvalResult Evaluator::evaluate(const Expr *Program, unsigned MaxSteps,
+                               const StepObserver &Observer) {
+  Store.clear();
+  EvalResult R;
+  const Expr *Cur = Program;
+  for (unsigned I = 0; I != MaxSteps; ++I) {
+    const Expr *Next = nullptr;
+    std::string Reason;
+    SourceLoc StuckLoc;
+    StepStatus S = step(Cur, Next, Reason, StuckLoc);
+    if (S == StepStatus::Stepped && Observer)
+      Observer(Next);
+    if (S == StepStatus::Value) {
+      R.Outcome = EvalOutcome::Value;
+      R.Result = Cur;
+      R.Steps = I;
+      return R;
+    }
+    if (S == StepStatus::Stuck) {
+      R.Outcome = EvalOutcome::Stuck;
+      R.Result = Cur;
+      R.StuckReason = std::move(Reason);
+      R.StuckLoc = StuckLoc;
+      R.Steps = I;
+      return R;
+    }
+    Cur = Next;
+  }
+  R.Outcome = EvalOutcome::TimedOut;
+  R.Result = Cur;
+  R.Steps = MaxSteps;
+  return R;
+}

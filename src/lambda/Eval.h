@@ -1,0 +1,92 @@
+//===- lambda/Eval.h - Small-step operational semantics --------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-step operational semantics of Figure 5. Runtime values are
+/// *qualified* values l v (a bare syntactic value carries an implicit bottom
+/// annotation). Qualifier assertions e|l and annotations l e reduce only
+/// when the value's qualifier satisfies the side condition l_2 <= l_1;
+/// otherwise evaluation is *stuck* -- which is exactly what the soundness
+/// theorem (Corollary 1) guarantees never happens to well-typed programs.
+/// The property tests in tests/lambda_soundness_test.cpp exercise this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_LAMBDA_EVAL_H
+#define QUALS_LAMBDA_EVAL_H
+
+#include "lambda/Ast.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace quals {
+namespace lambda {
+
+/// Outcome of running a program.
+enum class EvalOutcome {
+  Value,   ///< Reduced to a qualified value.
+  Stuck,   ///< No reduction applies (failed assertion, bad application...).
+  TimedOut ///< Step limit exhausted (possibly diverging).
+};
+
+/// Result of evaluate().
+struct EvalResult {
+  EvalOutcome Outcome = EvalOutcome::Stuck;
+  const Expr *Result = nullptr; ///< Final expression (value if Outcome=Value).
+  std::string StuckReason;      ///< Human-readable reason when stuck.
+  SourceLoc StuckLoc;
+  unsigned Steps = 0;
+};
+
+/// The machine of Figure 5: a store of qualified values plus the redex.
+class Evaluator {
+public:
+  Evaluator(AstContext &Ctx, const QualifierSet &QS) : Ctx(Ctx), QS(QS) {}
+
+  /// Called after each reduction step with the new whole-program term
+  /// (for tracing; the initial term is not reported).
+  using StepObserver = std::function<void(const Expr *)>;
+
+  /// Runs \p Program for at most \p MaxSteps reduction steps. \p Observer,
+  /// when set, sees every intermediate term.
+  EvalResult evaluate(const Expr *Program, unsigned MaxSteps = 100000,
+                      const StepObserver &Observer = nullptr);
+
+  /// The store contents after evaluate() (for tests).
+  const std::vector<const Expr *> &getStore() const { return Store; }
+
+  /// True if \p E is a runtime value: a bare syntactic value or a single
+  /// qualifier annotation of one.
+  static bool isRuntimeValue(const Expr *E);
+
+  /// Top-level qualifier of a runtime value (bottom when unannotated).
+  LatticeValue valueQual(const Expr *E) const;
+
+  /// The bare syntactic value under a runtime value's annotation.
+  static const Expr *bareValue(const Expr *E);
+
+private:
+  AstContext &Ctx;
+  const QualifierSet &QS;
+  std::vector<const Expr *> Store;
+
+  enum class StepStatus { Value, Stepped, Stuck };
+
+  StepStatus step(const Expr *E, const Expr *&Out, std::string &Reason,
+                  SourceLoc &StuckLoc);
+
+  /// Capture-free substitution e[Name := Value]; Value is a closed runtime
+  /// value, so no renaming is needed.
+  const Expr *subst(const Expr *E, std::string_view Name, const Expr *Value);
+};
+
+} // namespace lambda
+} // namespace quals
+
+#endif // QUALS_LAMBDA_EVAL_H

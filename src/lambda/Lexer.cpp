@@ -1,0 +1,133 @@
+//===- lambda/Lexer.cpp - Lexer for the demonstration language ------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace quals;
+using namespace quals::lambda;
+
+const char *quals::lambda::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:    return "end of input";
+  case TokKind::Error:  return "invalid token";
+  case TokKind::IntLit: return "integer literal";
+  case TokKind::Ident:  return "identifier";
+  case TokKind::KwFn:   return "'fn'";
+  case TokKind::KwLet:  return "'let'";
+  case TokKind::KwIn:   return "'in'";
+  case TokKind::KwNi:   return "'ni'";
+  case TokKind::KwIf:   return "'if'";
+  case TokKind::KwThen: return "'then'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwFi:   return "'fi'";
+  case TokKind::KwRef:  return "'ref'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::Dot:    return "'.'";
+  case TokKind::Bang:   return "'!'";
+  case TokKind::Assign: return "':='";
+  case TokKind::Eq:     return "'='";
+  case TokKind::Pipe:   return "'|'";
+  case TokKind::Tilde:  return "'~'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(const SourceManager &SM, unsigned BufferId,
+             DiagnosticEngine &Diags)
+    : SM(SM), Diags(Diags), Text(SM.getBufferText(BufferId)),
+      BufferId(BufferId) {}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '#') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, size_t Begin, size_t End) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = locAt(Begin);
+  T.Text = Text.substr(Begin, End - Begin);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  if (Pos >= Text.size())
+    return makeToken(TokKind::Eof, Pos, Pos);
+
+  size_t Begin = Pos;
+  char C = Text[Pos];
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    long Value = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      Value = Value * 10 + (Text[Pos] - '0');
+      ++Pos;
+    }
+    Token T = makeToken(TokKind::IntLit, Begin, Pos);
+    T.IntValue = Value;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    std::string_view Word = Text.substr(Begin, Pos - Begin);
+    static const std::unordered_map<std::string_view, TokKind> Keywords = {
+        {"fn", TokKind::KwFn},     {"let", TokKind::KwLet},
+        {"in", TokKind::KwIn},     {"ni", TokKind::KwNi},
+        {"if", TokKind::KwIf},     {"then", TokKind::KwThen},
+        {"else", TokKind::KwElse}, {"fi", TokKind::KwFi},
+        {"ref", TokKind::KwRef}};
+    auto It = Keywords.find(Word);
+    return makeToken(It == Keywords.end() ? TokKind::Ident : It->second,
+                     Begin, Pos);
+  }
+
+  ++Pos;
+  switch (C) {
+  case '(': return makeToken(TokKind::LParen, Begin, Pos);
+  case ')': return makeToken(TokKind::RParen, Begin, Pos);
+  case '{': return makeToken(TokKind::LBrace, Begin, Pos);
+  case '}': return makeToken(TokKind::RBrace, Begin, Pos);
+  case '.': return makeToken(TokKind::Dot, Begin, Pos);
+  case '!': return makeToken(TokKind::Bang, Begin, Pos);
+  case '=': return makeToken(TokKind::Eq, Begin, Pos);
+  case '|': return makeToken(TokKind::Pipe, Begin, Pos);
+  case '~': return makeToken(TokKind::Tilde, Begin, Pos);
+  case ':':
+    if (Pos < Text.size() && Text[Pos] == '=') {
+      ++Pos;
+      return makeToken(TokKind::Assign, Begin, Pos);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(locAt(Begin), std::string("unexpected character '") + C + "'");
+  return makeToken(TokKind::Error, Begin, Pos);
+}

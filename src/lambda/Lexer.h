@@ -1,0 +1,43 @@
+//===- lambda/Lexer.h - Lexer for the demonstration language ---*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_LAMBDA_LEXER_H
+#define QUALS_LAMBDA_LEXER_H
+
+#include "lambda/Token.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+namespace quals {
+namespace lambda {
+
+/// Hand-written lexer over one buffer. Comments run from '#' to end of line.
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, unsigned BufferId, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+private:
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned BufferId;
+
+  SourceLoc locAt(size_t Offset) const {
+    return SM.getLocForOffset(BufferId, Offset);
+  }
+  void skipWhitespaceAndComments();
+  Token makeToken(TokKind Kind, size_t Begin, size_t End);
+};
+
+} // namespace lambda
+} // namespace quals
+
+#endif // QUALS_LAMBDA_LEXER_H

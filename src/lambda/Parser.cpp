@@ -1,0 +1,282 @@
+//===- lambda/Parser.cpp - Parser for the demonstration language ----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Parser.h"
+
+using namespace quals;
+using namespace quals::lambda;
+
+Parser::Parser(const SourceManager &SM, unsigned BufferId,
+               const QualifierSet &QS, AstContext &Ctx,
+               StringInterner &Idents, DiagnosticEngine &Diags)
+    : Lex(SM, BufferId, Diags), QS(QS), Ctx(Ctx), Idents(Idents),
+      Diags(Diags) {
+  advance();
+}
+
+bool Parser::expect(TokKind Kind) {
+  if (Tok.is(Kind)) {
+    advance();
+    return true;
+  }
+  Diags.error(Tok.Loc, std::string("expected ") + tokKindName(Kind) +
+                           " but found " + tokKindName(Tok.Kind));
+  return false;
+}
+
+bool Parser::startsUnary(TokKind Kind) const {
+  switch (Kind) {
+  case TokKind::IntLit:
+  case TokKind::Ident:
+  case TokKind::LParen:
+  case TokKind::Bang:
+  case TokKind::KwRef:
+  case TokKind::LBrace:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const Expr *Parser::parseProgram() {
+  const Expr *E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (!Tok.is(TokKind::Eof)) {
+    Diags.error(Tok.Loc, std::string("expected end of input but found ") +
+                             tokKindName(Tok.Kind));
+    return nullptr;
+  }
+  return E;
+}
+
+const Expr *Parser::parseExpr() {
+  SourceLoc Loc = Tok.Loc;
+  if (Tok.is(TokKind::KwFn)) {
+    advance();
+    if (!Tok.is(TokKind::Ident)) {
+      Diags.error(Tok.Loc, "expected parameter name after 'fn'");
+      return nullptr;
+    }
+    std::string_view Param = Idents.intern(Tok.Text);
+    advance();
+    if (!expect(TokKind::Dot))
+      return nullptr;
+    const Expr *Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    return Ctx.create<LambdaExpr>(Param, Body, Loc);
+  }
+
+  if (Tok.is(TokKind::KwLet)) {
+    advance();
+    if (!Tok.is(TokKind::Ident)) {
+      Diags.error(Tok.Loc, "expected variable name after 'let'");
+      return nullptr;
+    }
+    std::string_view Name = Idents.intern(Tok.Text);
+    advance();
+    if (!expect(TokKind::Eq))
+      return nullptr;
+    const Expr *Init = parseExpr();
+    if (!Init)
+      return nullptr;
+    if (!expect(TokKind::KwIn))
+      return nullptr;
+    const Expr *Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    if (Tok.is(TokKind::KwNi))
+      advance();
+    return Ctx.create<LetExpr>(Name, Init, Body, Loc);
+  }
+
+  if (Tok.is(TokKind::KwIf)) {
+    advance();
+    const Expr *Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokKind::KwThen))
+      return nullptr;
+    const Expr *Then = parseExpr();
+    if (!Then)
+      return nullptr;
+    if (!expect(TokKind::KwElse))
+      return nullptr;
+    const Expr *Else = parseExpr();
+    if (!Else)
+      return nullptr;
+    if (Tok.is(TokKind::KwFi))
+      advance();
+    return Ctx.create<IfExpr>(Cond, Then, Else, Loc);
+  }
+
+  return parseAssign();
+}
+
+const Expr *Parser::parseAssign() {
+  SourceLoc Loc = Tok.Loc;
+  const Expr *Lhs = parseApp();
+  if (!Lhs)
+    return nullptr;
+  if (!Tok.is(TokKind::Assign))
+    return Lhs;
+  advance();
+  const Expr *Rhs = parseExpr();
+  if (!Rhs)
+    return nullptr;
+  return Ctx.create<AssignExpr>(Lhs, Rhs, Loc);
+}
+
+const Expr *Parser::parseApp() {
+  const Expr *Fn = parseUnary();
+  if (!Fn)
+    return nullptr;
+  while (startsUnary(Tok.Kind)) {
+    SourceLoc Loc = Tok.Loc;
+    const Expr *Arg = parseUnary();
+    if (!Arg)
+      return nullptr;
+    Fn = Ctx.create<AppExpr>(Fn, Arg, Loc);
+  }
+  return Fn;
+}
+
+const Expr *Parser::parseUnary() {
+  SourceLoc Loc = Tok.Loc;
+  if (Tok.is(TokKind::Bang)) {
+    advance();
+    const Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<DerefExpr>(Operand, Loc);
+  }
+  if (Tok.is(TokKind::KwRef)) {
+    advance();
+    const Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<RefExpr>(Operand, Loc);
+  }
+  if (Tok.is(TokKind::LBrace)) {
+    LatticeValue Qual;
+    if (!parseQualList(Qual))
+      return nullptr;
+    // "The qualifier on an abstraction qualifies the function type itself"
+    // (Section 2.2): allow {l} fn x. e without parentheses, likewise for
+    // the other expression-level keywords.
+    const Expr *Operand =
+        (Tok.is(TokKind::KwFn) || Tok.is(TokKind::KwLet) ||
+         Tok.is(TokKind::KwIf))
+            ? parseExpr()
+            : parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<AnnotExpr>(Qual, Operand, Loc);
+  }
+  return parsePostfix();
+}
+
+const Expr *Parser::parsePostfix() {
+  const Expr *E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (Tok.is(TokKind::Pipe)) {
+    SourceLoc Loc = Tok.Loc;
+    advance();
+    LatticeValue Bound;
+    if (!parseQualList(Bound))
+      return nullptr;
+    E = Ctx.create<AssertExpr>(E, Bound, Loc);
+  }
+  return E;
+}
+
+const Expr *Parser::parsePrimary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokKind::IntLit: {
+    long Value = Tok.IntValue;
+    advance();
+    return Ctx.create<IntLitExpr>(Value, Loc);
+  }
+  case TokKind::Ident: {
+    std::string_view Name = Idents.intern(Tok.Text);
+    advance();
+    return Ctx.create<VarExpr>(Name, Loc);
+  }
+  case TokKind::LParen: {
+    advance();
+    if (Tok.is(TokKind::RParen)) {
+      advance();
+      return Ctx.create<UnitLitExpr>(Loc);
+    }
+    const Expr *E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokKind::RParen))
+      return nullptr;
+    return E;
+  }
+  default:
+    Diags.error(Tok.Loc, std::string("expected an expression but found ") +
+                             tokKindName(Tok.Kind));
+    return nullptr;
+  }
+}
+
+bool Parser::parseQualList(LatticeValue &Out) {
+  if (!expect(TokKind::LBrace))
+    return false;
+
+  struct Item {
+    QualifierId Id;
+    bool Negated;
+  };
+  std::vector<Item> Items;
+  bool AnyNegated = false;
+
+  while (!Tok.is(TokKind::RBrace)) {
+    bool Negated = false;
+    if (Tok.is(TokKind::Tilde)) {
+      Negated = true;
+      AnyNegated = true;
+      advance();
+    }
+    if (!Tok.is(TokKind::Ident)) {
+      Diags.error(Tok.Loc, "expected qualifier name in qualifier list");
+      return false;
+    }
+    QualifierId Id;
+    if (!QS.lookup(Tok.Text, Id)) {
+      Diags.error(Tok.Loc,
+                  "unknown qualifier '" + std::string(Tok.Text) + "'");
+      return false;
+    }
+    Items.push_back({Id, Negated});
+    advance();
+  }
+  advance(); // consume '}'
+
+  // With any '~name' present the element starts at top (everything present)
+  // and named qualifiers are removed; otherwise it starts at bottom and
+  // named qualifiers are added.
+  Out = AnyNegated ? QS.top() : QS.bottom();
+  for (const Item &I : Items)
+    Out = I.Negated ? QS.withoutQual(Out, I.Id) : QS.withQual(Out, I.Id);
+  return true;
+}
+
+const Expr *quals::lambda::parseString(SourceManager &SM, std::string Name,
+                                       std::string Source,
+                                       const QualifierSet &QS, AstContext &Ctx,
+                                       StringInterner &Idents,
+                                       DiagnosticEngine &Diags) {
+  unsigned BufferId = SM.addBuffer(std::move(Name), std::move(Source));
+  Parser P(SM, BufferId, QS, Ctx, Idents, Diags);
+  return P.parseProgram();
+}

@@ -1,0 +1,80 @@
+//===- lambda/Parser.h - Parser for the demonstration language -*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the paper's language:
+///
+///   expr    := 'fn' IDENT '.' expr
+///            | 'let' IDENT '=' expr 'in' expr 'ni'?
+///            | 'if' expr 'then' expr 'else' expr 'fi'?
+///            | assign
+///   assign  := app (':=' expr)?
+///   app     := unary+                       (left-associative application)
+///   unary   := '!' unary | 'ref' unary | quals unary | postfix
+///   postfix := primary ('|' quals)*         (qualifier assertion)
+///   primary := INT | IDENT | '(' ')' | '(' expr ')'
+///   quals   := '{' (IDENT | '~' IDENT)* '}'
+///
+/// A qualifier list denotes a lattice element: plain names start from bottom
+/// and add the named qualifiers; if any '~name' appears the element starts
+/// from top and '~name' removes that qualifier (so '{~const}' is the paper's
+/// ":const" used in assignment assertions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_LAMBDA_PARSER_H
+#define QUALS_LAMBDA_PARSER_H
+
+#include "lambda/Ast.h"
+#include "lambda/Lexer.h"
+#include "support/StringInterner.h"
+
+namespace quals {
+namespace lambda {
+
+/// Parses one buffer into an expression tree.
+class Parser {
+public:
+  Parser(const SourceManager &SM, unsigned BufferId, const QualifierSet &QS,
+         AstContext &Ctx, StringInterner &Idents, DiagnosticEngine &Diags);
+
+  /// Parses a whole program (one expression followed by EOF); returns null
+  /// on a parse error (diagnostics describe the failure).
+  const Expr *parseProgram();
+
+private:
+  Lexer Lex;
+  const QualifierSet &QS;
+  AstContext &Ctx;
+  StringInterner &Idents;
+  DiagnosticEngine &Diags;
+  Token Tok; ///< One-token lookahead.
+
+  void advance() { Tok = Lex.next(); }
+  bool expect(TokKind Kind);
+  bool startsUnary(TokKind Kind) const;
+
+  const Expr *parseExpr();
+  const Expr *parseAssign();
+  const Expr *parseApp();
+  const Expr *parseUnary();
+  const Expr *parsePostfix();
+  const Expr *parsePrimary();
+  bool parseQualList(LatticeValue &Out);
+};
+
+/// Convenience: lexes and parses \p Source (registered in \p SM under
+/// \p Name); returns null on error.
+const Expr *parseString(SourceManager &SM, std::string Name,
+                        std::string Source, const QualifierSet &QS,
+                        AstContext &Ctx, StringInterner &Idents,
+                        DiagnosticEngine &Diags);
+
+} // namespace lambda
+} // namespace quals
+
+#endif // QUALS_LAMBDA_PARSER_H

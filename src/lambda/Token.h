@@ -1,0 +1,77 @@
+//===- lambda/Token.h - Tokens of the demonstration language ---*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the paper's call-by-value lambda language (Figure 1)
+/// extended with ML-style references (Section 2.4) and the qualifier
+/// annotation/assertion syntax of Section 2.2:
+///
+///   {q1 q2} e     qualifier annotation (the paper's "l e")
+///   e |{q1 q2}    qualifier assertion  (the paper's "e|l")
+///
+/// Per Section 2.5, qualifiers live behind reserved symbols ({...}) so the
+/// lexer tokenizes them unambiguously.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_LAMBDA_TOKEN_H
+#define QUALS_LAMBDA_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <string_view>
+
+namespace quals {
+namespace lambda {
+
+/// Token kinds.
+enum class TokKind {
+  Eof,
+  Error,
+  // Literals and identifiers.
+  IntLit,     ///< 42
+  Ident,      ///< x
+  // Keywords.
+  KwFn,       ///< fn
+  KwLet,      ///< let
+  KwIn,       ///< in
+  KwNi,       ///< ni (optional let terminator, as in the paper)
+  KwIf,       ///< if
+  KwThen,     ///< then
+  KwElse,     ///< else
+  KwFi,       ///< fi (optional if terminator, as in the paper)
+  KwRef,      ///< ref
+  // Punctuation.
+  LParen,     ///< (
+  RParen,     ///< )
+  LBrace,     ///< {
+  RBrace,     ///< }
+  Dot,        ///< .
+  Bang,       ///< !   (dereference)
+  Assign,     ///< :=
+  Eq,         ///< =
+  Pipe,       ///< |   (assertion)
+  Tilde       ///< ~   (absent-qualifier marker inside braces)
+};
+
+/// A lexed token; Text views into the SourceManager's buffer.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text;
+  long IntValue = 0; ///< Valid for IntLit.
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Human-readable name of a token kind for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+} // namespace lambda
+} // namespace quals
+
+#endif // QUALS_LAMBDA_TOKEN_H

@@ -1,0 +1,208 @@
+//===- lambda/TypeCheck.cpp - Standard (unqualified) type inference -------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/TypeCheck.h"
+
+using namespace quals;
+using namespace quals::lambda;
+
+STy *STyContext::resolve(STy *T) {
+  while (T->getKind() == STy::Kind::Var && T->Link) {
+    if (T->Link->getKind() == STy::Kind::Var && T->Link->Link)
+      T->Link = T->Link->Link; // Path compression.
+    T = T->Link;
+  }
+  return T;
+}
+
+bool STyContext::occurs(STy *Var, STy *T) {
+  T = resolve(T);
+  if (T == Var)
+    return true;
+  if (T->getKind() == STy::Kind::Fn)
+    return occurs(Var, T->Arg0) || occurs(Var, T->Arg1);
+  if (T->getKind() == STy::Kind::Ref)
+    return occurs(Var, T->Arg0);
+  return false;
+}
+
+bool STyContext::unify(STy *A, STy *B) {
+  A = resolve(A);
+  B = resolve(B);
+  if (A == B)
+    return true;
+  if (A->getKind() == STy::Kind::Var) {
+    if (occurs(A, B))
+      return false;
+    A->Link = B;
+    return true;
+  }
+  if (B->getKind() == STy::Kind::Var)
+    return unify(B, A);
+  if (A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case STy::Kind::Int:
+  case STy::Kind::Unit:
+    return true;
+  case STy::Kind::Fn:
+    return unify(A->Arg0, B->Arg0) && unify(A->Arg1, B->Arg1);
+  case STy::Kind::Ref:
+    return unify(A->Arg0, B->Arg0);
+  case STy::Kind::Var:
+    break;
+  }
+  return false;
+}
+
+std::string STyContext::toString(STy *T) {
+  T = resolve(T);
+  switch (T->getKind()) {
+  case STy::Kind::Var:
+    return "'a";
+  case STy::Kind::Int:
+    return "int";
+  case STy::Kind::Unit:
+    return "unit";
+  case STy::Kind::Fn:
+    return "(" + toString(T->Arg0) + " -> " + toString(T->Arg1) + ")";
+  case STy::Kind::Ref:
+    return "ref(" + toString(T->Arg0) + ")";
+  }
+  return "<?>";
+}
+
+STy *StdTypeChecker::fail(const Expr *E, const std::string &Message) {
+  Diags.error(E->getLoc(), Message);
+  return nullptr;
+}
+
+STy *StdTypeChecker::check(const Expr *Program) {
+  NodeTypes.clear();
+  Env.clear();
+  return infer(Program);
+}
+
+STy *StdTypeChecker::infer(const Expr *E) {
+  STy *Result = nullptr;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    Result = Types.makeInt();
+    break;
+  case Expr::Kind::UnitLit:
+    Result = Types.makeUnit();
+    break;
+  case Expr::Kind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    auto It = Env.find(V->getName());
+    if (It == Env.end() || It->second.empty())
+      return fail(E, "unbound variable '" + std::string(V->getName()) + "'");
+    Result = It->second.back();
+    break;
+  }
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    STy *ParamTy = Types.makeVar();
+    Env[L->getParam()].push_back(ParamTy);
+    STy *BodyTy = infer(L->getBody());
+    Env[L->getParam()].pop_back();
+    if (!BodyTy)
+      return nullptr;
+    Result = Types.makeFn(ParamTy, BodyTy);
+    break;
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    STy *FnTy = infer(A->getFn());
+    STy *ArgTy = FnTy ? infer(A->getArg()) : nullptr;
+    if (!ArgTy)
+      return nullptr;
+    STy *ResTy = Types.makeVar();
+    if (!Types.unify(FnTy, Types.makeFn(ArgTy, ResTy)))
+      return fail(E, "cannot apply a value of type " + Types.toString(FnTy) +
+                         " to an argument of type " + Types.toString(ArgTy));
+    Result = ResTy;
+    break;
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    STy *CondTy = infer(I->getCond());
+    if (!CondTy)
+      return nullptr;
+    if (!Types.unify(CondTy, Types.makeInt()))
+      return fail(I->getCond(), "if-condition must be an int, found " +
+                                    Types.toString(CondTy));
+    STy *ThenTy = infer(I->getThen());
+    STy *ElseTy = ThenTy ? infer(I->getElse()) : nullptr;
+    if (!ElseTy)
+      return nullptr;
+    if (!Types.unify(ThenTy, ElseTy))
+      return fail(E, "if-branches have different types: " +
+                         Types.toString(ThenTy) + " vs " +
+                         Types.toString(ElseTy));
+    Result = ThenTy;
+    break;
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    STy *InitTy = infer(L->getInit());
+    if (!InitTy)
+      return nullptr;
+    Env[L->getName()].push_back(InitTy);
+    STy *BodyTy = infer(L->getBody());
+    Env[L->getName()].pop_back();
+    if (!BodyTy)
+      return nullptr;
+    Result = BodyTy;
+    break;
+  }
+  case Expr::Kind::Ref: {
+    const auto *R = cast<RefExpr>(E);
+    STy *InitTy = infer(R->getInit());
+    if (!InitTy)
+      return nullptr;
+    Result = Types.makeRef(InitTy);
+    break;
+  }
+  case Expr::Kind::Deref: {
+    const auto *D = cast<DerefExpr>(E);
+    STy *RefTy = infer(D->getRef());
+    if (!RefTy)
+      return nullptr;
+    STy *Contents = Types.makeVar();
+    if (!Types.unify(RefTy, Types.makeRef(Contents)))
+      return fail(E, "cannot dereference a value of type " +
+                         Types.toString(RefTy));
+    Result = Contents;
+    break;
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    STy *TargetTy = infer(A->getTarget());
+    STy *ValueTy = TargetTy ? infer(A->getValue()) : nullptr;
+    if (!ValueTy)
+      return nullptr;
+    if (!Types.unify(TargetTy, Types.makeRef(ValueTy)))
+      return fail(E, "cannot assign a value of type " +
+                         Types.toString(ValueTy) + " through a value of "
+                         "type " + Types.toString(TargetTy));
+    Result = Types.makeUnit();
+    break;
+  }
+  case Expr::Kind::Annot:
+    Result = infer(cast<AnnotExpr>(E)->getOperand());
+    break;
+  case Expr::Kind::Assert:
+    Result = infer(cast<AssertExpr>(E)->getOperand());
+    break;
+  case Expr::Kind::Loc:
+    return fail(E, "store locations cannot appear in source programs");
+  }
+  if (Result)
+    NodeTypes[E] = Result;
+  return Result;
+}

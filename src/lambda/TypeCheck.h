@@ -1,0 +1,119 @@
+//===- lambda/TypeCheck.h - Standard (unqualified) type inference -*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *standard* type system of the paper's language: the simply-typed
+/// lambda calculus with ML-style references, checked by unification. Per the
+/// paper's factorization (and Observation 1), this phase resolves all type
+/// *structure*; qualifier inference afterwards only decorates the resolved
+/// shapes, so the qualifier constraints stay atomic.
+///
+/// Note there is no shape polymorphism: the paper's polymorphism applies to
+/// qualifiers only ("polymorphism only applies to the qualifiers and not to
+/// the underlying types", Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_LAMBDA_TYPECHECK_H
+#define QUALS_LAMBDA_TYPECHECK_H
+
+#include "lambda/Ast.h"
+#include "support/Allocator.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace quals {
+namespace lambda {
+
+/// A standard type: int, unit, t -> t, ref(t), or a unification variable.
+class STy {
+public:
+  enum class Kind { Var, Int, Unit, Fn, Ref };
+
+  Kind getKind() const { return TheKind; }
+
+  // Var state: Link is null while unbound.
+  STy *Link = nullptr;
+
+  // Fn / Ref children.
+  STy *Arg0 = nullptr; ///< Fn parameter / Ref contents.
+  STy *Arg1 = nullptr; ///< Fn result.
+
+  explicit STy(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+/// Allocates standard types and implements unification.
+class STyContext {
+public:
+  STy *makeVar() { return Arena.create<STy>(STy::Kind::Var); }
+  STy *makeInt() { return Arena.create<STy>(STy::Kind::Int); }
+  STy *makeUnit() { return Arena.create<STy>(STy::Kind::Unit); }
+  STy *makeFn(STy *Param, STy *Result) {
+    STy *T = Arena.create<STy>(STy::Kind::Fn);
+    T->Arg0 = Param;
+    T->Arg1 = Result;
+    return T;
+  }
+  STy *makeRef(STy *Pointee) {
+    STy *T = Arena.create<STy>(STy::Kind::Ref);
+    T->Arg0 = Pointee;
+    return T;
+  }
+
+  /// Follows variable links to the representative (with path compression).
+  STy *resolve(STy *T);
+
+  /// Unifies two types; returns false on a structure clash or occurs-check
+  /// failure.
+  bool unify(STy *A, STy *B);
+
+  /// Renders \p T ("int", "(int -> ref(int))", "'a" for unbound vars).
+  std::string toString(STy *T);
+
+private:
+  BumpPtrAllocator Arena;
+
+  bool occurs(STy *Var, STy *T);
+};
+
+/// Runs standard type inference over a program.
+class StdTypeChecker {
+public:
+  StdTypeChecker(STyContext &Types, DiagnosticEngine &Diags)
+      : Types(Types), Diags(Diags) {}
+
+  /// Infers the type of \p Program (a closed expression); returns null on a
+  /// type error (reported to the diagnostic engine). Every subexpression's
+  /// type is recorded and retrievable via getNodeType().
+  STy *check(const Expr *Program);
+
+  /// The inferred standard type of \p E (valid after a successful check()).
+  STy *getNodeType(const Expr *E) const {
+    auto It = NodeTypes.find(E);
+    return It == NodeTypes.end() ? nullptr : It->second;
+  }
+
+private:
+  STyContext &Types;
+  DiagnosticEngine &Diags;
+  std::unordered_map<const Expr *, STy *> NodeTypes;
+  std::unordered_map<std::string_view, std::vector<STy *>> Env;
+
+  STy *infer(const Expr *E);
+  STy *fail(const Expr *E, const std::string &Message);
+};
+
+} // namespace lambda
+} // namespace quals
+
+#endif // QUALS_LAMBDA_TYPECHECK_H

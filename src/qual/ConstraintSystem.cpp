@@ -1,0 +1,247 @@
+//===- qual/ConstraintSystem.cpp - Atomic qualifier constraints -----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qual/ConstraintSystem.h"
+
+#include <algorithm>
+
+using namespace quals;
+
+QualVarId ConstraintSystem::freshVar(std::string Name, SourceLoc Loc) {
+  VarInfo V;
+  V.Name = std::move(Name);
+  V.Loc = Loc;
+  V.Lower = QS.bottom();
+  V.Upper = QS.top();
+  Vars.push_back(std::move(V));
+  return Vars.size() - 1;
+}
+
+void ConstraintSystem::addLeq(QualExpr Lhs, QualExpr Rhs,
+                              ConstraintOrigin Origin) {
+  addLeqMasked(Lhs, Rhs, QS.usedBits(), std::move(Origin));
+}
+
+void ConstraintSystem::addLeqMasked(QualExpr Lhs, QualExpr Rhs, uint64_t Mask,
+                                    ConstraintOrigin Origin) {
+  ConstraintId Id = Constraints.size();
+  Constraints.push_back({Lhs, Rhs, Mask, std::move(Origin)});
+  if (Lhs.isVar() && Rhs.isVar()) {
+    Vars[Lhs.getVar()].Succs.push_back(Id);
+    Vars[Rhs.getVar()].Preds.push_back(Id);
+    return;
+  }
+  if (Rhs.isConst()) {
+    if (Lhs.isConst())
+      ConstConstIds.push_back(Id);
+    else
+      UpperBoundIds.push_back(Id);
+  }
+}
+
+void ConstraintSystem::addEq(QualExpr Lhs, QualExpr Rhs,
+                             ConstraintOrigin Origin) {
+  addLeq(Lhs, Rhs, Origin);
+  addLeq(Rhs, Lhs, std::move(Origin));
+}
+
+void ConstraintSystem::raiseLower(QualVarId Var, LatticeValue NewBits,
+                                  ConstraintId Cause,
+                                  std::vector<QualVarId> &Worklist) {
+  uint64_t Gained = NewBits.bits() & ~Vars[Var].Lower.bits();
+  if (!Gained)
+    return;
+  Vars[Var].Lower = Vars[Var].Lower.join(NewBits);
+  Vars[Var].FirstSet.push_back({Gained, Cause});
+  Worklist.push_back(Var);
+}
+
+bool ConstraintSystem::solve() {
+  std::vector<QualVarId> LowerWork;
+  std::vector<QualVarId> UpperWork;
+
+  // Seed the worklists from constraints added since the last solve.
+  for (ConstraintId Id = SolvedConstraints, E = Constraints.size(); Id != E;
+       ++Id) {
+    const Constraint &C = Constraints[Id];
+    if (C.Lhs.isConst() && C.Rhs.isVar()) {
+      raiseLower(C.Rhs.getVar(),
+                 LatticeValue(C.Lhs.getConst().bits() & C.Mask), Id,
+                 LowerWork);
+    } else if (C.Lhs.isVar() && C.Rhs.isVar()) {
+      // A new edge may carry already-known lower bounds forward and
+      // already-known upper bounds backward.
+      QualVarId L = C.Lhs.getVar(), R = C.Rhs.getVar();
+      raiseLower(R, LatticeValue(Vars[L].Lower.bits() & C.Mask), Id,
+                 LowerWork);
+      LatticeValue Cap(Vars[R].Upper.bits() | ~C.Mask);
+      LatticeValue NewUpper = Vars[L].Upper.meet(Cap);
+      if (NewUpper != Vars[L].Upper) {
+        Vars[L].Upper = NewUpper;
+        UpperWork.push_back(L);
+      }
+    } else if (C.Lhs.isVar() && C.Rhs.isConst()) {
+      QualVarId L = C.Lhs.getVar();
+      LatticeValue Cap(C.Rhs.getConst().bits() | ~C.Mask);
+      LatticeValue NewUpper = Vars[L].Upper.meet(Cap);
+      if (NewUpper != Vars[L].Upper) {
+        Vars[L].Upper = NewUpper;
+        UpperWork.push_back(L);
+      }
+    }
+    // const <= const constraints are checked in collectViolations().
+  }
+  SolvedConstraints = Constraints.size();
+
+  // Forward join propagation: least solution of the lower bounds.
+  while (!LowerWork.empty()) {
+    QualVarId V = LowerWork.back();
+    LowerWork.pop_back();
+    LatticeValue LV = Vars[V].Lower;
+    for (ConstraintId Id : Vars[V].Succs) {
+      const Constraint &C = Constraints[Id];
+      raiseLower(C.Rhs.getVar(), LatticeValue(LV.bits() & C.Mask), Id,
+                 LowerWork);
+    }
+  }
+
+  // Backward meet propagation: greatest solution of the upper bounds.
+  while (!UpperWork.empty()) {
+    QualVarId V = UpperWork.back();
+    UpperWork.pop_back();
+    LatticeValue UV = Vars[V].Upper;
+    for (ConstraintId Id : Vars[V].Preds) {
+      const Constraint &C = Constraints[Id];
+      QualVarId L = C.Lhs.getVar();
+      LatticeValue Cap(UV.bits() | ~C.Mask);
+      LatticeValue NewUpper = Vars[L].Upper.meet(Cap);
+      if (NewUpper != Vars[L].Upper) {
+        Vars[L].Upper = NewUpper;
+        UpperWork.push_back(L);
+      }
+    }
+  }
+
+  // Satisfiable iff no variable's required bits exceed its allowed bits and
+  // no direct upper bound fails; a cheap necessary-and-sufficient check is
+  // lower <= upper everywhere plus the const-const constraints.
+  for (const VarInfo &V : Vars)
+    if (!V.Lower.subsumedBy(V.Upper))
+      return false;
+  for (ConstraintId Id : ConstConstIds) {
+    const Constraint &C = Constraints[Id];
+    if ((C.Lhs.getConst().bits() & C.Mask) & ~C.Rhs.getConst().bits())
+      return false;
+  }
+  return true;
+}
+
+bool ConstraintSystem::mustHave(QualVarId Var, QualifierId Id) const {
+  // Positive qualifier: present iff bit set, and the bit is set in every
+  // solution iff it is in the least solution. Negative qualifier: present iff
+  // bit clear, and the bit is clear in every solution iff it is not in the
+  // greatest solution.
+  if (QS.get(Id).Pol == Polarity::Positive)
+    return (lower(Var).bits() & QS.bitFor(Id)) != 0;
+  return (upper(Var).bits() & QS.bitFor(Id)) == 0;
+}
+
+bool ConstraintSystem::mayHave(QualVarId Var, QualifierId Id) const {
+  if (QS.get(Id).Pol == Polarity::Positive)
+    return (upper(Var).bits() & QS.bitFor(Id)) != 0;
+  return (lower(Var).bits() & QS.bitFor(Id)) == 0;
+}
+
+std::vector<Violation> ConstraintSystem::collectViolations() const {
+  assert(SolvedConstraints == Constraints.size() && "call solve() first");
+  std::vector<Violation> Result;
+  for (ConstraintId Id : UpperBoundIds) {
+    const Constraint &C = Constraints[Id];
+    LatticeValue Actual = Vars[C.Lhs.getVar()].Lower;
+    uint64_t Off = (Actual.bits() & C.Mask) & ~C.Rhs.getConst().bits();
+    if (Off)
+      Result.push_back({Id, Actual, C.Rhs.getConst(), Off});
+  }
+  for (ConstraintId Id : ConstConstIds) {
+    const Constraint &C = Constraints[Id];
+    uint64_t Off =
+        (C.Lhs.getConst().bits() & C.Mask) & ~C.Rhs.getConst().bits();
+    if (Off)
+      Result.push_back({Id, C.Lhs.getConst(), C.Rhs.getConst(), Off});
+  }
+  return Result;
+}
+
+bool ConstraintSystem::isSatisfiable() {
+  if (!solve())
+    return false;
+  return collectViolations().empty();
+}
+
+std::string ConstraintSystem::explain(const Violation &V) const {
+  // Follow the provenance of the lowest offending bit backwards from the
+  // violated constraint's left-hand side to the constant that introduced it.
+  uint64_t Bit = V.OffendingBits & ~(V.OffendingBits - 1);
+
+  // Name every offending qualifier component in the header line.
+  const Constraint &Cause = Constraints[V.Cause];
+  std::string Out = "qualifier constraint violated (";
+  bool First = true;
+  for (unsigned I = 0, E = QS.size(); I != E; ++I) {
+    if (!(V.OffendingBits & QS.bitFor(I)))
+      continue;
+    if (!First)
+      Out += "; ";
+    First = false;
+    const Qualifier &Q = QS.get(I);
+    if (Q.Pol == Polarity::Positive) {
+      Out += "qualifier '";
+      Out += Q.Name;
+      Out += "' not allowed here";
+    } else {
+      Out += "qualifier '";
+      Out += Q.Name;
+      Out += "' required here";
+    }
+  }
+  Out += ")";
+  Out += "\n  bound: ";
+  Out += Cause.Origin.Reason;
+  Out += '\n';
+
+  // Walk the first-set provenance chain.
+  QualExpr Cur = Cause.Lhs;
+  unsigned Guard = 0;
+  while (Cur.isVar() && Guard++ < 1000) {
+    QualVarId Var = Cur.getVar();
+    const VarInfo &Info = Vars[Var];
+    const std::pair<uint64_t, ConstraintId> *Event = nullptr;
+    for (const auto &E : Info.FirstSet) {
+      if (E.first & Bit) {
+        Event = &E;
+        break;
+      }
+    }
+    if (!Event)
+      break; // Bit came from the variable's initial value (impossible for
+             // lower bounds, but be defensive).
+    const Constraint &Step = Constraints[Event->second];
+    Out += "  via: ";
+    Out += Step.Origin.Reason.empty() ? "(unlabeled constraint)"
+                                      : Step.Origin.Reason;
+    Out += '\n';
+    if (Step.Lhs == Cur)
+      break; // Self-edge; stop rather than loop.
+    Cur = Step.Lhs;
+  }
+  if (Cur.isConst()) {
+    Out += "  source: qualifier constant '";
+    Out += QS.toString(Cur.getConst());
+    Out += "'\n";
+  }
+  return Out;
+}

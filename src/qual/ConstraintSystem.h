@@ -1,0 +1,179 @@
+//===- qual/ConstraintSystem.h - Atomic qualifier constraints --*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The atomic subtyping constraint system of Section 3.1. After structural
+/// decomposition (Subtype.h) all constraints have the form kappa <= kappa',
+/// kappa <= l, l <= kappa, or l <= l', over the qualifier lattice. Such
+/// systems are solvable in linear time for a fixed qualifier set [HR97]; the
+/// solver below computes the *least* solution by forward join propagation and
+/// the *greatest* solution by backward meet propagation, then reports every
+/// upper-bound violation with a provenance path.
+///
+/// The paper solved these with BANE's generic engine and remarks that "we
+/// expect substantial speedups would be achieved with a framework specialized
+/// to the qualifier lattice" -- this class is that specialized framework.
+///
+/// Constraints optionally carry a bit \p Mask restricting them to a subset of
+/// the qualifier components; masked constraints implement well-formedness
+/// rules such as binding-time's "nothing dynamic inside something static"
+/// (see WellFormed.h) without leaving the atomic fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_QUAL_CONSTRAINTSYSTEM_H
+#define QUALS_QUAL_CONSTRAINTSYSTEM_H
+
+#include "qual/QualExpr.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace quals {
+
+/// Where (and why) a constraint was generated; used in error explanations.
+struct ConstraintOrigin {
+  SourceLoc Loc;
+  std::string Reason;
+
+  ConstraintOrigin() = default;
+  ConstraintOrigin(std::string Reason) : Reason(std::move(Reason)) {}
+  ConstraintOrigin(SourceLoc Loc, std::string Reason)
+      : Loc(Loc), Reason(std::move(Reason)) {}
+};
+
+/// Dense id of a constraint within its ConstraintSystem.
+using ConstraintId = uint32_t;
+
+/// An atomic constraint: (Lhs & Mask) <= (Rhs | ~Mask) componentwise, i.e.
+/// Lhs <= Rhs restricted to the qualifier bits in Mask.
+struct Constraint {
+  QualExpr Lhs;
+  QualExpr Rhs;
+  uint64_t Mask;
+  ConstraintOrigin Origin;
+};
+
+/// A failed upper bound discovered by the solver.
+struct Violation {
+  ConstraintId Cause;       ///< The upper-bound constraint that failed.
+  LatticeValue Actual;      ///< Least solution of the left-hand side.
+  LatticeValue Bound;       ///< The bound it had to fit under.
+  uint64_t OffendingBits;   ///< Lattice bits of Actual exceeding Bound.
+};
+
+/// Collects and solves atomic qualifier constraints.
+///
+/// Solving is incremental: constraints may be added after a solve() and the
+/// next solve() only propagates the new information. Queries (lower/upper)
+/// require a preceding solve() with no constraints added in between.
+class ConstraintSystem {
+public:
+  explicit ConstraintSystem(const QualifierSet &QS) : QS(QS) {}
+
+  const QualifierSet &getQualifierSet() const { return QS; }
+
+  /// Creates a fresh qualifier variable. \p Name is kept for diagnostics.
+  QualVarId freshVar(std::string Name, SourceLoc Loc = SourceLoc());
+
+  unsigned getNumVars() const { return Vars.size(); }
+  unsigned getNumConstraints() const { return Constraints.size(); }
+
+  const std::string &getVarName(QualVarId Var) const {
+    return Vars[Var].Name;
+  }
+  SourceLoc getVarLoc(QualVarId Var) const { return Vars[Var].Loc; }
+
+  const Constraint &getConstraint(ConstraintId Id) const {
+    return Constraints[Id];
+  }
+
+  /// Adds Lhs <= Rhs over all qualifier components.
+  void addLeq(QualExpr Lhs, QualExpr Rhs, ConstraintOrigin Origin);
+
+  /// Adds Lhs <= Rhs restricted to the components in \p Mask.
+  void addLeqMasked(QualExpr Lhs, QualExpr Rhs, uint64_t Mask,
+                    ConstraintOrigin Origin);
+
+  /// Adds Lhs = Rhs (as two <= constraints).
+  void addEq(QualExpr Lhs, QualExpr Rhs, ConstraintOrigin Origin);
+
+  /// Runs the propagation fixpoint over constraints added since the last
+  /// solve. Returns true if the system is satisfiable so far.
+  bool solve();
+
+  /// Least solution of \p Var (valid after solve()).
+  LatticeValue lower(QualVarId Var) const {
+    assert(SolvedConstraints == Constraints.size() && "call solve() first");
+    return Vars[Var].Lower;
+  }
+
+  /// Greatest solution of \p Var (valid after solve()).
+  LatticeValue upper(QualVarId Var) const {
+    assert(SolvedConstraints == Constraints.size() && "call solve() first");
+    return Vars[Var].Upper;
+  }
+
+  /// Least solution of an arbitrary qualifier expression.
+  LatticeValue lower(QualExpr E) const {
+    return E.isVar() ? lower(E.getVar()) : E.getConst();
+  }
+
+  /// Greatest solution of an arbitrary qualifier expression.
+  LatticeValue upper(QualExpr E) const {
+    return E.isVar() ? upper(E.getVar()) : E.getConst();
+  }
+
+  /// True if qualifier \p Id *must* be present in \p Var in every solution.
+  bool mustHave(QualVarId Var, QualifierId Id) const;
+
+  /// True if qualifier \p Id *may* be present in \p Var in some solution.
+  bool mayHave(QualVarId Var, QualifierId Id) const;
+
+  /// Scans every upper-bound constraint; returns all violations.
+  std::vector<Violation> collectViolations() const;
+
+  /// True if a full solve + violation scan finds no inconsistency.
+  bool isSatisfiable();
+
+  /// Renders a human-readable explanation of \p V: the chain of constraints
+  /// that carried the offending qualifier from its source to the bound.
+  std::string explain(const Violation &V) const;
+
+private:
+  struct VarInfo {
+    std::string Name;
+    SourceLoc Loc;
+    LatticeValue Lower;           ///< Join of reachable lower bounds.
+    LatticeValue Upper;           ///< Meet of reachable upper bounds.
+    /// First-set provenance: (bits gained, constraint responsible), in the
+    /// order the bits were gained. Bounded by the qualifier count.
+    std::vector<std::pair<uint64_t, ConstraintId>> FirstSet;
+    /// Outgoing var->var edges (constraint ids) for forward propagation.
+    std::vector<ConstraintId> Succs;
+    /// Incoming var->var edges (constraint ids) for backward propagation.
+    std::vector<ConstraintId> Preds;
+  };
+
+  const QualifierSet &QS;
+  std::vector<VarInfo> Vars;
+  std::vector<Constraint> Constraints;
+  /// Ids of constraints whose Rhs is a constant (upper bounds), for the
+  /// violation scan.
+  std::vector<ConstraintId> UpperBoundIds;
+  /// Ids of const <= const constraints (checked directly).
+  std::vector<ConstraintId> ConstConstIds;
+  unsigned SolvedConstraints = 0;
+
+  void raiseLower(QualVarId Var, LatticeValue NewBits, ConstraintId Cause,
+                  std::vector<QualVarId> &Worklist);
+};
+
+} // namespace quals
+
+#endif // QUALS_QUAL_CONSTRAINTSYSTEM_H

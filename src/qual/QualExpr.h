@@ -1,0 +1,79 @@
+//===- qual/QualExpr.h - Qualifier variables and expressions ---*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Q ::= kappa | l production: a qualifier position in a type is
+/// either a qualifier variable (to be solved for) or a lattice constant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_QUAL_QUALEXPR_H
+#define QUALS_QUAL_QUALEXPR_H
+
+#include "qual/Qualifier.h"
+
+#include <cstdint>
+
+namespace quals {
+
+/// Dense id of a qualifier variable within its ConstraintSystem.
+using QualVarId = uint32_t;
+
+/// Sentinel for "no variable".
+constexpr QualVarId InvalidQualVar = ~QualVarId(0);
+
+/// A qualifier expression: variable kappa or lattice constant l.
+class QualExpr {
+public:
+  QualExpr() : IsVariable(false), Variable(InvalidQualVar) {}
+
+  static QualExpr makeVar(QualVarId Var) {
+    QualExpr E;
+    E.IsVariable = true;
+    E.Variable = Var;
+    return E;
+  }
+
+  static QualExpr makeConst(LatticeValue V) {
+    QualExpr E;
+    E.IsVariable = false;
+    E.Constant = V;
+    return E;
+  }
+
+  bool isVar() const { return IsVariable; }
+  bool isConst() const { return !IsVariable; }
+
+  QualVarId getVar() const {
+    assert(IsVariable && "not a qualifier variable");
+    return Variable;
+  }
+
+  LatticeValue getConst() const {
+    assert(!IsVariable && "not a lattice constant");
+    return Constant;
+  }
+
+  friend bool operator==(const QualExpr &A, const QualExpr &B) {
+    if (A.IsVariable != B.IsVariable)
+      return false;
+    return A.IsVariable ? A.Variable == B.Variable
+                        : A.Constant == B.Constant;
+  }
+  friend bool operator!=(const QualExpr &A, const QualExpr &B) {
+    return !(A == B);
+  }
+
+private:
+  bool IsVariable;
+  QualVarId Variable = InvalidQualVar;
+  LatticeValue Constant;
+};
+
+} // namespace quals
+
+#endif // QUALS_QUAL_QUALEXPR_H

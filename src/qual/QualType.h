@@ -1,0 +1,166 @@
+//===- qual/QualType.h - Qualified types over user constructors -*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's qualified types (Section 2.1):
+///
+///   QTyp ::= Q tau      tau ::= c(QTyp_1, ..., QTyp_arity(c))
+///
+/// Types are terms over a user-registered signature of type constructors,
+/// with a qualifier expression on every level. Each constructor declares the
+/// *variance* of each argument position, which drives the structural
+/// subtyping decomposition (Subtype.h): functions are contravariant in the
+/// domain and covariant in the range (SubFun), updateable references are
+/// invariant in their contents (SubRef -- the paper's fix for the classic
+/// unsound ref-subtyping rule).
+///
+/// Type variables are not needed at this level: per the paper's two-phase
+/// factorization, the standard type system resolves all type structure
+/// *before* qualifier inference, so qualified types are always fully
+/// constructed (Observation 1: qualifiers never change the type structure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_QUAL_QUALTYPE_H
+#define QUALS_QUAL_QUALTYPE_H
+
+#include "qual/ConstraintSystem.h"
+#include "qual/QualExpr.h"
+#include "support/Allocator.h"
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace quals {
+
+/// Subtyping behaviour of one constructor argument position.
+enum class Variance {
+  Covariant,     ///< arg_1 <= arg_2 required (e.g. function results).
+  Contravariant, ///< arg_2 <= arg_1 required (e.g. function parameters).
+  Invariant      ///< arg_1 = arg_2 required (e.g. ref contents, SubRef).
+};
+
+/// How a constructor renders in pretty-printed types.
+enum class PrintStyle {
+  Prefix, ///< name(arg1, arg2)  -- and bare "name" for arity 0.
+  Infix   ///< (arg1 name arg2)  -- arity-2 only, e.g. "->".
+};
+
+/// A type constructor c in Sigma with its arity and per-argument variance.
+class TypeCtor {
+public:
+  TypeCtor(std::string Name, std::vector<Variance> ArgVariance,
+           PrintStyle Style = PrintStyle::Prefix)
+      : Name(std::move(Name)), ArgVariance(std::move(ArgVariance)),
+        Style(Style) {
+    assert((Style != PrintStyle::Infix || arity() == 2) &&
+           "infix constructors must be binary");
+  }
+
+  const std::string &getName() const { return Name; }
+  unsigned arity() const { return ArgVariance.size(); }
+  Variance getVariance(unsigned Arg) const {
+    assert(Arg < ArgVariance.size() && "argument index out of range");
+    return ArgVariance[Arg];
+  }
+  PrintStyle getPrintStyle() const { return Style; }
+
+private:
+  std::string Name;
+  std::vector<Variance> ArgVariance;
+  PrintStyle Style;
+};
+
+class QualType;
+
+/// Arena-allocated application of a constructor to qualified-type arguments.
+struct ShapeNode {
+  const TypeCtor *Ctor;
+  const QualType *Args; ///< Arena array of Ctor->arity() children.
+};
+
+/// A qualified type Q tau: a qualifier expression plus a shape. Cheap value
+/// type (two words + qual expr); shapes are interned per factory call.
+class QualType {
+public:
+  QualType() : Shape(nullptr) {}
+  QualType(QualExpr Qual, const ShapeNode *Shape)
+      : Qual(Qual), Shape(Shape) {}
+
+  bool isNull() const { return Shape == nullptr; }
+
+  QualExpr getQual() const { return Qual; }
+  const TypeCtor *getCtor() const {
+    assert(Shape && "null qualified type");
+    return Shape->Ctor;
+  }
+  unsigned getNumArgs() const { return getCtor()->arity(); }
+  QualType getArg(unsigned I) const {
+    assert(Shape && I < getNumArgs() && "argument index out of range");
+    return Shape->Args[I];
+  }
+  const ShapeNode *getShape() const { return Shape; }
+
+  /// Returns the same type with its top-level qualifier replaced, sharing
+  /// the shape (used by the annotation rule, which retypes l e at l tau).
+  QualType withQual(QualExpr NewQual) const {
+    return QualType(NewQual, Shape);
+  }
+
+  /// Structural equality of shapes (same constructors everywhere),
+  /// ignoring qualifiers.
+  bool shapeEquals(QualType Other) const;
+
+  /// Calls \p Fn on this type and every nested qualified type, preorder.
+  void visit(const std::function<void(QualType)> &Fn) const;
+
+private:
+  QualExpr Qual;
+  const ShapeNode *Shape;
+};
+
+/// Allocates qualified types. Owns the arena backing every shape node it
+/// creates; types remain valid while the factory lives.
+class QualTypeFactory {
+public:
+  /// Builds Q c(Args...).
+  QualType make(QualExpr Qual, const TypeCtor *Ctor,
+                const std::vector<QualType> &Args);
+
+  /// Builds a nullary Q c.
+  QualType make(QualExpr Qual, const TypeCtor *Ctor) {
+    return make(Qual, Ctor, std::vector<QualType>());
+  }
+
+  /// Rebuilds \p T with every qualifier variable remapped through \p MapVar
+  /// (variables not in the map's domain are kept). Used by scheme
+  /// instantiation.
+  QualType substitute(
+      QualType T,
+      const std::function<QualExpr(QualVarId)> &MapVar);
+
+  /// The sp operator of Section 3.1: rebuilds \p T with *fresh* qualifier
+  /// variables at every level, preserving the shape. \p Sys provides fresh
+  /// variables; \p NameHint labels them for diagnostics.
+  QualType spread(ConstraintSystem &Sys, QualType T,
+                  const std::string &NameHint, SourceLoc Loc = SourceLoc());
+
+private:
+  BumpPtrAllocator Arena;
+};
+
+/// Renders a qualified type. Qualifier variables print as their name when
+/// \p Sys is null; when \p Sys is provided (solved), variables print as
+/// their least-solution lattice value.
+std::string toString(const QualifierSet &QS, QualType T,
+                     const ConstraintSystem *Sys = nullptr);
+
+} // namespace quals
+
+#endif // QUALS_QUAL_QUALTYPE_H

@@ -1,0 +1,50 @@
+//===- qual/Qualifier.cpp - Qualifiers and the qualifier lattice ----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qual/Qualifier.h"
+
+using namespace quals;
+
+QualifierId QualifierSet::add(std::string Name, Polarity Pol) {
+  assert(Qualifiers.size() < 64 && "at most 64 qualifiers per set");
+#ifndef NDEBUG
+  for (const Qualifier &Q : Qualifiers)
+    assert(Q.Name != Name && "duplicate qualifier name");
+#endif
+  Qualifiers.push_back({std::move(Name), Pol});
+  return Qualifiers.size() - 1;
+}
+
+bool QualifierSet::lookup(std::string_view Name, QualifierId &Id) const {
+  for (unsigned I = 0, E = Qualifiers.size(); I != E; ++I) {
+    if (Qualifiers[I].Name == Name) {
+      Id = I;
+      return true;
+    }
+  }
+  return false;
+}
+
+LatticeValue
+QualifierSet::valueWithPresent(const std::vector<QualifierId> &Ids) const {
+  LatticeValue V = bottom();
+  for (QualifierId Id : Ids)
+    V = withQual(V, Id);
+  return V;
+}
+
+std::string QualifierSet::toString(LatticeValue V) const {
+  std::string Out;
+  for (unsigned I = 0, E = Qualifiers.size(); I != E; ++I) {
+    if (!contains(V, I))
+      continue;
+    if (!Out.empty())
+      Out += ' ';
+    Out += Qualifiers[I].Name;
+  }
+  return Out;
+}

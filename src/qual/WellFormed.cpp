@@ -1,0 +1,65 @@
+//===- qual/WellFormed.cpp - Well-formedness conditions -------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qual/WellFormed.h"
+
+using namespace quals;
+
+void quals::requireUpwardClosed(ConstraintSystem &Sys, QualType T,
+                                QualifierId Q,
+                                const ConstraintOrigin &Origin) {
+  if (T.isNull())
+    return;
+  uint64_t Mask = Sys.getQualifierSet().bitFor(Q);
+  for (unsigned I = 0, E = T.getNumArgs(); I != E; ++I) {
+    QualType Child = T.getArg(I);
+    if (Child.isNull())
+      continue;
+    Sys.addLeqMasked(Child.getQual(), T.getQual(), Mask, Origin);
+    requireUpwardClosed(Sys, Child, Q, Origin);
+  }
+}
+
+void quals::requireDownwardClosed(ConstraintSystem &Sys, QualType T,
+                                  QualifierId Q,
+                                  const ConstraintOrigin &Origin) {
+  if (T.isNull())
+    return;
+  uint64_t Mask = Sys.getQualifierSet().bitFor(Q);
+  for (unsigned I = 0, E = T.getNumArgs(); I != E; ++I) {
+    QualType Child = T.getArg(I);
+    if (Child.isNull())
+      continue;
+    Sys.addLeqMasked(T.getQual(), Child.getQual(), Mask, Origin);
+    requireDownwardClosed(Sys, Child, Q, Origin);
+  }
+}
+
+bool quals::checkNoInnerWithoutOuter(const ConstraintSystem &Sys, QualType T,
+                                     QualifierId Outer, QualifierId Inner) {
+  if (T.isNull())
+    return true;
+  const QualifierSet &QS = Sys.getQualifierSet();
+  bool ParentHasOuter =
+      T.getQual().isVar()
+          ? QS.contains(Sys.lower(T.getQual().getVar()), Outer)
+          : QS.contains(T.getQual().getConst(), Outer);
+  for (unsigned I = 0, E = T.getNumArgs(); I != E; ++I) {
+    QualType Child = T.getArg(I);
+    if (Child.isNull())
+      continue;
+    bool ChildHasInner =
+        Child.getQual().isVar()
+            ? QS.contains(Sys.lower(Child.getQual().getVar()), Inner)
+            : QS.contains(Child.getQual().getConst(), Inner);
+    if (ChildHasInner && !ParentHasOuter)
+      return false;
+    if (!checkNoInnerWithoutOuter(Sys, Child, Outer, Inner))
+      return false;
+  }
+  return true;
+}

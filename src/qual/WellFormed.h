@@ -1,0 +1,54 @@
+//===- qual/WellFormed.h - Well-formedness conditions ----------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// User-supplied well-formedness conditions on qualified types (Section 2).
+/// The canonical example is binding-time analysis: "Nothing dynamic may
+/// appear within a value that is static", i.e. the type
+/// static (dynamic a -> dynamic b) is not well-formed.
+///
+/// Such conditions are expressible inside the atomic constraint fragment as
+/// *masked* inequalities between a type node's qualifier and its children's
+/// qualifiers:
+///
+///   requireUpwardClosed(q):   child.Q <= parent.Q  on q's component.
+///     If the parent lacks (positive) q, the children must lack it too --
+///     exactly the binding-time rule with q = dynamic.
+///
+///   requireDownwardClosed(q): parent.Q <= child.Q  on q's component.
+///     If the parent has (positive) q, the children must have it too --
+///     e.g. a tainted container has tainted contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_QUAL_WELLFORMED_H
+#define QUALS_QUAL_WELLFORMED_H
+
+#include "qual/QualType.h"
+
+namespace quals {
+
+/// Adds masked constraints making qualifier \p Q upward closed over \p T:
+/// each child's Q-component flows into its parent's.
+void requireUpwardClosed(ConstraintSystem &Sys, QualType T, QualifierId Q,
+                         const ConstraintOrigin &Origin);
+
+/// Adds masked constraints making qualifier \p Q downward closed over \p T:
+/// each parent's Q-component flows into its children's.
+void requireDownwardClosed(ConstraintSystem &Sys, QualType T, QualifierId Q,
+                           const ConstraintOrigin &Origin);
+
+/// Post-solve structural check: returns true if no subterm of \p T whose
+/// parent *lacks* qualifier \p Outer *has* qualifier \p Inner in the least
+/// solution. With Outer == Inner == dynamic this checks the binding-time
+/// well-formedness condition on solved types.
+bool checkNoInnerWithoutOuter(const ConstraintSystem &Sys, QualType T,
+                              QualifierId Outer, QualifierId Inner);
+
+} // namespace quals
+
+#endif // QUALS_QUAL_WELLFORMED_H

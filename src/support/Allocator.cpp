@@ -1,0 +1,37 @@
+//===- support/Allocator.cpp - Bump-pointer arena allocation -------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace quals;
+
+void BumpPtrAllocator::startNewSlab(size_t MinSize) {
+  size_t Size = std::max(SlabSize, MinSize);
+  Slabs.push_back(std::make_unique<char[]>(Size));
+  Cur = Slabs.back().get();
+  End = Cur + Size;
+}
+
+void *BumpPtrAllocator::allocate(size_t Size, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "alignment must be a power of two");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+  uintptr_t Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+  size_t Adjust = Aligned - P;
+  if (!Cur || Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+    startNewSlab(Size + Align);
+    P = reinterpret_cast<uintptr_t>(Cur);
+    Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+    Adjust = Aligned - P;
+  }
+  Cur += Adjust + Size;
+  BytesAllocated += Size;
+  return reinterpret_cast<void *>(Aligned);
+}

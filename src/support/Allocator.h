@@ -1,0 +1,72 @@
+//===- support/Allocator.h - Bump-pointer arena allocation -----*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena. AST nodes, type shapes, and constraint objects are
+/// allocated here and live for the duration of the owning analysis; no
+/// per-node destructors run (allocated types must be trivially destructible
+/// or leak-free by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_ALLOCATOR_H
+#define QUALS_SUPPORT_ALLOCATOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace quals {
+
+/// A simple bump-pointer allocator backed by geometrically growing slabs.
+class BumpPtrAllocator {
+public:
+  BumpPtrAllocator() = default;
+  BumpPtrAllocator(const BumpPtrAllocator &) = delete;
+  BumpPtrAllocator &operator=(const BumpPtrAllocator &) = delete;
+  BumpPtrAllocator(BumpPtrAllocator &&) = default;
+  BumpPtrAllocator &operator=(BumpPtrAllocator &&) = default;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align);
+
+  /// Allocates and default-constructs a \p T with constructor args.
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(CtorArgs)...);
+  }
+
+  /// Copies \p Count objects of trivially-copyable \p T into the arena and
+  /// returns a pointer to the copy (null when \p Count is zero).
+  template <typename T> T *copyArray(const T *Src, size_t Count) {
+    if (Count == 0)
+      return nullptr;
+    T *Mem = static_cast<T *>(allocate(sizeof(T) * Count, alignof(T)));
+    for (size_t I = 0; I != Count; ++I)
+      new (Mem + I) T(Src[I]);
+    return Mem;
+  }
+
+  /// Total bytes handed out so far (diagnostic/statistics use).
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  static constexpr size_t SlabSize = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t BytesAllocated = 0;
+
+  void startNewSlab(size_t MinSize);
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_ALLOCATOR_H

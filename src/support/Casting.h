@@ -1,0 +1,68 @@
+//===- support/Casting.h - Kind-tag based casting utilities ----*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight LLVM-style RTTI replacement. Class hierarchies opt in by
+/// providing a static `classof(const Base *)` predicate, typically backed by
+/// an explicit Kind enumerator. No vtables or compiler RTTI are required.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_CASTING_H
+#define QUALS_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace quals {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<> argument of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<> argument of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, but tolerates a null argument (returns null).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Like dyn_cast_or_null<>, const overload.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_CASTING_H

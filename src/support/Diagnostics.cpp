@@ -1,0 +1,66 @@
+//===- support/Diagnostics.cpp - Diagnostic collection -------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+
+using namespace quals;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    PresumedLoc P = SM.getPresumedLoc(D.Loc);
+    if (P.isValid()) {
+      Out += P.Filename;
+      Out += ':';
+      Out += std::to_string(P.Line);
+      Out += ':';
+      Out += std::to_string(P.Column);
+      Out += ": ";
+    }
+    switch (D.Kind) {
+    case DiagKind::Error:
+      Out += "error: ";
+      break;
+    case DiagKind::Warning:
+      Out += "warning: ";
+      break;
+    case DiagKind::Note:
+      Out += "note: ";
+      break;
+    }
+    Out += D.Message;
+    Out += '\n';
+    if (P.isValid()) {
+      Out += SM.getLineText(D.Loc);
+      Out += '\n';
+      for (unsigned I = 1; I < P.Column; ++I)
+        Out += ' ';
+      Out += "^\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- support/Diagnostics.h - Diagnostic collection -----------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic engine shared by every front end and analysis in the project.
+/// Library code never aborts on user errors; it reports here and the caller
+/// inspects the collected diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_DIAGNOSTICS_H
+#define QUALS_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace quals {
+
+class SourceManager;
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics; rendering is separated so analyses can run silently.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+  void clear();
+
+  /// Renders every diagnostic as "file:line:col: severity: message" followed
+  /// by the offending source line, clang style.
+  std::string renderAll() const;
+
+private:
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,56 @@
+//===- support/SourceLoc.h - Source locations and ranges -------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compact source locations. A SourceLoc is an offset into the SourceManager's
+/// concatenated buffer space; 0 is the invalid location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_SOURCELOC_H
+#define QUALS_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace quals {
+
+/// An opaque offset into the SourceManager's global buffer space.
+class SourceLoc {
+public:
+  SourceLoc() = default;
+  explicit SourceLoc(uint32_t Offset) : Offset(Offset) {}
+
+  bool isValid() const { return Offset != 0; }
+  uint32_t getOffset() const { return Offset; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Offset == B.Offset;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+  friend bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Offset < B.Offset;
+  }
+
+private:
+  uint32_t Offset = 0;
+};
+
+/// A half-open [Begin, End) range of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_SOURCELOC_H

@@ -1,0 +1,20 @@
+//===- support/StringInterner.cpp - Unique'd identifier storage ----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace quals;
+
+std::string_view StringInterner::intern(std::string_view Str) {
+  auto It = Map.find(Str);
+  if (It != Map.end())
+    return It->second;
+  Storage.emplace_back(Str);
+  std::string_view Stable = Storage.back();
+  Map.emplace(Stable, Stable);
+  return Stable;
+}

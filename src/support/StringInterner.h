@@ -1,0 +1,40 @@
+//===- support/StringInterner.h - Unique'd identifier storage --*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier strings so the front ends can compare names by pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_STRINGINTERNER_H
+#define QUALS_SUPPORT_STRINGINTERNER_H
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace quals {
+
+/// Stable, unique'd string storage. Returned string_views remain valid for
+/// the lifetime of the interner.
+class StringInterner {
+public:
+  /// Interns \p Str; equal strings always return the same view (same .data()).
+  std::string_view intern(std::string_view Str);
+
+  /// Number of distinct strings interned.
+  size_t size() const { return Map.size(); }
+
+private:
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, std::string_view> Map;
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,80 @@
+//===- support/TextTable.cpp - ASCII tables and bar charts ----------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace quals;
+
+void TextTable::addColumn(std::string Header, Align Alignment) {
+  assert(Rows.empty() && "declare all columns before adding rows");
+  Headers.push_back(std::move(Header));
+  Alignments.push_back(Alignment);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row/column count mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C != Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto emitRow = [&](const std::vector<std::string> &Cells,
+                     std::string &Out) {
+    for (size_t C = 0; C != Cells.size(); ++C) {
+      size_t Pad = Widths[C] - Cells[C].size();
+      if (Alignments[C] == Align::Right)
+        Out.append(Pad, ' ');
+      Out += Cells[C];
+      if (Alignments[C] == Align::Left && C + 1 != Cells.size())
+        Out.append(Pad, ' ');
+      if (C + 1 != Cells.size())
+        Out += "  ";
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  emitRow(Headers, Out);
+  for (size_t C = 0; C != Headers.size(); ++C) {
+    Out.append(Widths[C], '-');
+    if (C + 1 != Headers.size())
+      Out += "  ";
+  }
+  Out += '\n';
+  for (const auto &Row : Rows)
+    emitRow(Row, Out);
+  return Out;
+}
+
+std::string quals::renderStackedBar(const std::vector<BarSegment> &Segments,
+                                    unsigned Width) {
+  std::string Bar;
+  unsigned Used = 0;
+  for (size_t I = 0; I != Segments.size(); ++I) {
+    unsigned Chars;
+    if (I + 1 == Segments.size()) {
+      Chars = Width > Used ? Width - Used : 0;
+    } else {
+      Chars = static_cast<unsigned>(
+          std::lround(Segments[I].Fraction * Width));
+      Chars = std::min(Chars, Width - Used);
+    }
+    Bar.append(Chars, Segments[I].Fill);
+    Used += Chars;
+  }
+  return Bar;
+}

@@ -1,0 +1,58 @@
+//===- support/TextTable.h - ASCII tables and bar charts --------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering helpers for the benchmark harnesses: aligned ASCII tables
+/// (Tables 1 and 2) and stacked horizontal percentage bars (Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_TEXTTABLE_H
+#define QUALS_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace quals {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right };
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// with a header separator.
+class TextTable {
+public:
+  /// Declares a column; call once per column before adding rows.
+  void addColumn(std::string Header, Align Alignment = Align::Left);
+
+  /// Appends a row; must have exactly as many cells as declared columns.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows).
+  std::string render() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<Align> Alignments;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// One segment of a stacked bar: a label and a fraction in [0, 1].
+struct BarSegment {
+  std::string Label;
+  double Fraction;
+  char Fill;
+};
+
+/// Renders a stacked horizontal bar of \p Width characters; the paper's
+/// Figure 6 stacks Declared / Mono / Poly / Other fractions per benchmark.
+std::string renderStackedBar(const std::vector<BarSegment> &Segments,
+                             unsigned Width);
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch used by the benchmark harnesses (Table 2 reports
+/// compile/mono/poly times averaged over five runs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_TIMER_H
+#define QUALS_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace quals {
+
+/// Simple monotonic stopwatch; starts on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed.
+  double milliseconds() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_TIMER_H

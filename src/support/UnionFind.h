@@ -1,0 +1,75 @@
+//===- support/UnionFind.h - Disjoint-set forest ---------------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find with path compression and union by rank. Used by the shape
+/// unifiers (standard type inference runs before qualifier inference, per the
+/// paper's two-phase factorization) and by equality-constraint merging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_UNIONFIND_H
+#define QUALS_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace quals {
+
+/// Disjoint sets over dense unsigned ids.
+class UnionFind {
+public:
+  /// Creates a fresh singleton set and returns its id.
+  unsigned makeSet() {
+    Parent.push_back(Parent.size());
+    Rank.push_back(0);
+    return Parent.size() - 1;
+  }
+
+  /// Number of elements ever created.
+  unsigned size() const { return Parent.size(); }
+
+  /// Representative of \p X's set (with path compression).
+  unsigned find(unsigned X) {
+    assert(X < Parent.size() && "union-find id out of range");
+    unsigned Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      unsigned Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the sets of \p A and \p B; returns the surviving representative.
+  unsigned unite(unsigned A, unsigned B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    if (Rank[A] < Rank[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    if (Rank[A] == Rank[B])
+      ++Rank[A];
+    return A;
+  }
+
+  /// True if \p A and \p B are currently in the same set.
+  bool connected(unsigned A, unsigned B) { return find(A) == find(B); }
+
+private:
+  std::vector<unsigned> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_UNIONFIND_H

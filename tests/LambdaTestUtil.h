@@ -1,0 +1,71 @@
+//===- tests/LambdaTestUtil.h - Shared lambda-language test rig -*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_TESTS_LAMBDATESTUTIL_H
+#define QUALS_TESTS_LAMBDATESTUTIL_H
+
+#include "lambda/Eval.h"
+#include "lambda/Parser.h"
+#include "lambda/QualInfer.h"
+
+#include <memory>
+#include <string>
+
+namespace quals {
+namespace lambda {
+
+/// Bundles every state object a lambda-language pipeline needs. One Rig per
+/// program keeps tests independent.
+struct Rig {
+  QualifierSet QS;
+  QualifierId Const, Nonzero, Dynamic, Tainted;
+  SourceManager SM;
+  DiagnosticEngine Diags{SM};
+  AstContext Ast;
+  StringInterner Idents;
+  STyContext STys;
+  ConstraintSystem Sys{QS};
+  QualTypeFactory Factory;
+  LambdaTypeCtors Ctors;
+
+  Rig() {
+    Const = QS.add("const", Polarity::Positive);
+    Nonzero = QS.add("nonzero", Polarity::Negative);
+    Dynamic = QS.add("dynamic", Polarity::Positive);
+    Tainted = QS.add("tainted", Polarity::Positive);
+  }
+
+  const Expr *parse(const std::string &Source) {
+    return parseString(SM, "test.q", Source, QS, Ast, Idents, Diags);
+  }
+
+  /// Parses and checks with const-rule enabled; Polymorphic per argument.
+  CheckResult check(const std::string &Source, bool Polymorphic = true) {
+    const Expr *E = parse(Source);
+    if (!E)
+      return CheckResult();
+    QualInferOptions Options;
+    Options.Polymorphic = Polymorphic;
+    Options.ConstQual = Const;
+    return checkProgram(E, QS, STys, Sys, Factory, Ctors, Diags, Options);
+  }
+
+  /// Parses and evaluates (no type checking).
+  EvalResult run(const std::string &Source, unsigned MaxSteps = 100000) {
+    const Expr *E = parse(Source);
+    EvalResult R;
+    if (!E)
+      return R;
+    Evaluator Ev(Ast, QS);
+    return Ev.evaluate(E, MaxSteps);
+  }
+};
+
+} // namespace lambda
+} // namespace quals
+
+#endif // QUALS_TESTS_LAMBDATESTUTIL_H

@@ -1,0 +1,407 @@
+//===- tests/cfront_test.cpp - C front-end tests --------------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CParser.h"
+#include "cfront/CSema.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+using namespace quals::cfront;
+
+namespace {
+
+/// One parse+sema pipeline per test.
+struct CRig {
+  SourceManager SM;
+  DiagnosticEngine Diags{SM};
+  CAstContext Ast;
+  CTypeContext Types;
+  StringInterner Idents;
+  TranslationUnit TU;
+
+  bool parse(const std::string &Source) {
+    return parseCSource(SM, "test.c", Source, Ast, Types, Idents, Diags, TU);
+  }
+
+  bool parseAndAnalyze(const std::string &Source) {
+    if (!parse(Source))
+      return false;
+    CSema Sema(Ast, Types, Idents, Diags);
+    return Sema.analyze(TU);
+  }
+
+  FunctionDecl *fn(std::string_view Name) {
+    auto It = TU.FunctionMap.find(Name);
+    return It == TU.FunctionMap.end() ? nullptr : It->second;
+  }
+
+  VarDecl *global(std::string_view Name) {
+    auto It = TU.GlobalMap.find(Name);
+    return It == TU.GlobalMap.end() ? nullptr : It->second;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(CLexer, SkipsPreprocessorAndComments) {
+  CRig R;
+  unsigned Id = R.SM.addBuffer("t.c", "#include <stdio.h>\n"
+                                      "/* block */ int x; // line\n");
+  CLexer L(R.SM, Id, R.Diags);
+  EXPECT_TRUE(L.next().is(CTok::KwInt));
+  EXPECT_TRUE(L.next().is(CTok::Ident));
+  EXPECT_TRUE(L.next().is(CTok::Semi));
+  EXPECT_TRUE(L.next().is(CTok::Eof));
+}
+
+TEST(CLexer, NumbersAndSuffixes) {
+  CRig R;
+  unsigned Id = R.SM.addBuffer("t.c", "42 0x1F 3.5 1e3 7UL 2.5f");
+  CLexer L(R.SM, Id, R.Diags);
+  CToken T = L.next();
+  EXPECT_TRUE(T.is(CTok::IntLit));
+  EXPECT_EQ(T.IntValue, 42);
+  T = L.next();
+  EXPECT_EQ(T.IntValue, 0x1F);
+  T = L.next();
+  EXPECT_TRUE(T.is(CTok::FloatLit));
+  EXPECT_DOUBLE_EQ(T.FloatValue, 3.5);
+  T = L.next();
+  EXPECT_TRUE(T.is(CTok::FloatLit));
+  T = L.next();
+  EXPECT_TRUE(T.is(CTok::IntLit));
+  EXPECT_EQ(T.IntValue, 7);
+  T = L.next();
+  EXPECT_TRUE(T.is(CTok::FloatLit));
+}
+
+TEST(CLexer, CharAndStringLiterals) {
+  CRig R;
+  unsigned Id = R.SM.addBuffer("t.c", "'a' '\\n' \"hi\\\"there\"");
+  CLexer L(R.SM, Id, R.Diags);
+  CToken T = L.next();
+  EXPECT_TRUE(T.is(CTok::CharLit));
+  EXPECT_EQ(T.IntValue, 'a');
+  T = L.next();
+  EXPECT_EQ(T.IntValue, '\n');
+  EXPECT_TRUE(L.next().is(CTok::StringLit));
+}
+
+TEST(CLexer, MultiCharOperators) {
+  CRig R;
+  unsigned Id = R.SM.addBuffer("t.c", "-> ++ -- << >> <<= >>= ... && || ==");
+  CLexer L(R.SM, Id, R.Diags);
+  EXPECT_TRUE(L.next().is(CTok::Arrow));
+  EXPECT_TRUE(L.next().is(CTok::PlusPlus));
+  EXPECT_TRUE(L.next().is(CTok::MinusMinus));
+  EXPECT_TRUE(L.next().is(CTok::LessLess));
+  EXPECT_TRUE(L.next().is(CTok::GreaterGreater));
+  EXPECT_TRUE(L.next().is(CTok::LessLessAssign));
+  EXPECT_TRUE(L.next().is(CTok::GreaterGreaterAssign));
+  EXPECT_TRUE(L.next().is(CTok::Ellipsis));
+  EXPECT_TRUE(L.next().is(CTok::AmpAmp));
+  EXPECT_TRUE(L.next().is(CTok::PipePipe));
+  EXPECT_TRUE(L.next().is(CTok::EqEq));
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations and declarators
+//===----------------------------------------------------------------------===//
+
+TEST(CParser, SimpleGlobals) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int x; const char c; unsigned long ul;"));
+  ASSERT_NE(R.global("x"), nullptr);
+  EXPECT_EQ(toString(R.global("x")->getType()), "int");
+  EXPECT_TRUE(R.global("c")->getType().isConst());
+  EXPECT_EQ(toString(R.global("ul")->getType()), "unsigned long");
+}
+
+TEST(CParser, PointerDeclarators) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int *p; const int *q; int * const r;"));
+  EXPECT_EQ(toString(R.global("p")->getType()), "int *");
+  EXPECT_EQ(toString(R.global("q")->getType()), "const int *");
+  // r: const pointer to int.
+  EXPECT_TRUE(R.global("r")->getType().isConst());
+  EXPECT_TRUE(isa<PointerType>(R.global("r")->getType().getType()));
+}
+
+TEST(CParser, ArrayAndMixedDeclarators) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int a[10]; int *b[4]; char m[3][5];"));
+  const auto *A = dyn_cast<ArrayType>(R.global("a")->getType().getType());
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->getSize(), 10);
+  // b: array of 4 pointers to int.
+  const auto *B = dyn_cast<ArrayType>(R.global("b")->getType().getType());
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(isa<PointerType>(B->getElement().getType()));
+  // m: array of 3 arrays of 5 char.
+  const auto *M = dyn_cast<ArrayType>(R.global("m")->getType().getType());
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->getSize(), 3);
+  EXPECT_TRUE(isa<ArrayType>(M->getElement().getType()));
+}
+
+TEST(CParser, FunctionPointerDeclarator) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int (*handler)(int, char *);"));
+  VarDecl *H = R.global("handler");
+  ASSERT_NE(H, nullptr);
+  const auto *PT = dyn_cast<PointerType>(H->getType().getType());
+  ASSERT_NE(PT, nullptr);
+  const auto *FT = dyn_cast<FunctionType>(PT->getPointee().getType());
+  ASSERT_NE(FT, nullptr);
+  EXPECT_EQ(FT->getParams().size(), 2u);
+}
+
+TEST(CParser, FunctionReturningPointer) {
+  CRig R;
+  ASSERT_TRUE(R.parse("char *strchr(const char *s, int c);"));
+  FunctionDecl *F = R.fn("strchr");
+  ASSERT_NE(F, nullptr);
+  EXPECT_FALSE(F->isDefined());
+  EXPECT_EQ(toString(F->getType()->getReturn()), "char *");
+  ASSERT_EQ(F->getParams().size(), 2u);
+  const auto *PT =
+      dyn_cast<PointerType>(F->getParams()[0]->getType().getType());
+  ASSERT_NE(PT, nullptr);
+  EXPECT_TRUE(PT->getPointee().isConst());
+}
+
+TEST(CParser, TypedefsAreMacroExpanded) {
+  // The paper's Section 4.2 example: "typedef int *ip; ip c, d;" -- c and d
+  // share no qualifier annotations (each gets the expanded type).
+  CRig R;
+  ASSERT_TRUE(R.parse("typedef int *ip; ip c, d;"));
+  VarDecl *C = R.global("c"), *D = R.global("d");
+  ASSERT_NE(C, nullptr);
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(isa<PointerType>(C->getType().getType()));
+  EXPECT_TRUE(isa<PointerType>(D->getType().getType()));
+}
+
+TEST(CParser, TypedefOfStruct) {
+  CRig R;
+  ASSERT_TRUE(R.parse("typedef struct node { int v; struct node *next; } "
+                      "Node; Node *head;"));
+  VarDecl *H = R.global("head");
+  ASSERT_NE(H, nullptr);
+  const auto *PT = dyn_cast<PointerType>(H->getType().getType());
+  ASSERT_NE(PT, nullptr);
+  EXPECT_TRUE(isa<RecordType>(PT->getPointee().getType()));
+}
+
+TEST(CParser, StructDefinitionAndFields) {
+  CRig R;
+  ASSERT_TRUE(R.parse("struct st { int x; char *name; };"));
+  ASSERT_EQ(R.TU.Records.size(), 1u);
+  RecordDecl *RD = R.TU.Records[0];
+  EXPECT_TRUE(RD->isComplete());
+  ASSERT_EQ(RD->getFields().size(), 2u);
+  EXPECT_EQ(RD->getFields()[1]->getName(), "name");
+}
+
+TEST(CParser, SelfReferentialStruct) {
+  CRig R;
+  ASSERT_TRUE(R.parse("struct list { struct list *next; int v; };"));
+  RecordDecl *RD = R.TU.Records[0];
+  const auto *PT =
+      dyn_cast<PointerType>(RD->getFields()[0]->getType().getType());
+  ASSERT_NE(PT, nullptr);
+  const auto *RT = dyn_cast<RecordType>(PT->getPointee().getType());
+  ASSERT_NE(RT, nullptr);
+  EXPECT_EQ(RT->getDecl(), RD);
+}
+
+TEST(CParser, EnumWithValues) {
+  CRig R;
+  ASSERT_TRUE(R.parse("enum color { RED, GREEN = 5, BLUE };"));
+  EXPECT_EQ(R.TU.EnumConstants.at("RED"), 0);
+  EXPECT_EQ(R.TU.EnumConstants.at("GREEN"), 5);
+  EXPECT_EQ(R.TU.EnumConstants.at("BLUE"), 6);
+}
+
+TEST(CParser, VariadicPrototype) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int printf(const char *fmt, ...);"));
+  FunctionDecl *F = R.fn("printf");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->getType()->isVariadic());
+}
+
+TEST(CParser, KAndRNoPrototype) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int legacy();"));
+  EXPECT_TRUE(R.fn("legacy")->getType()->hasNoPrototype());
+}
+
+TEST(CParser, FunctionDefinitionWithBody) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int add(int a, int b) { return a + b; }"));
+  FunctionDecl *F = R.fn("add");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isDefined());
+  ASSERT_EQ(F->getParams().size(), 2u);
+  EXPECT_EQ(F->getParams()[0]->getName(), "a");
+}
+
+TEST(CParser, PrototypeThenDefinitionMerges) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int f(int); int f(int x) { return x; }"));
+  FunctionDecl *F = R.fn("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isDefined());
+  // Only one entry in Functions for f.
+  int Count = 0;
+  for (FunctionDecl *G : R.TU.Functions)
+    if (G->getName() == "f")
+      ++Count;
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(CParser, ArrayParamsDecay) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int sum(int v[], int n) { return 0; }"));
+  FunctionDecl *F = R.fn("sum");
+  EXPECT_TRUE(isa<PointerType>(F->getParams()[0]->getType().getType()));
+}
+
+TEST(CParser, AllStatementForms) {
+  CRig R;
+  ASSERT_TRUE(R.parse(
+      "int f(int n) {\n"
+      "  int i; int acc = 0;\n"
+      "  for (i = 0; i < n; i++) { acc += i; }\n"
+      "  while (acc > 100) acc /= 2;\n"
+      "  do { acc--; } while (acc > 50);\n"
+      "  switch (n) { case 0: acc = 1; break; default: break; }\n"
+      "  if (acc) return acc; else return -1;\n"
+      "}\n"));
+}
+
+TEST(CParser, GotoAndLabels) {
+  CRig R;
+  ASSERT_TRUE(R.parse("int f(void) { int x = 0; again: x++; "
+                      "if (x < 3) goto again; return x; }"));
+}
+
+TEST(CParser, ExpressionZoo) {
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze(
+      "struct p { int x, y; };\n"
+      "int g(struct p *q, int n) {\n"
+      "  int a = n ? q->x : q->y;\n"
+      "  int b = (a << 2) | (n & 7);\n"
+      "  int c = sizeof(struct p) + sizeof a;\n"
+      "  a += b, b -= c;\n"
+      "  return !a == (b != c);\n"
+      "}\n")) << R.Diags.renderAll();
+}
+
+TEST(CParser, CastExpressions) {
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze(
+      "typedef unsigned long size_t;\n"
+      "char *f(void *p, long n) { return (char *)p + (size_t)n; }\n"))
+      << R.Diags.renderAll();
+  // Find the cast in the body and verify its type.
+}
+
+TEST(CParser, ErrorRecoversAndReports) {
+  CRig R;
+  EXPECT_FALSE(R.parse("int f( { return; }  int ok;"));
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(CSemaTest, TypesSimpleExpressions) {
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze(
+      "int g;\n"
+      "int f(int a, int *p) { g = a + *p; return g; }\n"))
+      << R.Diags.renderAll();
+}
+
+TEST(CSemaTest, LValueClassification) {
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze(
+      "struct s { int f; };\n"
+      "void f(struct s *p, int *q, int n) {\n"
+      "  p->f = 1; q[n] = 2; *q = 3;\n"
+      "}\n"))
+      << R.Diags.renderAll();
+}
+
+TEST(CSemaTest, AddressOfRValueRejected) {
+  CRig R;
+  EXPECT_FALSE(R.parseAndAnalyze("void f(int a) { int *p = &(a + 1); }"));
+}
+
+TEST(CSemaTest, UndeclaredVariableRejected) {
+  CRig R;
+  EXPECT_FALSE(R.parseAndAnalyze("int f(void) { return missing; }"));
+}
+
+TEST(CSemaTest, UnknownFieldRejected) {
+  CRig R;
+  EXPECT_FALSE(R.parseAndAnalyze(
+      "struct s { int a; }; int f(struct s x) { return x.b; }"));
+}
+
+TEST(CSemaTest, ImplicitFunctionDeclarationCreated) {
+  // Calls to undefined functions become implicit declarations (the
+  // library-function case of Section 4.2).
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze("int f(void) { return external_call(3); }"))
+      << R.Diags.renderAll();
+  FunctionDecl *F = R.fn("external_call");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isImplicit());
+  EXPECT_FALSE(F->isDefined());
+}
+
+TEST(CSemaTest, EnumConstantsAreInts) {
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze(
+      "enum e { A, B }; int f(void) { return A + B; }"))
+      << R.Diags.renderAll();
+}
+
+TEST(CSemaTest, StringLiteralIsCharPointer) {
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze(
+      "char *f(void) { return \"hello\"; }"))
+      << R.Diags.renderAll();
+}
+
+TEST(CSemaTest, MultiBufferWholeProgram) {
+  // The paper analyzes multi-file programs at once; declarations merge.
+  CRig R;
+  ASSERT_TRUE(R.parse("int shared(int x);"));
+  ASSERT_TRUE(R.parse("int shared(int x) { return x; }"));
+  ASSERT_TRUE(R.parse("int user(void) { return shared(1); }"));
+  CSema Sema(R.Ast, R.Types, R.Idents, R.Diags);
+  ASSERT_TRUE(Sema.analyze(R.TU)) << R.Diags.renderAll();
+  EXPECT_TRUE(R.fn("shared")->isDefined());
+}
+
+TEST(CSemaTest, FunctionPointerCall) {
+  CRig R;
+  ASSERT_TRUE(R.parseAndAnalyze(
+      "int apply(int (*fp)(int), int x) { return fp(x); }"))
+      << R.Diags.renderAll();
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+//===- tests/lambda_eval_test.cpp - Operational semantics tests -----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the Figure 5 single-step semantics: qualified values, the
+/// annotation/assertion side conditions, store operations, and agreement
+/// between runtime behaviour and the static system (the soundness direction
+/// of Corollary 1 is property-tested in lambda_soundness_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#include "LambdaTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+using namespace quals::lambda;
+
+namespace {
+
+long intResult(const Rig &, const EvalResult &E) {
+  const Expr *Bare = Evaluator::bareValue(E.Result);
+  return cast<IntLitExpr>(Bare)->getValue();
+}
+
+TEST(LambdaEval, LiteralIsAValue) {
+  Rig R;
+  EvalResult E = R.run("42");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 42);
+  EXPECT_EQ(E.Steps, 0u);
+}
+
+TEST(LambdaEval, BetaReduction) {
+  Rig R;
+  EvalResult E = R.run("(fn x. x) 7");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 7);
+}
+
+TEST(LambdaEval, CurriedApplication) {
+  Rig R;
+  EvalResult E = R.run("((fn a. fn b. a) 1) 2");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 1);
+}
+
+TEST(LambdaEval, ShadowingRespectsScopes) {
+  Rig R;
+  EvalResult E = R.run("(fn x. (fn x. x) 2) 1");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 2);
+}
+
+TEST(LambdaEval, IfBranchesOnNonzero) {
+  Rig R;
+  EXPECT_EQ(intResult(R, R.run("if 5 then 10 else 20 fi")), 10);
+  Rig R2;
+  EXPECT_EQ(intResult(R2, R2.run("if 0 then 10 else 20 fi")), 20);
+}
+
+TEST(LambdaEval, LetBindsValues) {
+  Rig R;
+  EvalResult E = R.run("let x = 3 in let y = 4 in x ni ni");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 3);
+}
+
+TEST(LambdaEval, RefDerefAssignRoundTrip) {
+  Rig R;
+  EvalResult E = R.run("let r = ref 1 in let s = r := 9 in !r ni ni");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 9);
+}
+
+TEST(LambdaEval, AliasedRefsShareStorage) {
+  Rig R;
+  EvalResult E = R.run(
+      "let x = ref 1 in let y = x in let s = y := 5 in !x ni ni ni");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 5);
+}
+
+TEST(LambdaEval, AnnotatedValueKeepsQualifier) {
+  Rig R;
+  EvalResult E = R.run("{const} 42");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  Evaluator Ev(R.Ast, R.QS);
+  EXPECT_TRUE(R.QS.contains(Ev.valueQual(E.Result), R.Const));
+}
+
+TEST(LambdaEval, AssertionPassesWhenQualifierFits) {
+  // ({nonzero} 37)|{nonzero} reduces (Figure 5's first rule).
+  Rig R;
+  EvalResult E = R.run("({nonzero} 37) |{nonzero}");
+  EXPECT_EQ(E.Outcome, EvalOutcome::Value);
+}
+
+TEST(LambdaEval, AssertionSticksWhenQualifierExceedsBound) {
+  Rig R;
+  EvalResult E = R.run("({const} 1) |{~const}");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Stuck);
+  EXPECT_NE(E.StuckReason.find("assertion"), std::string::npos);
+}
+
+TEST(LambdaEval, AnnotationSticksWhenLoweringQualifier) {
+  // l1 (l2 v) needs l2 <= l1.
+  Rig R;
+  EvalResult E = R.run("{nonzero} ({const} 1)");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Stuck);
+  EXPECT_NE(E.StuckReason.find("annotation"), std::string::npos);
+}
+
+TEST(LambdaEval, AnnotationRaisesQualifier) {
+  Rig R;
+  EvalResult E = R.run("{const nonzero} ({nonzero} 1)");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  Evaluator Ev(R.Ast, R.QS);
+  EXPECT_TRUE(R.QS.contains(Ev.valueQual(E.Result), R.Const));
+}
+
+TEST(LambdaEval, AnnotatedRefAllocatesQualifiedLocation) {
+  // {const} ref v -> {const} a (Figure 5's ref rule under Q ref R context).
+  Rig R;
+  EvalResult E = R.run("{const} ref 1");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  Evaluator Ev(R.Ast, R.QS);
+  EXPECT_TRUE(R.QS.contains(Ev.valueQual(E.Result), R.Const));
+  EXPECT_TRUE(isa<LocExpr>(Evaluator::bareValue(E.Result)));
+}
+
+TEST(LambdaEval, StoreHoldsQualifiedValues) {
+  Rig R;
+  const Expr *E = R.parse("let r = ref {nonzero} 37 in (!r)|{nonzero} ni");
+  ASSERT_NE(E, nullptr);
+  Evaluator Ev(R.Ast, R.QS);
+  EvalResult Res = Ev.evaluate(E);
+  EXPECT_EQ(Res.Outcome, EvalOutcome::Value);
+  ASSERT_EQ(Ev.getStore().size(), 1u);
+}
+
+TEST(LambdaEval, ApplyingNonFunctionIsStuck) {
+  Rig R;
+  EvalResult E = R.run("1 2");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Stuck);
+  EXPECT_NE(E.StuckReason.find("non-function"), std::string::npos);
+}
+
+TEST(LambdaEval, DerefOfIntIsStuck) {
+  Rig R;
+  EXPECT_EQ(R.run("!5").Outcome, EvalOutcome::Stuck);
+}
+
+TEST(LambdaEval, FreeVariableIsStuck) {
+  Rig R;
+  EXPECT_EQ(R.run("y").Outcome, EvalOutcome::Stuck);
+}
+
+TEST(LambdaEval, DivergingProgramTimesOut) {
+  // Omega via a self-application through a ref (typable? no -- but the
+  // evaluator is untyped): (fn x. x x)(fn x. x x).
+  Rig R;
+  EvalResult E = R.run("(fn x. x x) (fn x. x x)", /*MaxSteps=*/500);
+  EXPECT_EQ(E.Outcome, EvalOutcome::TimedOut);
+  EXPECT_EQ(E.Steps, 500u);
+}
+
+TEST(LambdaEval, EvaluationOrderIsLeftToRight) {
+  // The left side of := is evaluated first: a failing assertion on the left
+  // must stick before the right side's would.
+  Rig R;
+  EvalResult E =
+      R.run("(({const} ref 0) |{~const}) := (({const} 1) |{~const})");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Stuck);
+  // The left assertion is the one reported (both would fail).
+  EXPECT_NE(E.StuckReason.find("assertion"), std::string::npos);
+}
+
+TEST(LambdaEval, WellTypedPaperExampleRunsCleanly) {
+  // The accepted variant of the Section 2.4 program runs to a value.
+  Rig R;
+  EvalResult E = R.run(
+      "let x = ref {nonzero} 37 in"
+      " let y = x in"
+      "  let s = y := ({nonzero} 12) in"
+      "   (!x)|{nonzero}"
+      "  ni ni ni");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Value);
+  EXPECT_EQ(intResult(R, E), 12);
+}
+
+TEST(LambdaEval, StepObserverSeesEveryReduction) {
+  Rig R;
+  const Expr *E = R.parse("let x = 1 in (fn y. y) x ni");
+  ASSERT_NE(E, nullptr);
+  Evaluator Ev(R.Ast, R.QS);
+  std::vector<std::string> Steps;
+  EvalResult Res = Ev.evaluate(E, 100, [&](const Expr *Term) {
+    Steps.push_back(toString(R.QS, Term));
+  });
+  ASSERT_EQ(Res.Outcome, EvalOutcome::Value);
+  ASSERT_EQ(Steps.size(), Res.Steps);
+  // let substitutes, then beta-reduction fires.
+  EXPECT_EQ(Steps[0], "((fn y. y) 1)");
+  EXPECT_EQ(Steps.back(), "1");
+}
+
+TEST(LambdaEval, IllTypedPaperExampleActuallySticks) {
+  // The rejected variant really does go wrong at runtime: the assertion
+  // fails after 0 is smuggled through the alias. This is the dynamic
+  // counterpart of QualInfer.PaperSection24NonzeroSmugglingRejected.
+  Rig R;
+  EvalResult E = R.run(
+      "let x = ref {nonzero} 37 in"
+      " let y = x in"
+      "  let s = y := ({~nonzero} 0) in"
+      "   (!x)|{nonzero}"
+      "  ni ni ni");
+  ASSERT_EQ(E.Outcome, EvalOutcome::Stuck);
+  EXPECT_NE(E.StuckReason.find("assertion"), std::string::npos);
+}
+
+} // namespace

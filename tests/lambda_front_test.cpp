@@ -1,0 +1,270 @@
+//===- tests/lambda_front_test.cpp - Lexer/parser/std-typecheck tests -----===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "LambdaTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+using namespace quals::lambda;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaLexer, TokenizesKeywordsAndPunctuation) {
+  Rig R;
+  unsigned Id = R.SM.addBuffer("t.q", "fn x . let if then else fi ref ! := "
+                                      "= | ~ { } ( ) 42 foo ni in");
+  Lexer L(R.SM, Id, R.Diags);
+  std::vector<TokKind> Kinds;
+  for (Token T = L.next(); !T.is(TokKind::Eof); T = L.next())
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Expected = {
+      TokKind::KwFn,   TokKind::Ident,  TokKind::Dot,    TokKind::KwLet,
+      TokKind::KwIf,   TokKind::KwThen, TokKind::KwElse, TokKind::KwFi,
+      TokKind::KwRef,  TokKind::Bang,   TokKind::Assign, TokKind::Eq,
+      TokKind::Pipe,   TokKind::Tilde,  TokKind::LBrace, TokKind::RBrace,
+      TokKind::LParen, TokKind::RParen, TokKind::IntLit, TokKind::Ident,
+      TokKind::KwNi,   TokKind::KwIn};
+  EXPECT_EQ(Kinds, Expected);
+  EXPECT_FALSE(R.Diags.hasErrors());
+}
+
+TEST(LambdaLexer, SkipsCommentsAndTracksIntValues) {
+  Rig R;
+  unsigned Id = R.SM.addBuffer("t.q", "# a comment\n 123 # another\n456");
+  Lexer L(R.SM, Id, R.Diags);
+  Token T1 = L.next();
+  EXPECT_EQ(T1.IntValue, 123);
+  Token T2 = L.next();
+  EXPECT_EQ(T2.IntValue, 456);
+  EXPECT_TRUE(L.next().is(TokKind::Eof));
+}
+
+TEST(LambdaLexer, ReportsUnexpectedCharacters) {
+  Rig R;
+  unsigned Id = R.SM.addBuffer("t.q", "$$");
+  Lexer L(R.SM, Id, R.Diags);
+  EXPECT_TRUE(L.next().is(TokKind::Error));
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaParser, ApplicationIsLeftAssociative) {
+  Rig R;
+  const Expr *E = R.parse("f x y");
+  ASSERT_NE(E, nullptr);
+  const auto *Outer = dyn_cast<AppExpr>(E);
+  ASSERT_NE(Outer, nullptr);
+  const auto *Inner = dyn_cast<AppExpr>(Outer->getFn());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(cast<VarExpr>(Inner->getFn())->getName(), "f");
+  EXPECT_EQ(cast<VarExpr>(Outer->getArg())->getName(), "y");
+}
+
+TEST(LambdaParser, LambdaBodyExtendsRight) {
+  Rig R;
+  const Expr *E = R.parse("fn x. f x");
+  ASSERT_NE(E, nullptr);
+  const auto *L = dyn_cast<LambdaExpr>(E);
+  ASSERT_NE(L, nullptr);
+  EXPECT_TRUE(isa<AppExpr>(L->getBody()));
+}
+
+TEST(LambdaParser, LetWithOptionalNi) {
+  Rig R;
+  EXPECT_NE(R.parse("let x = 1 in x ni"), nullptr);
+  Rig R2;
+  EXPECT_NE(R2.parse("let x = 1 in x"), nullptr);
+}
+
+TEST(LambdaParser, PaperStyleNestedLets) {
+  // The paper's Section 3.2 example shape.
+  Rig R;
+  const Expr *E = R.parse("let id = fn x. x in "
+                          "let y = id (ref 1) in "
+                          "let z = id ({const} ref 1) in "
+                          "() ni ni ni");
+  ASSERT_NE(E, nullptr) << R.Diags.renderAll();
+  EXPECT_TRUE(isa<LetExpr>(E));
+}
+
+TEST(LambdaParser, AnnotationBindsTightly) {
+  Rig R;
+  const Expr *E = R.parse("f {const} x");
+  ASSERT_NE(E, nullptr);
+  const auto *A = dyn_cast<AppExpr>(E);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(isa<AnnotExpr>(A->getArg()));
+}
+
+TEST(LambdaParser, AssertionPostfix) {
+  Rig R;
+  const Expr *E = R.parse("(!x)|{nonzero}");
+  ASSERT_NE(E, nullptr);
+  const auto *A = dyn_cast<AssertExpr>(E);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(isa<DerefExpr>(A->getOperand()));
+  EXPECT_TRUE(R.QS.contains(A->getBound(), R.Nonzero));
+}
+
+TEST(LambdaParser, TildeQualifierListStartsFromTop) {
+  Rig R;
+  const Expr *E = R.parse("x |{~const}");
+  ASSERT_NE(E, nullptr);
+  const auto *A = dyn_cast<AssertExpr>(E);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->getBound(), R.QS.notQual(R.Const));
+}
+
+TEST(LambdaParser, PlainQualifierListStartsFromBottom) {
+  Rig R;
+  const Expr *E = R.parse("{const nonzero} 1");
+  ASSERT_NE(E, nullptr);
+  const auto *A = dyn_cast<AnnotExpr>(E);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->getQual(), R.QS.valueWithPresent({R.Const, R.Nonzero}));
+}
+
+TEST(LambdaParser, RejectsUnknownQualifier) {
+  Rig R;
+  EXPECT_EQ(R.parse("{sorted} 1"), nullptr);
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+TEST(LambdaParser, RejectsDanglingInput) {
+  Rig R;
+  EXPECT_EQ(R.parse("x )"), nullptr);
+}
+
+TEST(LambdaParser, UnitLiteralAndParens) {
+  Rig R;
+  const Expr *E = R.parse("(fn x. ()) 3");
+  ASSERT_NE(E, nullptr);
+  const auto *A = dyn_cast<AppExpr>(E);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(isa<UnitLitExpr>(cast<LambdaExpr>(A->getFn())->getBody()));
+}
+
+TEST(LambdaParser, AssignParsesBelowApplication) {
+  Rig R;
+  const Expr *E = R.parse("x := f y");
+  ASSERT_NE(E, nullptr);
+  const auto *A = dyn_cast<AssignExpr>(E);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(isa<AppExpr>(A->getValue()));
+}
+
+TEST(LambdaParser, RoundTripPrinting) {
+  Rig R;
+  const Expr *E = R.parse("let x = ref {nonzero} 37 in (!x)|{nonzero} ni");
+  ASSERT_NE(E, nullptr);
+  std::string S = toString(R.QS, E);
+  EXPECT_NE(S.find("let x = "), std::string::npos);
+  EXPECT_NE(S.find("nonzero"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic values & strip
+//===----------------------------------------------------------------------===//
+
+TEST(LambdaAst, SyntacticValues) {
+  Rig R;
+  EXPECT_TRUE(isSyntacticValue(R.parse("42")));
+  EXPECT_TRUE(isSyntacticValue(R.parse("fn x. f x")));
+  EXPECT_TRUE(isSyntacticValue(R.parse("()")));
+  EXPECT_TRUE(isSyntacticValue(R.parse("{const} fn x. x")));
+  EXPECT_FALSE(isSyntacticValue(R.parse("f x")));
+  EXPECT_FALSE(isSyntacticValue(R.parse("ref 1")));
+}
+
+TEST(LambdaAst, StripRemovesAllQualifierSyntax) {
+  Rig R;
+  const Expr *E = R.parse("let x = {const} 1 in (x |{const}) ni");
+  ASSERT_NE(E, nullptr);
+  const Expr *S = stripQualifiers(R.Ast, E);
+  std::string Printed = toString(R.QS, S);
+  EXPECT_EQ(Printed.find("{"), std::string::npos);
+  EXPECT_EQ(Printed.find("|"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Standard type checking (simply-typed lambda calculus with refs)
+//===----------------------------------------------------------------------===//
+
+class StdTypes : public ::testing::Test {
+protected:
+  Rig R;
+
+  STy *typeOf(const std::string &Source) {
+    const Expr *E = R.parse(Source);
+    if (!E)
+      return nullptr;
+    StdTypeChecker C(R.STys, R.Diags);
+    return C.check(E);
+  }
+};
+
+TEST_F(StdTypes, LiteralsAndLambdas) {
+  STy *T = typeOf("fn x. 42");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(R.STys.toString(T), "('a -> int)");
+}
+
+TEST_F(StdTypes, ApplicationResolvesParameter) {
+  STy *T = typeOf("(fn x. x := 1) (ref 0)");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(R.STys.toString(T), "unit");
+}
+
+TEST_F(StdTypes, RefDerefAssign) {
+  STy *T = typeOf("let r = ref 5 in !r ni");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(R.STys.toString(T), "int");
+}
+
+TEST_F(StdTypes, IfUnifiesBranches) {
+  STy *T = typeOf("if 1 then ref 2 else ref 3 fi");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(R.STys.toString(T), "ref(int)");
+}
+
+TEST_F(StdTypes, RejectsSelfApplication) {
+  EXPECT_EQ(typeOf("fn x. x x"), nullptr); // occurs check
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+TEST_F(StdTypes, RejectsBranchMismatch) {
+  EXPECT_EQ(typeOf("if 1 then 2 else () fi"), nullptr);
+}
+
+TEST_F(StdTypes, RejectsNonIntCondition) {
+  EXPECT_EQ(typeOf("if (fn x. x) then 1 else 2 fi"), nullptr);
+}
+
+TEST_F(StdTypes, RejectsDerefOfInt) {
+  EXPECT_EQ(typeOf("!3"), nullptr);
+}
+
+TEST_F(StdTypes, RejectsUnboundVariable) {
+  EXPECT_EQ(typeOf("y"), nullptr);
+}
+
+TEST_F(StdTypes, AnnotationsAreTypeTransparent) {
+  // Observation 1: qualifiers do not change the underlying structure.
+  STy *T = typeOf("{const} fn x. ((x |{nonzero}) := 1)");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(R.STys.toString(T), "(ref(int) -> unit)");
+}
+
+} // namespace

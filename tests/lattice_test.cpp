@@ -1,0 +1,164 @@
+//===- tests/lattice_test.cpp - Qualifier lattice unit tests --------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests Definitions 1 and 2: positive/negative qualifiers, the two-point
+/// component lattices, the product lattice, and the Figure 2 example lattice
+/// over {const, dynamic, nonzero}.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qual/Qualifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+
+namespace {
+
+/// The paper's Figure 2 lattice: positive const and dynamic, negative
+/// nonzero.
+class Fig2Lattice : public ::testing::Test {
+protected:
+  QualifierSet QS;
+  QualifierId Const, Dynamic, Nonzero;
+
+  void SetUp() override {
+    Const = QS.add("const", Polarity::Positive);
+    Dynamic = QS.add("dynamic", Polarity::Positive);
+    Nonzero = QS.add("nonzero", Polarity::Negative);
+  }
+};
+
+TEST_F(Fig2Lattice, BottomHasNegativeQualifiersPresent) {
+  LatticeValue Bot = QS.bottom();
+  EXPECT_FALSE(QS.contains(Bot, Const));
+  EXPECT_FALSE(QS.contains(Bot, Dynamic));
+  EXPECT_TRUE(QS.contains(Bot, Nonzero)); // negative: present at bottom
+}
+
+TEST_F(Fig2Lattice, TopHasPositiveQualifiersPresent) {
+  LatticeValue Top = QS.top();
+  EXPECT_TRUE(QS.contains(Top, Const));
+  EXPECT_TRUE(QS.contains(Top, Dynamic));
+  EXPECT_FALSE(QS.contains(Top, Nonzero)); // negative: absent at top
+}
+
+TEST_F(Fig2Lattice, MovingUpAddsPositiveRemovesNegative) {
+  // "Notice that moving up the lattice adds positive qualifiers or removes
+  // negative qualifiers."
+  LatticeValue V = QS.bottom();
+  LatticeValue WithConst = QS.withQual(V, Const);
+  EXPECT_TRUE(V.subsumedBy(WithConst));
+  LatticeValue NoNonzero = QS.withoutQual(V, Nonzero);
+  EXPECT_TRUE(V.subsumedBy(NoNonzero));
+}
+
+TEST_F(Fig2Lattice, JoinAndMeetAreComponentwise) {
+  LatticeValue A = QS.withQual(QS.bottom(), Const);
+  LatticeValue B = QS.withQual(QS.bottom(), Dynamic);
+  LatticeValue J = A.join(B);
+  EXPECT_TRUE(QS.contains(J, Const));
+  EXPECT_TRUE(QS.contains(J, Dynamic));
+  LatticeValue M = A.meet(B);
+  EXPECT_FALSE(QS.contains(M, Const));
+  EXPECT_FALSE(QS.contains(M, Dynamic));
+}
+
+TEST_F(Fig2Lattice, PartialOrderIsReflexiveAntisymmetricTransitive) {
+  LatticeValue A = QS.withQual(QS.bottom(), Const);
+  LatticeValue B = QS.withQual(A, Dynamic);
+  LatticeValue C = QS.withoutQual(B, Nonzero);
+  EXPECT_TRUE(A.subsumedBy(A));
+  EXPECT_TRUE(A.subsumedBy(B));
+  EXPECT_FALSE(B.subsumedBy(A));
+  EXPECT_TRUE(A.subsumedBy(B) && B.subsumedBy(C) && A.subsumedBy(C));
+}
+
+TEST_F(Fig2Lattice, IncomparableElements) {
+  LatticeValue OnlyConst = QS.withQual(QS.bottom(), Const);
+  LatticeValue OnlyDynamic = QS.withQual(QS.bottom(), Dynamic);
+  EXPECT_FALSE(OnlyConst.subsumedBy(OnlyDynamic));
+  EXPECT_FALSE(OnlyDynamic.subsumedBy(OnlyConst));
+}
+
+TEST_F(Fig2Lattice, NotQualIsTopWithoutTheQualifier) {
+  // ":const" = top except const absent -- the Assign' upper bound.
+  LatticeValue NotConst = QS.notQual(Const);
+  EXPECT_FALSE(QS.contains(NotConst, Const));
+  EXPECT_TRUE(QS.contains(NotConst, Dynamic));
+  EXPECT_FALSE(QS.contains(NotConst, Nonzero));
+  // Everything without const fits under it; anything with const does not.
+  EXPECT_TRUE(QS.withQual(QS.bottom(), Dynamic).subsumedBy(NotConst));
+  EXPECT_FALSE(QS.withQual(QS.bottom(), Const).subsumedBy(NotConst));
+}
+
+TEST_F(Fig2Lattice, NotQualForNegativeQualifier) {
+  // ":nonzero" = top with nonzero *present* (since present = bit clear);
+  // an int that must stay nonzero cannot be subsumed by it... rather, a
+  // nonzero value always fits under :nonzero's complement structure:
+  LatticeValue NotNonzero = QS.notQual(Nonzero);
+  EXPECT_FALSE(QS.contains(NotNonzero, Nonzero));
+  // Bottom (nonzero present) is NOT below top-with-nonzero-absent restricted
+  // to the nonzero component... but bottom is below everything in a powerset
+  // encoding, so check the component through contains() instead:
+  EXPECT_TRUE(QS.contains(QS.bottom(), Nonzero));
+}
+
+TEST_F(Fig2Lattice, ValueWithPresentBuildsAnnotationElements) {
+  LatticeValue V = QS.valueWithPresent({Const, Nonzero});
+  EXPECT_TRUE(QS.contains(V, Const));
+  EXPECT_TRUE(QS.contains(V, Nonzero));
+  EXPECT_FALSE(QS.contains(V, Dynamic));
+}
+
+TEST_F(Fig2Lattice, ToStringListsPresentQualifiers) {
+  EXPECT_EQ(QS.toString(QS.valueWithPresent({Const})), "const nonzero");
+  EXPECT_EQ(QS.toString(QS.withoutQual(QS.valueWithPresent({Const}),
+                                       Nonzero)),
+            "const");
+  EXPECT_EQ(QS.toString(QS.withoutQual(QS.bottom(), Nonzero)), "");
+}
+
+TEST_F(Fig2Lattice, LookupFindsRegisteredQualifiers) {
+  QualifierId Id;
+  EXPECT_TRUE(QS.lookup("dynamic", Id));
+  EXPECT_EQ(Id, Dynamic);
+  EXPECT_FALSE(QS.lookup("sorted", Id));
+}
+
+TEST(QualifierSet, EightPointLatticeHasExpectedSize) {
+  // Figure 2's lattice has 2^3 = 8 elements; enumerate via bitmasks.
+  QualifierSet QS;
+  QS.add("const", Polarity::Positive);
+  QS.add("dynamic", Polarity::Positive);
+  QS.add("nonzero", Polarity::Negative);
+  EXPECT_EQ(QS.usedBits(), 0b111u);
+  // Chain bottom -> top has length 4 (3 steps).
+  LatticeValue V = QS.bottom();
+  int Steps = 0;
+  for (unsigned I = 0; I != 3; ++I) {
+    LatticeValue Next(V.bits() | (uint64_t(1) << I));
+    EXPECT_TRUE(V.subsumedBy(Next));
+    V = Next;
+    ++Steps;
+  }
+  EXPECT_EQ(Steps, 3);
+  EXPECT_EQ(V, QS.top());
+}
+
+TEST(QualifierSet, SingleNegativeQualifierDuality) {
+  // With one negative qualifier q: q tau <= tau means bottom (q present)
+  // is below top (q absent).
+  QualifierSet QS;
+  QualifierId Q = QS.add("nonnull", Polarity::Negative);
+  EXPECT_TRUE(QS.contains(QS.bottom(), Q));
+  EXPECT_FALSE(QS.contains(QS.top(), Q));
+  EXPECT_TRUE(QS.bottom().subsumedBy(QS.top()));
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+//===- tests/misc_test.cpp - Cross-cutting odds and ends ------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A masked lower/upper solver oracle (property test against a naive
+/// fixpoint), diagnostics rendering, solved-type printing, and the small
+/// support pieces not covered elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qual/ConstraintSystem.h"
+#include "qual/QualType.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Masked solver oracle
+//===----------------------------------------------------------------------===//
+
+/// Naive reference implementation of the masked constraint semantics:
+/// lower[t] |= lower[s] & mask, upper[s] &= upper[t] | ~mask, to fixpoint.
+struct NaiveSolver {
+  struct Edge {
+    int From, To;
+    uint64_t Mask;
+  };
+  unsigned NumVars;
+  uint64_t UsedBits;
+  std::vector<Edge> Edges;
+  std::vector<std::pair<int, uint64_t>> LowerSeeds; // var, bits(masked)
+  std::vector<std::pair<int, uint64_t>> UpperSeeds; // var, cap
+  std::vector<uint64_t> Lower, Upper;
+
+  void solve() {
+    Lower.assign(NumVars, 0);
+    Upper.assign(NumVars, UsedBits);
+    for (auto &S : LowerSeeds)
+      Lower[S.first] |= S.second;
+    for (auto &S : UpperSeeds)
+      Upper[S.first] &= S.second;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const Edge &E : Edges) {
+        uint64_t NewL = Lower[E.To] | (Lower[E.From] & E.Mask);
+        if (NewL != Lower[E.To]) {
+          Lower[E.To] = NewL;
+          Changed = true;
+        }
+        uint64_t NewU = Upper[E.From] & (Upper[E.To] | ~E.Mask);
+        if (NewU != Upper[E.From]) {
+          Upper[E.From] = NewU;
+          Changed = true;
+        }
+      }
+    }
+  }
+};
+
+class MaskedOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaskedOracle, SolverMatchesNaiveFixpoint) {
+  QualifierSet QS;
+  QS.add("a", Polarity::Positive);
+  QS.add("b", Polarity::Positive);
+  QS.add("c", Polarity::Negative);
+  QS.add("d", Polarity::Positive);
+  const uint64_t Used = QS.usedBits();
+
+  uint64_t State = GetParam() * 0x9E3779B97F4A7C15ULL + 1;
+  auto Rand = [&State]() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  };
+
+  constexpr unsigned N = 60;
+  ConstraintSystem Sys(QS);
+  NaiveSolver Naive;
+  Naive.NumVars = N;
+  Naive.UsedBits = Used;
+  std::vector<QualVarId> Vars;
+  for (unsigned I = 0; I != N; ++I)
+    Vars.push_back(Sys.freshVar("v" + std::to_string(I)));
+
+  for (unsigned I = 0; I != 250; ++I) {
+    unsigned A = Rand() % N, B = Rand() % N;
+    uint64_t Mask = Rand() & Used;
+    if (!Mask)
+      Mask = Used;
+    unsigned Kind = Rand() % 4;
+    if (Kind == 0) { // const <= var
+      uint64_t Bits = Rand() & Used;
+      Sys.addLeqMasked(QualExpr::makeConst(LatticeValue(Bits)),
+                       QualExpr::makeVar(Vars[A]), Mask, {"seed"});
+      Naive.LowerSeeds.push_back({static_cast<int>(A), Bits & Mask});
+    } else if (Kind == 1) { // var <= const
+      uint64_t Bits = Rand() & Used;
+      Sys.addLeqMasked(QualExpr::makeVar(Vars[A]),
+                       QualExpr::makeConst(LatticeValue(Bits)), Mask,
+                       {"cap"});
+      Naive.UpperSeeds.push_back(
+          {static_cast<int>(A), (Bits | ~Mask) & Used});
+    } else { // var <= var (twice as likely)
+      Sys.addLeqMasked(QualExpr::makeVar(Vars[A]),
+                       QualExpr::makeVar(Vars[B]), Mask, {"edge"});
+      Naive.Edges.push_back(
+          {static_cast<int>(A), static_cast<int>(B), Mask});
+    }
+    // Interleave solves to exercise the incremental path.
+    if (I % 50 == 49)
+      Sys.solve();
+  }
+  Sys.solve();
+  Naive.solve();
+
+  for (unsigned I = 0; I != N; ++I) {
+    EXPECT_EQ(Sys.lower(Vars[I]).bits(), Naive.Lower[I]) << "lower " << I;
+    EXPECT_EQ(Sys.upper(Vars[I]).bits() & Used, Naive.Upper[I])
+        << "upper " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskedOracle,
+                         ::testing::Range<uint64_t>(1, 13));
+
+//===----------------------------------------------------------------------===//
+// Diagnostics rendering
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsRender, PointsAtTheOffendingColumn) {
+  SourceManager SM;
+  unsigned Id = SM.addBuffer("d.c", "int x;\nint $bad;\n");
+  DiagnosticEngine Diags(SM);
+  Diags.error(SM.getLocForOffset(Id, 11), "unexpected character");
+  std::string Out = Diags.renderAll();
+  EXPECT_NE(Out.find("d.c:2:5: error: unexpected character"),
+            std::string::npos)
+      << Out;
+  // Caret under column 5.
+  EXPECT_NE(Out.find("int $bad;\n    ^"), std::string::npos) << Out;
+}
+
+TEST(DiagnosticsRender, SeveritiesAndCounts) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  Diags.warning(SourceLoc(), "heads up");
+  Diags.note(SourceLoc(), "context");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(), "boom");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.getNumErrors(), 1u);
+  std::string Out = Diags.renderAll();
+  EXPECT_NE(Out.find("warning: heads up"), std::string::npos);
+  EXPECT_NE(Out.find("note: context"), std::string::npos);
+  EXPECT_NE(Out.find("error: boom"), std::string::npos);
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.renderAll().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Solved-type printing
+//===----------------------------------------------------------------------===//
+
+TEST(TypePrinting, SolvedVariablesPrintTheirLeastSolution) {
+  QualifierSet QS;
+  QualifierId Const = QS.add("const", Polarity::Positive);
+  ConstraintSystem Sys(QS);
+  QualTypeFactory Factory;
+  TypeCtor Int("int", {});
+  TypeCtor Ref("ref", {Variance::Invariant});
+
+  QualVarId K = Sys.freshVar("k");
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})),
+             QualExpr::makeVar(K), {"decl"});
+  QualType T = Factory.make(
+      QualExpr::makeConst(QS.bottom()), &Ref,
+      {Factory.make(QualExpr::makeVar(K), &Int)});
+  Sys.solve();
+  EXPECT_EQ(toString(QS, T, &Sys), "ref(const int)");
+  // Unsolved printing shows variable ids instead.
+  EXPECT_EQ(toString(QS, T), "ref($0 int)");
+}
+
+//===----------------------------------------------------------------------===//
+// Support odds and ends
+//===----------------------------------------------------------------------===//
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile unsigned Sink = 0;
+  for (unsigned I = 0; I != 2000000; ++I)
+    Sink = Sink + I;
+  double S = T.seconds();
+  EXPECT_GT(S, 0.0);
+  EXPECT_EQ(T.milliseconds() >= S * 1000.0 * 0.5, true);
+  T.reset();
+  EXPECT_LT(T.seconds(), S + 1.0);
+}
+
+TEST(QualifierSetLimits, SupportsManyQualifiers) {
+  QualifierSet QS;
+  std::vector<QualifierId> Ids;
+  for (unsigned I = 0; I != 48; ++I)
+    Ids.push_back(QS.add("q" + std::to_string(I),
+                         I % 2 ? Polarity::Negative : Polarity::Positive));
+  EXPECT_EQ(QS.size(), 48u);
+  LatticeValue V = QS.bottom();
+  for (QualifierId Id : Ids)
+    V = QS.withQual(V, Id);
+  for (QualifierId Id : Ids)
+    EXPECT_TRUE(QS.contains(V, Id));
+  // Solving still works with a wide lattice. A lower bound forces the
+  // *positive* qualifiers present everywhere; the negative ones are only
+  // "may be present" (their presence sits at the bottom of the component,
+  // so only an upper bound could force it).
+  ConstraintSystem Sys(QS);
+  QualVarId A = Sys.freshVar("a"), B = Sys.freshVar("b");
+  Sys.addLeq(QualExpr::makeConst(V), QualExpr::makeVar(A), {"all"});
+  Sys.addLeq(QualExpr::makeVar(A), QualExpr::makeVar(B), {"edge"});
+  ASSERT_TRUE(Sys.solve());
+  for (unsigned I = 0; I != Ids.size(); ++I) {
+    if (QS.get(Ids[I]).Pol == Polarity::Positive)
+      EXPECT_TRUE(Sys.mustHave(B, Ids[I])) << I;
+    else
+      EXPECT_TRUE(Sys.mayHave(B, Ids[I])) << I;
+  }
+}
+
+} // namespace

@@ -1,0 +1,240 @@
+//===- tests/scheme_edge_test.cpp - Scheme simplification edge cases ------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generalization step *simplifies* schemes to interface summaries
+/// (TypeScheme.cpp). These tests pin down that the simplification is
+/// behaviour-preserving: masked (well-formedness) constraints survive with
+/// their masks, internal chains compress to the same observable bounds,
+/// free-variable links replay per instance, and nested instantiation
+/// composes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qual/Subtype.h"
+#include "qual/TypeScheme.h"
+#include "qual/WellFormed.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+
+namespace {
+
+class SchemeEdge : public ::testing::Test {
+protected:
+  QualifierSet QS;
+  QualifierId Const, Dynamic;
+  TypeCtor Int{"int", {}};
+  TypeCtor Fn{"->",
+              {Variance::Contravariant, Variance::Covariant},
+              PrintStyle::Infix};
+  QualTypeFactory Factory;
+
+  void SetUp() override {
+    Const = QS.add("const", Polarity::Positive);
+    Dynamic = QS.add("dynamic", Polarity::Positive);
+  }
+
+  QualExpr var(ConstraintSystem &Sys, const char *Name) {
+    return QualExpr::makeVar(Sys.freshVar(Name));
+  }
+};
+
+TEST_F(SchemeEdge, InternalChainCompressesToSameBounds) {
+  // p -> i1 -> ... -> i100 -> r inside the body: the scheme must expose
+  // p <= r with the intermediates eliminated.
+  ConstraintSystem Sys(QS);
+  Watermark Mark = takeWatermark(Sys);
+  QualExpr P = var(Sys, "p"), R = var(Sys, "r");
+  QualExpr Prev = P;
+  for (int I = 0; I != 100; ++I) {
+    QualExpr Next = var(Sys, "i");
+    Sys.addLeq(Prev, Next, {"body"});
+    Prev = Next;
+  }
+  Sys.addLeq(Prev, R, {"body"});
+  QualType Body = Factory.make(
+      var(Sys, "fn"), &Fn,
+      {Factory.make(P, &Int), Factory.make(R, &Int)});
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+
+  // The summary is small: no 100-element chain.
+  EXPECT_LE(S.getCannedConstraints().size(), 8u);
+
+  QualType Use = S.instantiate(Sys, Factory);
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})),
+             Use.getArg(0).getQual(), {"const into instance param"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(Use.getArg(1).getQual().getVar(), Const));
+}
+
+TEST_F(SchemeEdge, ConstantBoundsThroughInternalsSurvive) {
+  // const flows into an internal var that flows into the result: the
+  // instance's result must carry the const lower bound. Symmetrically an
+  // upper bound reached through internals caps the parameter.
+  ConstraintSystem Sys(QS);
+  Watermark Mark = takeWatermark(Sys);
+  QualExpr P = var(Sys, "p"), R = var(Sys, "r");
+  QualExpr Mid1 = var(Sys, "m1"), Mid2 = var(Sys, "m2");
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})), Mid1,
+             {"internal const source"});
+  Sys.addLeq(Mid1, R, {"to result"});
+  Sys.addLeq(P, Mid2, {"param in"});
+  Sys.addLeq(Mid2, QualExpr::makeConst(QS.notQual(Dynamic)),
+             {"internal cap"});
+  QualType Body = Factory.make(
+      var(Sys, "fn"), &Fn,
+      {Factory.make(P, &Int), Factory.make(R, &Int)});
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+
+  QualType Use = S.instantiate(Sys, Factory);
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(Use.getArg(1).getQual().getVar(), Const));
+  EXPECT_FALSE(Sys.mayHave(Use.getArg(0).getQual().getVar(), Dynamic));
+}
+
+TEST_F(SchemeEdge, MaskedConstraintsKeepTheirMasks) {
+  // A well-formedness edge (dynamic only) inside the body must not start
+  // carrying const after simplification.
+  ConstraintSystem Sys(QS);
+  Watermark Mark = takeWatermark(Sys);
+  QualExpr P = var(Sys, "p"), R = var(Sys, "r");
+  Sys.addLeqMasked(P, R, QS.bitFor(Dynamic), {"wf: dynamic upward"});
+  QualType Body = Factory.make(
+      var(Sys, "fn"), &Fn,
+      {Factory.make(P, &Int), Factory.make(R, &Int)});
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+
+  QualType Use = S.instantiate(Sys, Factory);
+  Sys.addLeq(QualExpr::makeConst(
+                 QS.valueWithPresent({Const, Dynamic})),
+             Use.getArg(0).getQual(), {"const+dynamic into param"});
+  ASSERT_TRUE(Sys.solve());
+  QualVarId Result = Use.getArg(1).getQual().getVar();
+  EXPECT_TRUE(Sys.mustHave(Result, Dynamic));  // crossed the masked edge
+  EXPECT_FALSE(Sys.mustHave(Result, Const));   // blocked by the mask
+}
+
+TEST_F(SchemeEdge, FreeVariableLinksReplayPerInstance) {
+  // Bound var -> global (free) var: every instance links to the same
+  // global. Two instances both raise it.
+  ConstraintSystem Sys(QS);
+  QualVarId Global = Sys.freshVar("global");
+  Watermark Mark = takeWatermark(Sys);
+  QualExpr P = var(Sys, "p");
+  Sys.addLeq(P, QualExpr::makeVar(Global), {"escapes to global"});
+  QualType Body = Factory.make(
+      var(Sys, "fn"), &Fn,
+      {Factory.make(P, &Int), Factory.make(P, &Int)});
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+
+  QualType U1 = S.instantiate(Sys, Factory);
+  QualType U2 = S.instantiate(Sys, Factory);
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})),
+             U1.getArg(0).getQual(), {"u1 const"});
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Dynamic})),
+             U2.getArg(0).getQual(), {"u2 dynamic"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(Global, Const));
+  EXPECT_TRUE(Sys.mustHave(Global, Dynamic));
+}
+
+TEST_F(SchemeEdge, ReverseFlowFromFreeVariable) {
+  // Global (free) var -> bound var: the global's qualifiers reach every
+  // instance, including qualifiers added *after* generalization.
+  ConstraintSystem Sys(QS);
+  QualVarId Global = Sys.freshVar("global");
+  Watermark Mark = takeWatermark(Sys);
+  QualExpr P = var(Sys, "p");
+  Sys.addLeq(QualExpr::makeVar(Global), P, {"global flows in"});
+  QualType Body = Factory.make(P, &Int);
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+
+  QualType Use = S.instantiate(Sys, Factory);
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})),
+             QualExpr::makeVar(Global), {"late const on global"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(Use.getQual().getVar(), Const));
+}
+
+TEST_F(SchemeEdge, InstantiationOfInstantiationComposes) {
+  // Generalize f; instantiate inside g's body; generalize g; instantiate
+  // g: bounds flow through both layers.
+  ConstraintSystem Sys(QS);
+
+  Watermark MarkF = takeWatermark(Sys);
+  QualExpr FP = var(Sys, "fp");
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})), FP,
+             {"f makes it const"});
+  QualType FBody = Factory.make(
+      var(Sys, "f"), &Fn, {Factory.make(FP, &Int), Factory.make(FP, &Int)});
+  QualScheme F = QualScheme::generalize(Sys, FBody, MarkF);
+
+  Watermark MarkG = takeWatermark(Sys);
+  QualType FUse = F.instantiate(Sys, Factory);
+  // g returns f's result.
+  QualType GBody = Factory.make(var(Sys, "g"), &Fn,
+                                {FUse.getArg(0), FUse.getArg(1)});
+  QualScheme G = QualScheme::generalize(Sys, GBody, MarkG);
+
+  QualType GUse = G.instantiate(Sys, Factory);
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(GUse.getArg(1).getQual().getVar(), Const));
+}
+
+TEST_F(SchemeEdge, MasterVariablesStayUnpolluted) {
+  // Constraints placed on an *instance* must not leak back into the
+  // scheme's master variables (this is what the Table 2 poly counting
+  // relies on).
+  ConstraintSystem Sys(QS);
+  Watermark Mark = takeWatermark(Sys);
+  QualExpr P = var(Sys, "p");
+  QualType Body = Factory.make(
+      var(Sys, "fn"), &Fn, {Factory.make(P, &Int), Factory.make(P, &Int)});
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+  QualVarId Master = P.getVar();
+
+  QualType Use = S.instantiate(Sys, Factory);
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})),
+             Use.getArg(0).getQual(), {"instance made const"});
+  Sys.addLeq(Use.getArg(0).getQual(),
+             QualExpr::makeConst(QS.valueWithPresent({Const})),
+             {"and capped"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_FALSE(Sys.mustHave(Master, Const));
+  EXPECT_TRUE(Sys.mayHave(Master, Dynamic));
+}
+
+TEST_F(SchemeEdge, SelfLoopInBodyIsHarmless) {
+  ConstraintSystem Sys(QS);
+  Watermark Mark = takeWatermark(Sys);
+  QualExpr P = var(Sys, "p"), Q = var(Sys, "q");
+  Sys.addLeq(P, Q, {"pq"});
+  Sys.addLeq(Q, P, {"qp"}); // cycle between two interface vars
+  QualType Body = Factory.make(
+      var(Sys, "fn"), &Fn, {Factory.make(P, &Int), Factory.make(Q, &Int)});
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+  QualType Use = S.instantiate(Sys, Factory);
+  Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({Const})),
+             Use.getArg(0).getQual(), {"seed"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(Use.getArg(1).getQual().getVar(), Const));
+  EXPECT_TRUE(Sys.mustHave(Use.getArg(0).getQual().getVar(), Const));
+}
+
+TEST_F(SchemeEdge, EmptyBodyGeneralizesToNothing) {
+  ConstraintSystem Sys(QS);
+  Watermark Mark = takeWatermark(Sys);
+  QualType Body =
+      Factory.make(QualExpr::makeConst(QS.bottom()), &Int);
+  QualScheme S = QualScheme::generalize(Sys, Body, Mark);
+  EXPECT_FALSE(S.isPolymorphic());
+  EXPECT_EQ(S.instantiate(Sys, Factory).getShape(), Body.getShape());
+}
+
+} // namespace

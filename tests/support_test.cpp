@@ -1,0 +1,278 @@
+//===- tests/support_test.cpp - Support substrate unit tests --------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Allocator.h"
+#include "support/Scc.h"
+#include "support/SourceManager.h"
+#include "support/StringInterner.h"
+#include "support/TextTable.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+using namespace quals;
+
+//===----------------------------------------------------------------------===//
+// BumpPtrAllocator
+//===----------------------------------------------------------------------===//
+
+TEST(Allocator, AllocatesAlignedMemory) {
+  BumpPtrAllocator A;
+  void *P1 = A.allocate(3, 1);
+  void *P8 = A.allocate(16, 8);
+  void *P16 = A.allocate(32, 16);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P16) % 16, 0u);
+}
+
+TEST(Allocator, CreateConstructsObjects) {
+  BumpPtrAllocator A;
+  struct Point {
+    int X, Y;
+    Point(int X, int Y) : X(X), Y(Y) {}
+  };
+  Point *P = A.create<Point>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(Allocator, HandlesLargeAllocations) {
+  BumpPtrAllocator A;
+  // Larger than the default slab: must still succeed.
+  void *P = A.allocate(1 << 20, 8);
+  EXPECT_NE(P, nullptr);
+  std::memset(P, 0xAB, 1 << 20);
+  EXPECT_GE(A.bytesAllocated(), size_t(1 << 20));
+}
+
+TEST(Allocator, ManySmallAllocationsStayDistinct) {
+  BumpPtrAllocator A;
+  std::set<void *> Seen;
+  for (int I = 0; I != 10000; ++I)
+    Seen.insert(A.allocate(24, 8));
+  EXPECT_EQ(Seen.size(), 10000u);
+}
+
+TEST(Allocator, CopyArrayCopiesContents) {
+  BumpPtrAllocator A;
+  int Src[] = {1, 2, 3, 4};
+  int *Copy = A.copyArray(Src, 4);
+  Src[0] = 99;
+  EXPECT_EQ(Copy[0], 1);
+  EXPECT_EQ(Copy[3], 4);
+  EXPECT_EQ(A.copyArray(Src, 0), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, EqualStringsShareStorage) {
+  StringInterner SI;
+  std::string A = "hello";
+  std::string B = "hello";
+  std::string_view VA = SI.intern(A);
+  std::string_view VB = SI.intern(B);
+  EXPECT_EQ(VA.data(), VB.data());
+  EXPECT_EQ(SI.size(), 1u);
+}
+
+TEST(StringInterner, DistinctStringsStayDistinct) {
+  StringInterner SI;
+  std::string_view A = SI.intern("alpha");
+  std::string_view B = SI.intern("beta");
+  EXPECT_NE(A.data(), B.data());
+  EXPECT_EQ(SI.size(), 2u);
+}
+
+TEST(StringInterner, SurvivesManyInsertions) {
+  StringInterner SI;
+  std::string_view First = SI.intern("stable");
+  for (int I = 0; I != 5000; ++I)
+    SI.intern("key" + std::to_string(I));
+  // The early view must still be valid and re-internable to the same data.
+  EXPECT_EQ(SI.intern("stable").data(), First.data());
+}
+
+//===----------------------------------------------------------------------===//
+// UnionFind
+//===----------------------------------------------------------------------===//
+
+TEST(UnionFind, SingletonsAreTheirOwnRepresentatives) {
+  UnionFind UF;
+  unsigned A = UF.makeSet();
+  unsigned B = UF.makeSet();
+  EXPECT_EQ(UF.find(A), A);
+  EXPECT_EQ(UF.find(B), B);
+  EXPECT_FALSE(UF.connected(A, B));
+}
+
+TEST(UnionFind, UniteMergesTransitively) {
+  UnionFind UF;
+  unsigned A = UF.makeSet(), B = UF.makeSet(), C = UF.makeSet();
+  UF.unite(A, B);
+  UF.unite(B, C);
+  EXPECT_TRUE(UF.connected(A, C));
+  unsigned D = UF.makeSet();
+  EXPECT_FALSE(UF.connected(A, D));
+}
+
+TEST(UnionFind, LargeChainCompresses) {
+  UnionFind UF;
+  std::vector<unsigned> Ids;
+  for (int I = 0; I != 10000; ++I)
+    Ids.push_back(UF.makeSet());
+  for (int I = 1; I != 10000; ++I)
+    UF.unite(Ids[I - 1], Ids[I]);
+  EXPECT_TRUE(UF.connected(Ids[0], Ids[9999]));
+}
+
+//===----------------------------------------------------------------------===//
+// SCC
+//===----------------------------------------------------------------------===//
+
+TEST(Scc, SingleNodesNoEdges) {
+  Digraph G(3);
+  SccResult R = computeSccs(G);
+  EXPECT_EQ(R.Components.size(), 3u);
+  for (unsigned I = 0; I != 3; ++I)
+    EXPECT_EQ(R.Components[R.ComponentOf[I]].front(), I);
+}
+
+TEST(Scc, SimpleCycleIsOneComponent) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 0);
+  SccResult R = computeSccs(G);
+  ASSERT_EQ(R.Components.size(), 1u);
+  EXPECT_EQ(R.Components[0].size(), 3u);
+}
+
+TEST(Scc, ReverseTopologicalOrder) {
+  // 0 -> 1 -> 2 (a chain): callees (2) must appear before callers (0).
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  SccResult R = computeSccs(G);
+  ASSERT_EQ(R.Components.size(), 3u);
+  EXPECT_LT(R.ComponentOf[2], R.ComponentOf[1]);
+  EXPECT_LT(R.ComponentOf[1], R.ComponentOf[0]);
+}
+
+TEST(Scc, MixedGraphMatchesPaperFdgShape) {
+  // Two mutually recursive functions {1,2} called by 0, calling leaf 3.
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 1);
+  G.addEdge(2, 3);
+  SccResult R = computeSccs(G);
+  ASSERT_EQ(R.Components.size(), 3u);
+  EXPECT_EQ(R.ComponentOf[1], R.ComponentOf[2]);
+  EXPECT_LT(R.ComponentOf[3], R.ComponentOf[1]);
+  EXPECT_LT(R.ComponentOf[1], R.ComponentOf[0]);
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  Digraph G(2);
+  G.addEdge(0, 0);
+  G.addEdge(0, 1);
+  SccResult R = computeSccs(G);
+  EXPECT_EQ(R.Components.size(), 2u);
+  EXPECT_NE(R.ComponentOf[0], R.ComponentOf[1]);
+}
+
+TEST(Scc, DeepChainDoesNotOverflow) {
+  // The iterative Tarjan must handle recursion depths that would overflow a
+  // recursive implementation.
+  constexpr unsigned N = 200000;
+  Digraph G(N);
+  for (unsigned I = 0; I + 1 != N; ++I)
+    G.addEdge(I, I + 1);
+  SccResult R = computeSccs(G);
+  EXPECT_EQ(R.Components.size(), N);
+}
+
+//===----------------------------------------------------------------------===//
+// SourceManager
+//===----------------------------------------------------------------------===//
+
+TEST(SourceManager, MapsOffsetsToLineAndColumn) {
+  SourceManager SM;
+  unsigned Id = SM.addBuffer("test.q", "abc\ndef\nghi\n");
+  PresumedLoc P = SM.getPresumedLoc(SM.getLocForOffset(Id, 5));
+  EXPECT_EQ(P.Filename, "test.q");
+  EXPECT_EQ(P.Line, 2u);
+  EXPECT_EQ(P.Column, 2u);
+}
+
+TEST(SourceManager, FirstCharacterIsLineOneColumnOne) {
+  SourceManager SM;
+  unsigned Id = SM.addBuffer("a.q", "xyz");
+  PresumedLoc P = SM.getPresumedLoc(SM.getBufferStart(Id));
+  EXPECT_EQ(P.Line, 1u);
+  EXPECT_EQ(P.Column, 1u);
+}
+
+TEST(SourceManager, MultipleBuffersDisjoint) {
+  SourceManager SM;
+  unsigned A = SM.addBuffer("a.q", "aaa");
+  unsigned B = SM.addBuffer("b.q", "bbbb\nbb");
+  PresumedLoc PA = SM.getPresumedLoc(SM.getLocForOffset(A, 1));
+  PresumedLoc PB = SM.getPresumedLoc(SM.getLocForOffset(B, 5));
+  EXPECT_EQ(PA.Filename, "a.q");
+  EXPECT_EQ(PB.Filename, "b.q");
+  EXPECT_EQ(PB.Line, 2u);
+}
+
+TEST(SourceManager, InvalidLocHasInvalidPresumedLoc) {
+  SourceManager SM;
+  SM.addBuffer("a.q", "aaa");
+  EXPECT_FALSE(SM.getPresumedLoc(SourceLoc()).isValid());
+}
+
+TEST(SourceManager, GetLineTextReturnsWholeLine) {
+  SourceManager SM;
+  unsigned Id = SM.addBuffer("a.q", "first\nsecond line\nthird");
+  EXPECT_EQ(SM.getLineText(SM.getLocForOffset(Id, 8)), "second line");
+  EXPECT_EQ(SM.getLineText(SM.getLocForOffset(Id, 20)), "third");
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable
+//===----------------------------------------------------------------------===//
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.addColumn("Name");
+  T.addColumn("Lines", Align::Right);
+  T.addRow({"woman-3.0a", "1496"});
+  T.addRow({"uucp-1.04", "36913"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("36913"), std::string::npos);
+  // Right-aligned numbers end at the same column.
+  size_t L1 = Out.find("1496");
+  size_t L2 = Out.find("36913");
+  ASSERT_NE(L1, std::string::npos);
+  ASSERT_NE(L2, std::string::npos);
+}
+
+TEST(TextTable, StackedBarUsesFullWidth) {
+  std::string Bar = renderStackedBar(
+      {{"a", 0.25, '#'}, {"b", 0.25, '+'}, {"c", 0.5, '.'}}, 40);
+  EXPECT_EQ(Bar.size(), 40u);
+  EXPECT_EQ(std::count(Bar.begin(), Bar.end(), '#'), 10);
+  EXPECT_EQ(std::count(Bar.begin(), Bar.end(), '+'), 10);
+  EXPECT_EQ(std::count(Bar.begin(), Bar.end(), '.'), 20);
+}

@@ -1,0 +1,182 @@
+//===- tools/qualcc.cpp - Whole-program const inference driver -------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line artifact of Section 4: takes an entire C program (one or
+// more files, analyzed together like the paper's multi-file benchmarks) and
+// infers the maximum number of consts that can be syntactically present.
+//
+//   qualcc [options] file1.c [file2.c ...]
+//
+//   --mono          monomorphic inference (default: polymorphic)
+//   --protos        print annotated prototypes (const where allowed)
+//   --positions     print the per-position classification
+//   --nonnull       also run the flow-insensitive nonnull checker
+//   --flow-nonnull  also run the flow-sensitive (Section 6) checker
+//   --quiet         counts only
+//
+// Exit status: 0 on success, 1 on front-end errors, 2 on const errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/FlowNonNull.h"
+#include "apps/NonNull.h"
+#include "cfront/CParser.h"
+#include "cfront/CSema.h"
+#include "constinf/ConstInfer.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace quals;
+using namespace quals::cfront;
+using namespace quals::constinf;
+
+static bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+static const char *className(PosClass C) {
+  switch (C) {
+  case PosClass::MustConst:    return "must-const";
+  case PosClass::MustNonConst: return "non-const";
+  case PosClass::Either:       return "either";
+  }
+  return "?";
+}
+
+int main(int argc, char **argv) {
+  bool Polymorphic = true;
+  bool PrintProtos = false;
+  bool PrintPositions = false;
+  bool RunNonNull = false;
+  bool RunFlowNonNull = false;
+  bool Quiet = false;
+  std::vector<const char *> Files;
+
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--mono"))
+      Polymorphic = false;
+    else if (!std::strcmp(argv[I], "--protos"))
+      PrintProtos = true;
+    else if (!std::strcmp(argv[I], "--positions"))
+      PrintPositions = true;
+    else if (!std::strcmp(argv[I], "--nonnull"))
+      RunNonNull = true;
+    else if (!std::strcmp(argv[I], "--flow-nonnull"))
+      RunFlowNonNull = true;
+    else if (!std::strcmp(argv[I], "--quiet"))
+      Quiet = true;
+    else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: qualcc [--mono] [--protos] [--positions] "
+                   "[--nonnull] [--flow-nonnull] [--quiet] file.c...\n");
+      return argv[I][1] == 'h' ? 0 : 1;
+    } else {
+      Files.push_back(argv[I]);
+    }
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "qualcc: no input files\n");
+    return 1;
+  }
+
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  CAstContext Ast;
+  CTypeContext Types;
+  StringInterner Idents;
+  TranslationUnit TU;
+
+  Timer CompileTimer;
+  for (const char *Path : Files) {
+    std::string Source;
+    if (!readFile(Path, Source)) {
+      std::fprintf(stderr, "qualcc: cannot read '%s'\n", Path);
+      return 1;
+    }
+    if (!parseCSource(SM, Path, std::move(Source), Ast, Types, Idents,
+                      Diags, TU)) {
+      std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+      return 1;
+    }
+  }
+  CSema Sema(Ast, Types, Idents, Diags);
+  if (!Sema.analyze(TU)) {
+    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+    return 1;
+  }
+  double CompileSeconds = CompileTimer.seconds();
+
+  ConstInference::Options Opts;
+  Opts.Polymorphic = Polymorphic;
+  ConstInference Inf(TU, Diags, Opts);
+  Timer InferTimer;
+  if (!Inf.run()) {
+    std::fprintf(stderr, "qualcc: const errors detected:\n%s",
+                 Diags.renderAll().c_str());
+    return 2;
+  }
+  double InferSeconds = InferTimer.seconds();
+
+  if (PrintPositions) {
+    for (const InterestingPos &Pos : Inf.positions()) {
+      std::string Where = Pos.ParamIndex < 0
+                              ? std::string("result")
+                              : "param " + std::to_string(Pos.ParamIndex);
+      std::printf("%-24s %-8s depth %u  %-10s%s\n",
+                  std::string(Pos.Fn->getName()).c_str(), Where.c_str(),
+                  Pos.Depth, className(Inf.classify(Pos)),
+                  Pos.DeclaredConst ? "  [declared]" : "");
+    }
+  }
+  if (PrintProtos)
+    std::printf("%s", Inf.renderAnnotatedPrototypes().c_str());
+
+  ConstCounts C = Inf.counts();
+  if (!Quiet)
+    std::printf("%s inference over %zu file(s): compile %.3fs, infer "
+                "%.3fs, %u qualifier vars, %u constraints\n",
+                Polymorphic ? "polymorphic" : "monomorphic", Files.size(),
+                CompileSeconds, InferSeconds, Inf.numQualVars(),
+                Inf.numConstraints());
+  std::printf("declared %u, inferred possible-const %u, total positions "
+              "%u\n",
+              C.Declared, C.PossibleConst, C.Total);
+
+  auto printWarnings = [&SM](const char *Title, const auto &Warnings) {
+    std::printf("%s: %zu warning(s)\n", Title, Warnings.size());
+    for (const auto &W : Warnings) {
+      PresumedLoc P = SM.getPresumedLoc(W.Loc);
+      if (P.isValid())
+        std::printf("  %s:%u:%u: %s\n", std::string(P.Filename).c_str(),
+                    P.Line, P.Column, W.Message.c_str());
+      else
+        std::printf("  %s\n", W.Message.c_str());
+    }
+  };
+  if (RunNonNull) {
+    quals::apps::NonNullChecker Checker;
+    Checker.analyze(TU);
+    printWarnings("nonnull (flow-insensitive)", Checker.warnings());
+  }
+  if (RunFlowNonNull) {
+    quals::apps::FlowNonNullChecker Checker;
+    Checker.analyze(TU);
+    printWarnings("nonnull (flow-sensitive, Section 6)",
+                  Checker.warnings());
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+//===- tools/qualcheck.cpp - Lambda-language qualifier checker -------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Checks and optionally runs programs in the paper's demonstration language
+// (Figure 1 + references + qualifier annotations/assertions):
+//
+//   qualcheck [options] file.q
+//
+//   --mono   monomorphic qualifier inference (default: polymorphic)
+//   --run    evaluate under the Figure 5 semantics after checking
+//   --trace  with --run, print every reduction step
+//   --quals  comma-separated qualifier spec, name[:neg] (default:
+//            "const,nonzero:neg,dynamic,tainted")
+//
+// Exit status: 0 accepted, 1 front-end/type errors, 2 qualifier errors,
+// 3 evaluation got stuck.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Eval.h"
+#include "lambda/Parser.h"
+#include "lambda/QualInfer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace quals;
+using namespace quals::lambda;
+
+static bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+int main(int argc, char **argv) {
+  bool Polymorphic = true;
+  bool Run = false;
+  bool Trace = false;
+  const char *File = nullptr;
+  std::string QualSpec = "const,nonzero:neg,dynamic,tainted";
+
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--mono"))
+      Polymorphic = false;
+    else if (!std::strcmp(argv[I], "--run"))
+      Run = true;
+    else if (!std::strcmp(argv[I], "--trace"))
+      Run = Trace = true;
+    else if (!std::strcmp(argv[I], "--quals") && I + 1 < argc)
+      QualSpec = argv[++I];
+    else if (argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: qualcheck [--mono] [--run] [--trace] "
+                   "[--quals spec] file.q\n");
+      return std::strcmp(argv[I], "--help") ? 1 : 0;
+    } else {
+      File = argv[I];
+    }
+  }
+  if (!File) {
+    std::fprintf(stderr, "qualcheck: no input file\n");
+    return 1;
+  }
+
+  QualifierSet QS;
+  QualifierId ConstQual = ~0u;
+  {
+    std::stringstream Spec(QualSpec);
+    std::string Item;
+    while (std::getline(Spec, Item, ',')) {
+      bool Negative = false;
+      size_t Colon = Item.find(':');
+      if (Colon != std::string::npos) {
+        Negative = Item.substr(Colon + 1) == "neg";
+        Item = Item.substr(0, Colon);
+      }
+      if (Item.empty())
+        continue;
+      QualifierId Id = QS.add(
+          Item, Negative ? Polarity::Negative : Polarity::Positive);
+      if (Item == "const")
+        ConstQual = Id;
+    }
+  }
+
+  std::string Source;
+  if (!readFile(File, Source)) {
+    std::fprintf(stderr, "qualcheck: cannot read '%s'\n", File);
+    return 1;
+  }
+
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  AstContext Ast;
+  StringInterner Idents;
+  const Expr *Program =
+      parseString(SM, File, std::move(Source), QS, Ast, Idents, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+    return 1;
+  }
+
+  STyContext STys;
+  ConstraintSystem Sys(QS);
+  QualTypeFactory Factory;
+  LambdaTypeCtors Ctors;
+  QualInferOptions Options;
+  Options.Polymorphic = Polymorphic;
+  if (ConstQual != ~0u)
+    Options.ConstQual = ConstQual;
+
+  CheckResult Result = checkProgram(Program, QS, STys, Sys, Factory, Ctors,
+                                    Diags, Options);
+  if (!Result.StdTypeOk) {
+    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+    return 1;
+  }
+  std::printf("qualified type: %s\n",
+              toString(QS, Result.Type, &Sys).c_str());
+  if (!Result.QualOk) {
+    std::printf("qualifier check: REJECTED\n");
+    for (const Violation &V : Result.Violations)
+      std::printf("%s", Sys.explain(V).c_str());
+    return 2;
+  }
+  std::printf("qualifier check: accepted (%s)\n",
+              Polymorphic ? "polymorphic" : "monomorphic");
+
+  if (Run) {
+    Evaluator Ev(Ast, QS);
+    unsigned StepNo = 0;
+    Evaluator::StepObserver Observer;
+    if (Trace)
+      Observer = [&](const Expr *Term) {
+        std::printf("  --> [%u] %s\n", ++StepNo,
+                    toString(QS, Term).c_str());
+      };
+    EvalResult R = Ev.evaluate(Program, 100000, Observer);
+    switch (R.Outcome) {
+    case EvalOutcome::Value:
+      std::printf("value: %s (%u steps)\n",
+                  toString(QS, R.Result).c_str(), R.Steps);
+      break;
+    case EvalOutcome::Stuck:
+      std::printf("STUCK after %u steps: %s\n", R.Steps,
+                  R.StuckReason.c_str());
+      return 3;
+    case EvalOutcome::TimedOut:
+      std::printf("step limit reached (possibly diverging)\n");
+      break;
+    }
+  }
+  return 0;
+}
