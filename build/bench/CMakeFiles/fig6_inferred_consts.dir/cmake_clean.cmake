@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_inferred_consts.dir/fig6_inferred_consts.cpp.o"
+  "CMakeFiles/fig6_inferred_consts.dir/fig6_inferred_consts.cpp.o.d"
+  "fig6_inferred_consts"
+  "fig6_inferred_consts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_inferred_consts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

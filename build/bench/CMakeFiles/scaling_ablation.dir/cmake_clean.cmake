@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_ablation.dir/scaling_ablation.cpp.o"
+  "CMakeFiles/scaling_ablation.dir/scaling_ablation.cpp.o.d"
+  "scaling_ablation"
+  "scaling_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

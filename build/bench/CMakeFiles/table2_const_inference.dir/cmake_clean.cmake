@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_const_inference.dir/table2_const_inference.cpp.o"
+  "CMakeFiles/table2_const_inference.dir/table2_const_inference.cpp.o.d"
+  "table2_const_inference"
+  "table2_const_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_const_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binding_time.dir/binding_time.cpp.o"
+  "CMakeFiles/binding_time.dir/binding_time.cpp.o.d"
+  "binding_time"
+  "binding_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binding_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

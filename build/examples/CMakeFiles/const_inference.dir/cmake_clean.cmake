@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/const_inference.dir/const_inference.cpp.o"
+  "CMakeFiles/const_inference.dir/const_inference.cpp.o.d"
+  "const_inference"
+  "const_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/const_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_quals.dir/lambda_quals.cpp.o"
+  "CMakeFiles/lambda_quals.dir/lambda_quals.cpp.o.d"
+  "lambda_quals"
+  "lambda_quals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_quals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonnull_checking.dir/nonnull_checking.cpp.o"
+  "CMakeFiles/nonnull_checking.dir/nonnull_checking.cpp.o.d"
+  "nonnull_checking"
+  "nonnull_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonnull_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

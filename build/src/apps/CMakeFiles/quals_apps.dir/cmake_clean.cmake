@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quals_apps.dir/BindingTime.cpp.o"
+  "CMakeFiles/quals_apps.dir/BindingTime.cpp.o.d"
+  "CMakeFiles/quals_apps.dir/FlowNonNull.cpp.o"
+  "CMakeFiles/quals_apps.dir/FlowNonNull.cpp.o.d"
+  "CMakeFiles/quals_apps.dir/NonNull.cpp.o"
+  "CMakeFiles/quals_apps.dir/NonNull.cpp.o.d"
+  "CMakeFiles/quals_apps.dir/Taint.cpp.o"
+  "CMakeFiles/quals_apps.dir/Taint.cpp.o.d"
+  "libquals_apps.a"
+  "libquals_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quals_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfront/CLexer.cpp" "src/cfront/CMakeFiles/quals_cfront.dir/CLexer.cpp.o" "gcc" "src/cfront/CMakeFiles/quals_cfront.dir/CLexer.cpp.o.d"
+  "/root/repo/src/cfront/CParser.cpp" "src/cfront/CMakeFiles/quals_cfront.dir/CParser.cpp.o" "gcc" "src/cfront/CMakeFiles/quals_cfront.dir/CParser.cpp.o.d"
+  "/root/repo/src/cfront/CSema.cpp" "src/cfront/CMakeFiles/quals_cfront.dir/CSema.cpp.o" "gcc" "src/cfront/CMakeFiles/quals_cfront.dir/CSema.cpp.o.d"
+  "/root/repo/src/cfront/CType.cpp" "src/cfront/CMakeFiles/quals_cfront.dir/CType.cpp.o" "gcc" "src/cfront/CMakeFiles/quals_cfront.dir/CType.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/quals_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

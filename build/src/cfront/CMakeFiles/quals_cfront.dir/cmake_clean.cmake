@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quals_cfront.dir/CLexer.cpp.o"
+  "CMakeFiles/quals_cfront.dir/CLexer.cpp.o.d"
+  "CMakeFiles/quals_cfront.dir/CParser.cpp.o"
+  "CMakeFiles/quals_cfront.dir/CParser.cpp.o.d"
+  "CMakeFiles/quals_cfront.dir/CSema.cpp.o"
+  "CMakeFiles/quals_cfront.dir/CSema.cpp.o.d"
+  "CMakeFiles/quals_cfront.dir/CType.cpp.o"
+  "CMakeFiles/quals_cfront.dir/CType.cpp.o.d"
+  "libquals_cfront.a"
+  "libquals_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quals_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

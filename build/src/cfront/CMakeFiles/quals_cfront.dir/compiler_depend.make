@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quals_cfront.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quals_constinf.dir/ConstInfer.cpp.o"
+  "CMakeFiles/quals_constinf.dir/ConstInfer.cpp.o.d"
+  "CMakeFiles/quals_constinf.dir/ConstraintGen.cpp.o"
+  "CMakeFiles/quals_constinf.dir/ConstraintGen.cpp.o.d"
+  "CMakeFiles/quals_constinf.dir/Fdg.cpp.o"
+  "CMakeFiles/quals_constinf.dir/Fdg.cpp.o.d"
+  "CMakeFiles/quals_constinf.dir/RefTypes.cpp.o"
+  "CMakeFiles/quals_constinf.dir/RefTypes.cpp.o.d"
+  "libquals_constinf.a"
+  "libquals_constinf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quals_constinf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquals_constinf.a"
+)

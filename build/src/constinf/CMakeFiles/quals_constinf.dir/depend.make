@@ -1,0 +1,2 @@
+# Empty dependencies file for quals_constinf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quals_gen.dir/SynthGen.cpp.o"
+  "CMakeFiles/quals_gen.dir/SynthGen.cpp.o.d"
+  "libquals_gen.a"
+  "libquals_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quals_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquals_gen.a"
+)

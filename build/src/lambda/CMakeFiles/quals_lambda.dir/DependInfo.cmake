@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lambda/Ast.cpp" "src/lambda/CMakeFiles/quals_lambda.dir/Ast.cpp.o" "gcc" "src/lambda/CMakeFiles/quals_lambda.dir/Ast.cpp.o.d"
+  "/root/repo/src/lambda/Eval.cpp" "src/lambda/CMakeFiles/quals_lambda.dir/Eval.cpp.o" "gcc" "src/lambda/CMakeFiles/quals_lambda.dir/Eval.cpp.o.d"
+  "/root/repo/src/lambda/Lexer.cpp" "src/lambda/CMakeFiles/quals_lambda.dir/Lexer.cpp.o" "gcc" "src/lambda/CMakeFiles/quals_lambda.dir/Lexer.cpp.o.d"
+  "/root/repo/src/lambda/Parser.cpp" "src/lambda/CMakeFiles/quals_lambda.dir/Parser.cpp.o" "gcc" "src/lambda/CMakeFiles/quals_lambda.dir/Parser.cpp.o.d"
+  "/root/repo/src/lambda/QualInfer.cpp" "src/lambda/CMakeFiles/quals_lambda.dir/QualInfer.cpp.o" "gcc" "src/lambda/CMakeFiles/quals_lambda.dir/QualInfer.cpp.o.d"
+  "/root/repo/src/lambda/TypeCheck.cpp" "src/lambda/CMakeFiles/quals_lambda.dir/TypeCheck.cpp.o" "gcc" "src/lambda/CMakeFiles/quals_lambda.dir/TypeCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qual/CMakeFiles/quals_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/quals_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quals_lambda.dir/Ast.cpp.o"
+  "CMakeFiles/quals_lambda.dir/Ast.cpp.o.d"
+  "CMakeFiles/quals_lambda.dir/Eval.cpp.o"
+  "CMakeFiles/quals_lambda.dir/Eval.cpp.o.d"
+  "CMakeFiles/quals_lambda.dir/Lexer.cpp.o"
+  "CMakeFiles/quals_lambda.dir/Lexer.cpp.o.d"
+  "CMakeFiles/quals_lambda.dir/Parser.cpp.o"
+  "CMakeFiles/quals_lambda.dir/Parser.cpp.o.d"
+  "CMakeFiles/quals_lambda.dir/QualInfer.cpp.o"
+  "CMakeFiles/quals_lambda.dir/QualInfer.cpp.o.d"
+  "CMakeFiles/quals_lambda.dir/TypeCheck.cpp.o"
+  "CMakeFiles/quals_lambda.dir/TypeCheck.cpp.o.d"
+  "libquals_lambda.a"
+  "libquals_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quals_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

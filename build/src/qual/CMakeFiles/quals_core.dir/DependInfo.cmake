@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qual/ConstraintSystem.cpp" "src/qual/CMakeFiles/quals_core.dir/ConstraintSystem.cpp.o" "gcc" "src/qual/CMakeFiles/quals_core.dir/ConstraintSystem.cpp.o.d"
+  "/root/repo/src/qual/QualType.cpp" "src/qual/CMakeFiles/quals_core.dir/QualType.cpp.o" "gcc" "src/qual/CMakeFiles/quals_core.dir/QualType.cpp.o.d"
+  "/root/repo/src/qual/Qualifier.cpp" "src/qual/CMakeFiles/quals_core.dir/Qualifier.cpp.o" "gcc" "src/qual/CMakeFiles/quals_core.dir/Qualifier.cpp.o.d"
+  "/root/repo/src/qual/Subtype.cpp" "src/qual/CMakeFiles/quals_core.dir/Subtype.cpp.o" "gcc" "src/qual/CMakeFiles/quals_core.dir/Subtype.cpp.o.d"
+  "/root/repo/src/qual/TypeScheme.cpp" "src/qual/CMakeFiles/quals_core.dir/TypeScheme.cpp.o" "gcc" "src/qual/CMakeFiles/quals_core.dir/TypeScheme.cpp.o.d"
+  "/root/repo/src/qual/WellFormed.cpp" "src/qual/CMakeFiles/quals_core.dir/WellFormed.cpp.o" "gcc" "src/qual/CMakeFiles/quals_core.dir/WellFormed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/quals_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

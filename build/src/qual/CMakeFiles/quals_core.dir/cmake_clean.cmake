@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quals_core.dir/ConstraintSystem.cpp.o"
+  "CMakeFiles/quals_core.dir/ConstraintSystem.cpp.o.d"
+  "CMakeFiles/quals_core.dir/QualType.cpp.o"
+  "CMakeFiles/quals_core.dir/QualType.cpp.o.d"
+  "CMakeFiles/quals_core.dir/Qualifier.cpp.o"
+  "CMakeFiles/quals_core.dir/Qualifier.cpp.o.d"
+  "CMakeFiles/quals_core.dir/Subtype.cpp.o"
+  "CMakeFiles/quals_core.dir/Subtype.cpp.o.d"
+  "CMakeFiles/quals_core.dir/TypeScheme.cpp.o"
+  "CMakeFiles/quals_core.dir/TypeScheme.cpp.o.d"
+  "CMakeFiles/quals_core.dir/WellFormed.cpp.o"
+  "CMakeFiles/quals_core.dir/WellFormed.cpp.o.d"
+  "libquals_core.a"
+  "libquals_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quals_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quals_support.dir/Allocator.cpp.o"
+  "CMakeFiles/quals_support.dir/Allocator.cpp.o.d"
+  "CMakeFiles/quals_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/quals_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/quals_support.dir/Scc.cpp.o"
+  "CMakeFiles/quals_support.dir/Scc.cpp.o.d"
+  "CMakeFiles/quals_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/quals_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/quals_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/quals_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/quals_support.dir/TextTable.cpp.o"
+  "CMakeFiles/quals_support.dir/TextTable.cpp.o.d"
+  "libquals_support.a"
+  "libquals_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quals_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfront_edge_test.dir/cfront_edge_test.cpp.o"
+  "CMakeFiles/cfront_edge_test.dir/cfront_edge_test.cpp.o.d"
+  "cfront_edge_test"
+  "cfront_edge_test.pdb"
+  "cfront_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfront_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

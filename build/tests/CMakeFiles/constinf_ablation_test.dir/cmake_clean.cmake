@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constinf_ablation_test.dir/constinf_ablation_test.cpp.o"
+  "CMakeFiles/constinf_ablation_test.dir/constinf_ablation_test.cpp.o.d"
+  "constinf_ablation_test"
+  "constinf_ablation_test.pdb"
+  "constinf_ablation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constinf_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

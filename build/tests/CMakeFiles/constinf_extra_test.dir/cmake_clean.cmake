@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constinf_extra_test.dir/constinf_extra_test.cpp.o"
+  "CMakeFiles/constinf_extra_test.dir/constinf_extra_test.cpp.o.d"
+  "constinf_extra_test"
+  "constinf_extra_test.pdb"
+  "constinf_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constinf_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_nonnull_test.dir/flow_nonnull_test.cpp.o"
+  "CMakeFiles/flow_nonnull_test.dir/flow_nonnull_test.cpp.o.d"
+  "flow_nonnull_test"
+  "flow_nonnull_test.pdb"
+  "flow_nonnull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_nonnull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

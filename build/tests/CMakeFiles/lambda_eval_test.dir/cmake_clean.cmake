@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_eval_test.dir/lambda_eval_test.cpp.o"
+  "CMakeFiles/lambda_eval_test.dir/lambda_eval_test.cpp.o.d"
+  "lambda_eval_test"
+  "lambda_eval_test.pdb"
+  "lambda_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

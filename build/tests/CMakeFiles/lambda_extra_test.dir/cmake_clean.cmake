@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_extra_test.dir/lambda_extra_test.cpp.o"
+  "CMakeFiles/lambda_extra_test.dir/lambda_extra_test.cpp.o.d"
+  "lambda_extra_test"
+  "lambda_extra_test.pdb"
+  "lambda_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_front_test.dir/lambda_front_test.cpp.o"
+  "CMakeFiles/lambda_front_test.dir/lambda_front_test.cpp.o.d"
+  "lambda_front_test"
+  "lambda_front_test.pdb"
+  "lambda_front_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_front_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_qual_test.dir/lambda_qual_test.cpp.o"
+  "CMakeFiles/lambda_qual_test.dir/lambda_qual_test.cpp.o.d"
+  "lambda_qual_test"
+  "lambda_qual_test.pdb"
+  "lambda_qual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_qual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_soundness_test.dir/lambda_soundness_test.cpp.o"
+  "CMakeFiles/lambda_soundness_test.dir/lambda_soundness_test.cpp.o.d"
+  "lambda_soundness_test"
+  "lambda_soundness_test.pdb"
+  "lambda_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

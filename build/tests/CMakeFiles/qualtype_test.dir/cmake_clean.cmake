@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualtype_test.dir/qualtype_test.cpp.o"
+  "CMakeFiles/qualtype_test.dir/qualtype_test.cpp.o.d"
+  "qualtype_test"
+  "qualtype_test.pdb"
+  "qualtype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualtype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_edge_test.dir/scheme_edge_test.cpp.o"
+  "CMakeFiles/scheme_edge_test.dir/scheme_edge_test.cpp.o.d"
+  "scheme_edge_test"
+  "scheme_edge_test.pdb"
+  "scheme_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

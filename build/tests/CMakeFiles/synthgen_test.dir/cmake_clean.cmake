@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthgen_test.dir/synthgen_test.cpp.o"
+  "CMakeFiles/synthgen_test.dir/synthgen_test.cpp.o.d"
+  "synthgen_test"
+  "synthgen_test.pdb"
+  "synthgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

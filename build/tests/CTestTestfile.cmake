@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/constraint_test[1]_include.cmake")
+include("/root/repo/build/tests/qualtype_test[1]_include.cmake")
+include("/root/repo/build/tests/lambda_front_test[1]_include.cmake")
+include("/root/repo/build/tests/lambda_qual_test[1]_include.cmake")
+include("/root/repo/build/tests/lambda_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/cfront_test[1]_include.cmake")
+include("/root/repo/build/tests/constinf_test[1]_include.cmake")
+include("/root/repo/build/tests/synthgen_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/lambda_soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/constinf_ablation_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_nonnull_test[1]_include.cmake")
+include("/root/repo/build/tests/cfront_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/scheme_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lambda_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/programs_test[1]_include.cmake")
+include("/root/repo/build/tests/constinf_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualcc.dir/qualcc.cpp.o"
+  "CMakeFiles/qualcc.dir/qualcc.cpp.o.d"
+  "qualcc"
+  "qualcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualcheck.dir/qualcheck.cpp.o"
+  "CMakeFiles/qualcheck.dir/qualcheck.cpp.o.d"
+  "qualcheck"
+  "qualcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

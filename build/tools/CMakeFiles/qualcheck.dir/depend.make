@@ -1,0 +1,2 @@
+# Empty dependencies file for qualcheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualgen.dir/qualgen.cpp.o"
+  "CMakeFiles/qualgen.dir/qualgen.cpp.o.d"
+  "qualgen"
+  "qualgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.qualcheck.id_poly "/root/repo/build/tools/qualcheck" "/root/repo/examples/programs/id_poly.q")
+set_tests_properties(cli.qualcheck.id_poly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.qualcheck.id_poly_mono_rejected "/root/repo/build/tools/qualcheck" "--mono" "/root/repo/examples/programs/id_poly.q")
+set_tests_properties(cli.qualcheck.id_poly_mono_rejected PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.qualcheck.nonzero_alias_rejected "/root/repo/build/tools/qualcheck" "--run" "/root/repo/examples/programs/nonzero_alias.q")
+set_tests_properties(cli.qualcheck.nonzero_alias_rejected PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.qualcheck.nonzero_ok_runs "/root/repo/build/tools/qualcheck" "--run" "/root/repo/examples/programs/nonzero_ok.q")
+set_tests_properties(cli.qualcheck.nonzero_ok_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.qualcc.strchr_demo "/root/repo/build/tools/qualcc" "--protos" "--positions" "/root/repo/examples/programs/strchr_demo.c")
+set_tests_properties(cli.qualcc.strchr_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.qualcc.strchr_demo_mono "/root/repo/build/tools/qualcc" "--mono" "/root/repo/examples/programs/strchr_demo.c")
+set_tests_properties(cli.qualcc.strchr_demo_mono PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.qualgen.deterministic "/root/repo/build/tools/qualgen" "--lines" "1200" "--seed" "5")
+set_tests_properties(cli.qualgen.deterministic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.qualcheck.sorted_merge_rejected "/root/repo/build/tools/qualcheck" "--quals" "sorted:neg" "/root/repo/examples/programs/sorted_merge.q")
+set_tests_properties(cli.qualcheck.sorted_merge_rejected PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
