@@ -17,7 +17,10 @@ ConstInference::ConstInference(TranslationUnit &TU, DiagnosticEngine &Diags,
                                Options Opts)
     : TU(TU), Diags(Diags), Opts(Opts) {
   ConstQual = QS.add("const", Polarity::Positive);
-  Sys = std::make_unique<ConstraintSystem>(QS);
+  SolverConfig Config;
+  Config.CollapseCycles = this->Opts.CollapseCycles;
+  Config.CollapsePressureFactor = this->Opts.CollapsePressureFactor;
+  Sys = std::make_unique<ConstraintSystem>(QS, Config);
   Translator = std::make_unique<RefTranslator>(
       *Sys, Factory, Ctors, ConstQual, this->Opts.ConservativeLibraries,
       this->Opts.StructFieldsShared);
@@ -139,6 +142,7 @@ unsigned ConstInference::numQualVars() const { return Sys->getNumVars(); }
 unsigned ConstInference::numConstraints() const {
   return Sys->getNumConstraints();
 }
+SolverStats ConstInference::solverStats() const { return Sys->getStats(); }
 
 std::string ConstInference::renderAnnotatedPrototypes() const {
   // Group positions by function, then rebuild each prototype with const

@@ -78,6 +78,18 @@ public:
     /// traversal runs callers-first, so call sites precede their callee's
     /// generalization and polymorphism degenerates toward monomorphic.
     bool CalleesFirst = true;
+
+    /// Solver-level ablation: collapse qualifier-variable <=-cycles once
+    /// worklist pressure warrants it (see SolverConfig::CollapseCycles).
+    /// Purely a performance switch -- results are identical either way;
+    /// bench/scaling_ablation reports the timing difference.
+    bool CollapseCycles = true;
+    /// Solver rebuild eagerness: worklist edge-visits per var->var edge
+    /// before the solver tiers up to a compacted, cycle-collapsed graph
+    /// (see SolverConfig::CollapsePressureFactor). 0 rebuilds on every
+    /// solve; bench/scaling_ablation uses that to surface the collapse
+    /// counters on workloads the default policy leaves on the cheap tier.
+    unsigned CollapsePressureFactor = 2;
   };
 
   ConstInference(cfront::TranslationUnit &TU, DiagnosticEngine &Diags,
@@ -109,6 +121,9 @@ public:
   /// Constraint-system statistics for the benchmark harnesses.
   unsigned numQualVars() const;
   unsigned numConstraints() const;
+
+  /// Full solver instrumentation (qualcc --stats, benches).
+  SolverStats solverStats() const;
 
   ConstraintSystem &system() { return *Sys; }
 

@@ -324,5 +324,6 @@ CheckResult quals::lambda::checkProgram(const Expr *Program,
   Sys.solve();
   Result.Violations = Sys.collectViolations();
   Result.QualOk = Result.Violations.empty();
+  Result.Stats = Sys.getStats();
   return Result;
 }

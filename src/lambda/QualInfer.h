@@ -134,6 +134,7 @@ struct CheckResult {
   bool QualOk = false;      ///< Qualifier constraints are satisfiable.
   QualType Type;            ///< Inferred qualified type (if StdTypeOk).
   std::vector<Violation> Violations; ///< Qualifier violations (if any).
+  SolverStats Stats;        ///< Solver instrumentation after the solve.
 };
 
 /// Convenience pipeline: standard type check, qualifier inference, solve.

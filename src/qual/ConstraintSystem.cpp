@@ -7,6 +7,10 @@
 
 #include "qual/ConstraintSystem.h"
 
+#include "support/Scc.h"
+#include "support/TextTable.h"
+#include "support/Timer.h"
+
 #include <algorithm>
 
 using namespace quals;
@@ -18,6 +22,9 @@ QualVarId ConstraintSystem::freshVar(std::string Name, SourceLoc Loc) {
   V.Lower = QS.bottom();
   V.Upper = QS.top();
   Vars.push_back(std::move(V));
+  QualVarId Id = Reps.makeSet();
+  (void)Id;
+  assert(Id + 1 == Vars.size() && "rep ids must mirror var ids");
   return Vars.size() - 1;
 }
 
@@ -31,8 +38,21 @@ void ConstraintSystem::addLeqMasked(QualExpr Lhs, QualExpr Rhs, uint64_t Mask,
   ConstraintId Id = Constraints.size();
   Constraints.push_back({Lhs, Rhs, Mask, std::move(Origin)});
   if (Lhs.isVar() && Rhs.isVar()) {
-    Vars[Lhs.getVar()].Succs.push_back(Id);
-    Vars[Rhs.getVar()].Preds.push_back(Id);
+    VarVarEdges.push_back(Id);
+    ++NewVarVarEdges;
+    // Representatives are stable between rebuilds, so keying the pending
+    // lists by the current representative keeps them reachable from the
+    // worklist propagation until the next rebuild folds them into the CSR.
+    QualVarId L = Reps.find(Lhs.getVar());
+    QualVarId R = Reps.find(Rhs.getVar());
+    if (Vars[L].PendingSuccHead == ~0u && Vars[L].PendingPredHead == ~0u)
+      PendingTouched.push_back(L);
+    PendingPool.push_back({Id, Vars[L].PendingSuccHead});
+    Vars[L].PendingSuccHead = PendingPool.size() - 1;
+    if (Vars[R].PendingSuccHead == ~0u && Vars[R].PendingPredHead == ~0u)
+      PendingTouched.push_back(R);
+    PendingPool.push_back({Id, Vars[R].PendingPredHead});
+    Vars[R].PendingPredHead = PendingPool.size() - 1;
     return;
   }
   if (Rhs.isConst()) {
@@ -49,95 +69,366 @@ void ConstraintSystem::addEq(QualExpr Lhs, QualExpr Rhs,
   addLeq(Rhs, Lhs, std::move(Origin));
 }
 
-void ConstraintSystem::raiseLower(QualVarId Var, LatticeValue NewBits,
-                                  ConstraintId Cause,
-                                  std::vector<QualVarId> &Worklist) {
-  uint64_t Gained = NewBits.bits() & ~Vars[Var].Lower.bits();
+bool ConstraintSystem::raiseLower(QualVarId Rep, LatticeValue NewBits,
+                                  ConstraintId Cause) {
+  uint64_t Gained = NewBits.bits() & ~Vars[Rep].Lower.bits();
   if (!Gained)
-    return;
-  Vars[Var].Lower = Vars[Var].Lower.join(NewBits);
-  Vars[Var].FirstSet.push_back({Gained, Cause});
-  Worklist.push_back(Var);
+    return false;
+  Vars[Rep].Lower = Vars[Rep].Lower.join(NewBits);
+  Vars[Rep].FirstSet.push_back({Gained, Cause, ProvClock++});
+  return true;
+}
+
+bool ConstraintSystem::capUpper(QualVarId Rep, LatticeValue Cap) {
+  LatticeValue NewUpper = Vars[Rep].Upper.meet(Cap);
+  if (NewUpper == Vars[Rep].Upper)
+    return false;
+  Vars[Rep].Upper = NewUpper;
+  return true;
+}
+
+QualVarId ConstraintSystem::mergeReps(QualVarId A, QualVarId B) {
+  assert(A != B && "merging a representative with itself");
+  QualVarId Win = Reps.unite(A, B);
+  QualVarId Lose = Win == A ? B : A;
+  VarInfo &W = Vars[Win];
+  VarInfo &L = Vars[Lose];
+  W.Lower = W.Lower.join(L.Lower);
+  W.Upper = W.Upper.meet(L.Upper);
+  // Keep every provenance event; explain() selects the minimum-time event
+  // per bit, which is the one whose cause lies outside the merged component.
+  W.FirstSet.insert(W.FirstSet.end(), L.FirstSet.begin(), L.FirstSet.end());
+  // clear() keeps the loser's capacity until destruction: the loser is
+  // never a representative again, so its list is dead, and deferring the
+  // free keeps rebuilds out of the allocator.
+  L.FirstSet.clear();
+  ++Stats.VarsCollapsed;
+  return Win;
+}
+
+bool ConstraintSystem::shouldRebuild() const {
+  if (!Config.CollapseCycles || NewVarVarEdges == 0)
+    return false;
+  if (NewVarVarEdges < Config.CollapseMinNewEdges)
+    return false;
+  // Rebuild on demonstrated pressure only: the worklist must have traversed
+  // the graph CollapsePressureFactor times over since the last rebuild.
+  // Workloads that visit each edge at most about once (acyclic flows, a
+  // single batch solve) never pay for a rebuild they could not recoup.
+  return Stats.EdgeVisits - VisitsAtRebuild >=
+         uint64_t(Config.CollapsePressureFactor) * VarVarEdges.size();
+}
+
+void ConstraintSystem::rebuildCompactGraph(
+    std::vector<QualVarId> &MergedReps) {
+  unsigned N = Vars.size();
+
+  // Everything below is counting sorts and CSR arrays -- O(V + E) with a
+  // fixed number of large allocations, no per-node vectors and no
+  // comparison sort. Deduplication runs FIRST so the Tarjan pass and the
+  // collapse remap only ever touch the deduplicated edge set (constraint
+  // generators restate the same flow freely, e.g. once per call site).
+  struct RawEdge {
+    QualVarId From, To;
+    uint64_t Mask;
+    ConstraintId Cons;
+  };
+  std::vector<RawEdge> Edges;
+  Edges.reserve(VarVarEdges.size());
+  for (ConstraintId Id : VarVarEdges) {
+    const Constraint &C = Constraints[Id];
+    QualVarId From = Reps.find(C.Lhs.getVar());
+    QualVarId To = Reps.find(C.Rhs.getVar());
+    if (From == To) {
+      ++Stats.SelfEdgesDropped;
+      continue;
+    }
+    Edges.push_back({From, To, C.Mask, Id});
+  }
+
+  std::vector<RawEdge> Tmp;
+  std::vector<uint32_t> Count(N + 1);
+  // Two stable counting-sort passes group the edges by (From, To) with
+  // insertion order preserved inside each group; then duplicates (same
+  // endpoints and mask) collapse to the group's first occurrence. Masks
+  // within a group arrive unordered, so the dedup scans the group's kept
+  // prefix -- groups are tiny (duplicates of one flow, usually one mask).
+  auto sortAndDedup = [&] {
+    Tmp.resize(Edges.size());
+    auto pass = [&](const std::vector<RawEdge> &In, std::vector<RawEdge> &Out,
+                    bool ByFrom) {
+      std::fill(Count.begin(), Count.end(), 0);
+      for (const RawEdge &E : In)
+        ++Count[(ByFrom ? E.From : E.To) + 1];
+      for (unsigned I = 0; I != N; ++I)
+        Count[I + 1] += Count[I];
+      for (const RawEdge &E : In)
+        Out[Count[ByFrom ? E.From : E.To]++] = E;
+    };
+    pass(Edges, Tmp, /*ByFrom=*/false);
+    pass(Tmp, Edges, /*ByFrom=*/true);
+    size_t Unique = 0, GroupStart = 0;
+    for (size_t I = 0; I != Edges.size(); ++I) {
+      if (!Unique || Edges[Unique - 1].From != Edges[I].From ||
+          Edges[Unique - 1].To != Edges[I].To) {
+        GroupStart = Unique;
+        Edges[Unique++] = Edges[I];
+        continue;
+      }
+      bool Duplicate = false;
+      for (size_t J = GroupStart; J != Unique && !Duplicate; ++J)
+        Duplicate = Edges[J].Mask == Edges[I].Mask;
+      if (Duplicate) {
+        ++Stats.EdgesDeduped;
+        continue;
+      }
+      Edges[Unique++] = Edges[I];
+    }
+    Edges.resize(Unique);
+  };
+  sortAndDedup();
+
+  // Cycle pass: Tarjan over the unmasked deduplicated edges; every
+  // multi-node component is a <=-cycle whose members provably share one
+  // least and one greatest solution, so collapse it onto a representative.
+  bool Merged = false;
+  {
+    std::fill(Count.begin(), Count.end(), 0);
+    for (const RawEdge &E : Edges)
+      if (isFullMask(E.Mask))
+        ++Count[E.From + 1];
+    for (unsigned I = 0; I != N; ++I)
+      Count[I + 1] += Count[I];
+    std::vector<uint32_t> Targets(Count[N]);
+    {
+      std::vector<uint32_t> Fill(Count.begin(), Count.end() - 1);
+      for (const RawEdge &E : Edges)
+        if (isFullMask(E.Mask))
+          Targets[Fill[E.From]++] = E.To;
+    }
+    SccFlatResult Cycles =
+        computeSccsFlat({N, Count.data(), Targets.data()});
+    for (unsigned Comp = 0, NC = Cycles.numComponents(); Comp != NC;
+         ++Comp) {
+      uint32_t B = Cycles.CompStart[Comp], E = Cycles.CompStart[Comp + 1];
+      if (E - B < 2)
+        continue;
+      ++Stats.SccsCollapsed;
+      Merged = true;
+      QualVarId Rep = Cycles.Order[B];
+      for (uint32_t I = B + 1; I != E; ++I)
+        Rep = mergeReps(Rep, Cycles.Order[I]);
+      // The representative's solution state is the join of the whole
+      // component's; the caller re-seeds it into the worklists.
+      MergedReps.push_back(Rep);
+    }
+  }
+
+  // If anything collapsed, remap the edges onto the new representatives:
+  // intra-component edges vanish and formerly-distinct edges can become
+  // parallel, so drop and re-dedup (still only over the deduplicated set).
+  // Remaining cycles of the final graph can only run through masked edges;
+  // the worklist handles those by plain fixpoint iteration.
+  if (Merged) {
+    size_t Kept = 0;
+    for (size_t I = 0; I != Edges.size(); ++I) {
+      RawEdge E = Edges[I];
+      E.From = Reps.find(E.From);
+      E.To = Reps.find(E.To);
+      if (E.From == E.To) {
+        ++Stats.SelfEdgesDropped;
+        continue;
+      }
+      Edges[Kept++] = E;
+    }
+    Edges.resize(Kept);
+    sortAndDedup();
+  }
+
+  // CSR rows (counting sort by endpoint; Edges is already sorted by From).
+  SuccStart.assign(N + 1, 0);
+  PredStart.assign(N + 1, 0);
+  for (const RawEdge &E : Edges) {
+    ++SuccStart[E.From + 1];
+    ++PredStart[E.To + 1];
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    SuccStart[I + 1] += SuccStart[I];
+    PredStart[I + 1] += PredStart[I];
+  }
+  SuccEdges = static_cast<CompactEdge *>(
+      EdgeArena.allocate(sizeof(CompactEdge) * Edges.size(),
+                         alignof(CompactEdge)));
+  PredEdges = static_cast<CompactEdge *>(
+      EdgeArena.allocate(sizeof(CompactEdge) * Edges.size(),
+                         alignof(CompactEdge)));
+  {
+    std::vector<uint32_t> SuccFill(SuccStart.begin(), SuccStart.end() - 1);
+    std::vector<uint32_t> PredFill(PredStart.begin(), PredStart.end() - 1);
+    for (const RawEdge &E : Edges) {
+      SuccEdges[SuccFill[E.From]++] = {E.Cons, E.To};
+      PredEdges[PredFill[E.To]++] = {E.Cons, E.From};
+    }
+  }
+
+  // Drop the pending lists: every edge is now in the CSR. PendingTouched
+  // names exactly the vars holding one, so this is proportional to the
+  // edges added since the last rebuild, not to the variable count.
+  for (QualVarId V : PendingTouched) {
+    Vars[V].PendingSuccHead = ~0u;
+    Vars[V].PendingPredHead = ~0u;
+  }
+  PendingTouched.clear();
+  PendingPool.clear();
+  NewVarVarEdges = 0;
+  VisitsAtRebuild = Stats.EdgeVisits;
+  ++Stats.CollapsePasses;
+  Stats.CompactEdges = Edges.size();
+}
+
+void ConstraintSystem::runWorklists(std::vector<QualVarId> &LowerWork,
+                                    std::vector<QualVarId> &UpperWork) {
+  auto forEachSucc = [this](QualVarId V, auto &&Fn) {
+    if (V + 1 < SuccStart.size())
+      for (uint32_t I = SuccStart[V], E = SuccStart[V + 1]; I != E; ++I)
+        Fn(SuccEdges[I].Cons, SuccEdges[I].Other);
+    for (uint32_t I = Vars[V].PendingSuccHead; I != ~0u;
+         I = PendingPool[I].Next) {
+      ConstraintId Id = PendingPool[I].Cons;
+      Fn(Id, Reps.find(Constraints[Id].Rhs.getVar()));
+    }
+  };
+  auto forEachPred = [this](QualVarId V, auto &&Fn) {
+    if (V + 1 < PredStart.size())
+      for (uint32_t I = PredStart[V], E = PredStart[V + 1]; I != E; ++I)
+        Fn(PredEdges[I].Cons, PredEdges[I].Other);
+    for (uint32_t I = Vars[V].PendingPredHead; I != ~0u;
+         I = PendingPool[I].Next) {
+      ConstraintId Id = PendingPool[I].Cons;
+      Fn(Id, Reps.find(Constraints[Id].Lhs.getVar()));
+    }
+  };
+
+  // Tier-up on demonstrated pressure: once the drain has re-visited edges
+  // often enough to pay for a rebuild (see shouldRebuild), compact the
+  // graph in place and resume. Representatives that absorbed a merge took
+  // on their component's joined bounds, so they re-enter both worklists;
+  // entries naming a merged-away variable are redirected at pop below.
+  auto maybeTierUp = [&] {
+    if (!shouldRebuild())
+      return;
+    std::vector<QualVarId> Merged;
+    rebuildCompactGraph(Merged);
+    for (QualVarId R : Merged) {
+      LowerWork.push_back(R);
+      UpperWork.push_back(R);
+    }
+    Stats.WorklistPushes += 2 * Merged.size();
+  };
+
+  // The upper drain can re-fill the lower worklist through a mid-drain
+  // merge, hence the outer loop; without a merge each inner loop empties
+  // its list for good.
+  while (!LowerWork.empty() || !UpperWork.empty()) {
+    // Forward join propagation: least solution of the lower bounds.
+    while (!LowerWork.empty()) {
+      maybeTierUp();
+      QualVarId V = Reps.find(LowerWork.back());
+      LowerWork.pop_back();
+      LatticeValue LV = Vars[V].Lower;
+      forEachSucc(V, [&](ConstraintId Id, QualVarId To) {
+        ++Stats.EdgeVisits;
+        const Constraint &C = Constraints[Id];
+        if (raiseLower(To, LatticeValue(LV.bits() & C.Mask), Id)) {
+          LowerWork.push_back(To);
+          ++Stats.WorklistPushes;
+        }
+      });
+    }
+
+    // Backward meet propagation: greatest solution of the upper bounds.
+    while (!UpperWork.empty()) {
+      maybeTierUp();
+      QualVarId V = Reps.find(UpperWork.back());
+      UpperWork.pop_back();
+      LatticeValue UV = Vars[V].Upper;
+      forEachPred(V, [&](ConstraintId Id, QualVarId From) {
+        ++Stats.EdgeVisits;
+        const Constraint &C = Constraints[Id];
+        if (capUpper(From, LatticeValue(UV.bits() | ~C.Mask))) {
+          UpperWork.push_back(From);
+          ++Stats.WorklistPushes;
+        }
+      });
+    }
+  }
 }
 
 bool ConstraintSystem::solve() {
+  Timer SolveTimer;
+  ++Stats.SolveCalls;
+
   std::vector<QualVarId> LowerWork;
   std::vector<QualVarId> UpperWork;
 
-  // Seed the worklists from constraints added since the last solve.
+  // Pressure accumulated over earlier solves may already justify a rebuild;
+  // doing it before seeding lets the new constraints land straight in the
+  // compact graph. Merged representatives changed value, so they propagate.
+  if (shouldRebuild()) {
+    std::vector<QualVarId> Merged;
+    rebuildCompactGraph(Merged);
+    for (QualVarId R : Merged) {
+      LowerWork.push_back(R);
+      UpperWork.push_back(R);
+    }
+  }
+
+  // Seed the solution state from constraints added since the last solve.
   for (ConstraintId Id = SolvedConstraints, E = Constraints.size(); Id != E;
        ++Id) {
     const Constraint &C = Constraints[Id];
     if (C.Lhs.isConst() && C.Rhs.isVar()) {
-      raiseLower(C.Rhs.getVar(),
-                 LatticeValue(C.Lhs.getConst().bits() & C.Mask), Id,
-                 LowerWork);
+      QualVarId R = Reps.find(C.Rhs.getVar());
+      if (raiseLower(R, LatticeValue(C.Lhs.getConst().bits() & C.Mask), Id))
+        LowerWork.push_back(R);
     } else if (C.Lhs.isVar() && C.Rhs.isVar()) {
-      // A new edge may carry already-known lower bounds forward and
-      // already-known upper bounds backward.
-      QualVarId L = C.Lhs.getVar(), R = C.Rhs.getVar();
-      raiseLower(R, LatticeValue(Vars[L].Lower.bits() & C.Mask), Id,
-                 LowerWork);
-      LatticeValue Cap(Vars[R].Upper.bits() | ~C.Mask);
-      LatticeValue NewUpper = Vars[L].Upper.meet(Cap);
-      if (NewUpper != Vars[L].Upper) {
-        Vars[L].Upper = NewUpper;
+      // A new edge may carry an already-known lower bound forward and an
+      // already-known upper bound backward.
+      QualVarId L = Reps.find(C.Lhs.getVar());
+      QualVarId R = Reps.find(C.Rhs.getVar());
+      if (raiseLower(R, LatticeValue(Vars[L].Lower.bits() & C.Mask), Id))
+        LowerWork.push_back(R);
+      if (capUpper(L, LatticeValue(Vars[R].Upper.bits() | ~C.Mask)))
         UpperWork.push_back(L);
-      }
     } else if (C.Lhs.isVar() && C.Rhs.isConst()) {
-      QualVarId L = C.Lhs.getVar();
-      LatticeValue Cap(C.Rhs.getConst().bits() | ~C.Mask);
-      LatticeValue NewUpper = Vars[L].Upper.meet(Cap);
-      if (NewUpper != Vars[L].Upper) {
-        Vars[L].Upper = NewUpper;
+      QualVarId L = Reps.find(C.Lhs.getVar());
+      if (capUpper(L, LatticeValue(C.Rhs.getConst().bits() | ~C.Mask)))
         UpperWork.push_back(L);
-      }
     }
     // const <= const constraints are checked in collectViolations().
   }
   SolvedConstraints = Constraints.size();
 
-  // Forward join propagation: least solution of the lower bounds.
-  while (!LowerWork.empty()) {
-    QualVarId V = LowerWork.back();
-    LowerWork.pop_back();
-    LatticeValue LV = Vars[V].Lower;
-    for (ConstraintId Id : Vars[V].Succs) {
-      const Constraint &C = Constraints[Id];
-      raiseLower(C.Rhs.getVar(), LatticeValue(LV.bits() & C.Mask), Id,
-                 LowerWork);
-    }
-  }
-
-  // Backward meet propagation: greatest solution of the upper bounds.
-  while (!UpperWork.empty()) {
-    QualVarId V = UpperWork.back();
-    UpperWork.pop_back();
-    LatticeValue UV = Vars[V].Upper;
-    for (ConstraintId Id : Vars[V].Preds) {
-      const Constraint &C = Constraints[Id];
-      QualVarId L = C.Lhs.getVar();
-      LatticeValue Cap(UV.bits() | ~C.Mask);
-      LatticeValue NewUpper = Vars[L].Upper.meet(Cap);
-      if (NewUpper != Vars[L].Upper) {
-        Vars[L].Upper = NewUpper;
-        UpperWork.push_back(L);
-      }
-    }
-  }
+  Stats.WorklistPushes += LowerWork.size() + UpperWork.size();
+  runWorklists(LowerWork, UpperWork);
 
   // Satisfiable iff no variable's required bits exceed its allowed bits and
   // no direct upper bound fails; a cheap necessary-and-sufficient check is
-  // lower <= upper everywhere plus the const-const constraints.
-  for (const VarInfo &V : Vars)
-    if (!V.Lower.subsumedBy(V.Upper))
-      return false;
-  for (ConstraintId Id : ConstConstIds) {
-    const Constraint &C = Constraints[Id];
-    if ((C.Lhs.getConst().bits() & C.Mask) & ~C.Rhs.getConst().bits())
-      return false;
+  // lower <= upper on every representative plus the const-const constraints.
+  bool Ok = true;
+  for (QualVarId V = 0, N = Vars.size(); Ok && V != N; ++V) {
+    if (Reps.find(V) != V)
+      continue;
+    if (!Vars[V].Lower.subsumedBy(Vars[V].Upper))
+      Ok = false;
   }
-  return true;
+  for (size_t I = 0; Ok && I != ConstConstIds.size(); ++I) {
+    const Constraint &C = Constraints[ConstConstIds[I]];
+    if ((C.Lhs.getConst().bits() & C.Mask) & ~C.Rhs.getConst().bits())
+      Ok = false;
+  }
+  Stats.SolveSeconds += SolveTimer.seconds();
+  return Ok;
 }
 
 bool ConstraintSystem::mustHave(QualVarId Var, QualifierId Id) const {
@@ -161,7 +452,7 @@ std::vector<Violation> ConstraintSystem::collectViolations() const {
   std::vector<Violation> Result;
   for (ConstraintId Id : UpperBoundIds) {
     const Constraint &C = Constraints[Id];
-    LatticeValue Actual = Vars[C.Lhs.getVar()].Lower;
+    LatticeValue Actual = lower(C.Lhs.getVar());
     uint64_t Off = (Actual.bits() & C.Mask) & ~C.Rhs.getConst().bits();
     if (Off)
       Result.push_back({Id, Actual, C.Rhs.getConst(), Off});
@@ -213,29 +504,33 @@ std::string ConstraintSystem::explain(const Violation &V) const {
   Out += Cause.Origin.Reason;
   Out += '\n';
 
-  // Walk the first-set provenance chain.
+  // Walk the first-set provenance chain. At each variable the minimum-time
+  // event for the bit is chosen: after cycle collapsing a representative's
+  // event list is the concatenation of its members' lists, and the earliest
+  // event is the one that carried the bit *into* the component (its cause's
+  // left-hand side is a constant or an earlier, outside variable), so the
+  // walk strictly decreases in time and cannot cycle.
   QualExpr Cur = Cause.Lhs;
   unsigned Guard = 0;
   while (Cur.isVar() && Guard++ < 1000) {
-    QualVarId Var = Cur.getVar();
-    const VarInfo &Info = Vars[Var];
-    const std::pair<uint64_t, ConstraintId> *Event = nullptr;
-    for (const auto &E : Info.FirstSet) {
-      if (E.first & Bit) {
+    QualVarId Rep = Reps.find(Cur.getVar());
+    const VarInfo &Info = Vars[Rep];
+    const ProvEvent *Event = nullptr;
+    for (const ProvEvent &E : Info.FirstSet)
+      if ((E.Gained & Bit) && (!Event || E.Time < Event->Time))
         Event = &E;
-        break;
-      }
-    }
     if (!Event)
       break; // Bit came from the variable's initial value (impossible for
              // lower bounds, but be defensive).
-    const Constraint &Step = Constraints[Event->second];
+    const Constraint &Step = Constraints[Event->Cause];
     Out += "  via: ";
     Out += Step.Origin.Reason.empty() ? "(unlabeled constraint)"
                                       : Step.Origin.Reason;
     Out += '\n';
     if (Step.Lhs == Cur)
       break; // Self-edge; stop rather than loop.
+    if (Step.Lhs.isVar() && Reps.find(Step.Lhs.getVar()) == Rep)
+      break; // Cause inside the same collapsed component; defensive stop.
     Cur = Step.Lhs;
   }
   if (Cur.isConst()) {
@@ -244,4 +539,37 @@ std::string ConstraintSystem::explain(const Violation &V) const {
     Out += "'\n";
   }
   return Out;
+}
+
+SolverStats ConstraintSystem::getStats() const {
+  SolverStats S = Stats;
+  S.NumVars = Vars.size();
+  S.NumConstraints = Constraints.size();
+  S.VarVarEdges = VarVarEdges.size();
+  return S;
+}
+
+std::string quals::renderSolverStats(const SolverStats &S) {
+  TextTable T;
+  T.addColumn("Solver metric");
+  T.addColumn("Value", Align::Right);
+  auto Row = [&T](const char *Name, uint64_t Value) {
+    T.addRow({Name, std::to_string(Value)});
+  };
+  Row("qualifier vars", S.NumVars);
+  Row("constraints", S.NumConstraints);
+  Row("var->var edges", S.VarVarEdges);
+  Row("compact edges (post-rebuild)", S.CompactEdges);
+  Row("solve() calls", S.SolveCalls);
+  Row("collapse passes", S.CollapsePasses);
+  Row("cycles (SCCs) collapsed", S.SccsCollapsed);
+  Row("vars folded into a rep", S.VarsCollapsed);
+  Row("parallel edges deduped", S.EdgesDeduped);
+  Row("intra-component edges dropped", S.SelfEdgesDropped);
+  Row("worklist pushes", S.WorklistPushes);
+  Row("edge visits", S.EdgeVisits);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", S.SolveSeconds * 1000.0);
+  T.addRow({"solve time (ms)", Buf});
+  return T.render();
 }

@@ -17,11 +17,33 @@
 /// The paper solved these with BANE's generic engine and remarks that "we
 /// expect substantial speedups would be achieved with a framework specialized
 /// to the qualifier lattice" -- this class is that specialized framework.
+/// Scaling machinery (all observable only through getStats() and wall-clock):
+///
+/// \li **Cycle collapsing.** Variables on a <= cycle have equal least and
+///     greatest solutions, so each strongly connected component of the
+///     var->var graph (restricted to unmasked edges) is collapsed to a single
+///     union-find representative by a Tarjan pass (support/Scc.h). Dense
+///     recursive blobs then cost one node instead of endless re-propagation.
+/// \li **Compact edge storage.** Adjacency is rebuilt into CSR-style arrays
+///     backed by a bump arena, dropping duplicate parallel edges and edges
+///     internal to a collapsed component. Edges added after a rebuild go to
+///     small per-representative pending lists until the next rebuild.
+/// \li **Pressure-triggered tiering.** Propagation is always the worklist
+///     algorithm; the O(V+E) rebuild above only fires once the worklist has
+///     demonstrably re-traversed the graph enough times to pay for it
+///     (SolverConfig::CollapsePressureFactor), checked both between solves
+///     and mid-drain. One-shot or cycle-free workloads therefore never pay
+///     for a rebuild, while dense cyclic regions tier up as soon as the
+///     re-bouncing shows up in the visit counter.
 ///
 /// Constraints optionally carry a bit \p Mask restricting them to a subset of
 /// the qualifier components; masked constraints implement well-formedness
 /// rules such as binding-time's "nothing dynamic inside something static"
-/// (see WellFormed.h) without leaving the atomic fragment.
+/// (see WellFormed.h) without leaving the atomic fragment. Cycles through
+/// masked edges do *not* force equality on all components and are never
+/// collapsed.
+///
+/// See docs/SOLVER.md for the full algorithm and invariants.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,7 +51,9 @@
 #define QUALS_QUAL_CONSTRAINTSYSTEM_H
 
 #include "qual/QualExpr.h"
+#include "support/Allocator.h"
 #include "support/SourceLoc.h"
+#include "support/UnionFind.h"
 
 #include <string>
 #include <vector>
@@ -67,6 +91,53 @@ struct Violation {
   uint64_t OffendingBits;   ///< Lattice bits of Actual exceeding Bound.
 };
 
+/// Tuning knobs for the solver's scaling machinery.
+struct SolverConfig {
+  /// Collapse <=-cycles onto union-find representatives and rebuild the
+  /// compact edge graph when enough edges accumulate. Turning this off
+  /// reverts to pure worklist propagation over per-variable pending edges
+  /// (the ablation baseline; bench/solver_microbench measures both).
+  bool CollapseCycles = true;
+
+  /// A rebuild is considered only when at least this many var->var edges
+  /// were added since the last one (small systems never pay for Tarjan).
+  unsigned CollapseMinNewEdges = 64;
+
+  /// A rebuild fires only once the worklist has visited at least this many
+  /// edges per var->var edge since the last rebuild -- i.e. once observed
+  /// propagation pressure proves the graph is being traversed repeatedly
+  /// (cycles, duplicate edges, or many re-solves). Light workloads that
+  /// visit each edge at most once never pay for a rebuild at all. 0 forces
+  /// a rebuild on every solve that meets CollapseMinNewEdges.
+  unsigned CollapsePressureFactor = 2;
+};
+
+/// Counters describing where solve time went; see getStats().
+///
+/// Cumulative counters (SolveCalls, CollapsePasses, SccsCollapsed,
+/// VarsCollapsed, EdgesDeduped, SelfEdgesDropped, WorklistPushes, EdgeVisits,
+/// SolveSeconds) accumulate over the system's lifetime; snapshot fields
+/// (NumVars..CompactEdges) describe the current state.
+struct SolverStats {
+  unsigned NumVars = 0;         ///< Qualifier variables created.
+  unsigned NumConstraints = 0;  ///< Constraints added (all four forms).
+  unsigned VarVarEdges = 0;     ///< var <= var constraints among them.
+  unsigned CompactEdges = 0;    ///< Edges in the compact graph (post-rebuild).
+  unsigned SolveCalls = 0;      ///< solve() invocations.
+  unsigned CollapsePasses = 0;  ///< Graph rebuilds (dedup + Tarjan + CSR).
+  unsigned SccsCollapsed = 0;   ///< Multi-variable cycles collapsed.
+  unsigned VarsCollapsed = 0;   ///< Variables folded into a representative.
+  unsigned EdgesDeduped = 0;    ///< Duplicate parallel edges dropped.
+  unsigned SelfEdgesDropped = 0;///< Edges internal to a collapsed component.
+  uint64_t WorklistPushes = 0;  ///< Worklist insertions (incremental solves).
+  uint64_t EdgeVisits = 0;      ///< Edge traversals across all propagation.
+  double SolveSeconds = 0;      ///< Wall-clock spent inside solve().
+};
+
+/// Renders \p Stats as an aligned two-column ASCII table (support/TextTable)
+/// for the tools' --stats output.
+std::string renderSolverStats(const SolverStats &Stats);
+
 /// Collects and solves atomic qualifier constraints.
 ///
 /// Solving is incremental: constraints may be added after a solve() and the
@@ -74,9 +145,11 @@ struct Violation {
 /// require a preceding solve() with no constraints added in between.
 class ConstraintSystem {
 public:
-  explicit ConstraintSystem(const QualifierSet &QS) : QS(QS) {}
+  explicit ConstraintSystem(const QualifierSet &QS, SolverConfig Config = {})
+      : QS(QS), Config(Config) {}
 
   const QualifierSet &getQualifierSet() const { return QS; }
+  const SolverConfig &getConfig() const { return Config; }
 
   /// Creates a fresh qualifier variable. \p Name is kept for diagnostics.
   QualVarId freshVar(std::string Name, SourceLoc Loc = SourceLoc());
@@ -110,13 +183,13 @@ public:
   /// Least solution of \p Var (valid after solve()).
   LatticeValue lower(QualVarId Var) const {
     assert(SolvedConstraints == Constraints.size() && "call solve() first");
-    return Vars[Var].Lower;
+    return Vars[Reps.find(Var)].Lower;
   }
 
   /// Greatest solution of \p Var (valid after solve()).
   LatticeValue upper(QualVarId Var) const {
     assert(SolvedConstraints == Constraints.size() && "call solve() first");
-    return Vars[Var].Upper;
+    return Vars[Reps.find(Var)].Upper;
   }
 
   /// Least solution of an arbitrary qualifier expression.
@@ -135,6 +208,12 @@ public:
   /// True if qualifier \p Id *may* be present in \p Var in some solution.
   bool mayHave(QualVarId Var, QualifierId Id) const;
 
+  /// True if \p A and \p B were collapsed onto the same representative (they
+  /// sit on a common unmasked <= cycle observed by some rebuild).
+  bool sameRep(QualVarId A, QualVarId B) const {
+    return Reps.find(A) == Reps.find(B);
+  }
+
   /// Scans every upper-bound constraint; returns all violations.
   std::vector<Violation> collectViolations() const;
 
@@ -145,33 +224,123 @@ public:
   /// that carried the offending qualifier from its source to the bound.
   std::string explain(const Violation &V) const;
 
+  /// Instrumentation snapshot; cheap, callable at any time.
+  SolverStats getStats() const;
+
 private:
+  /// First-set provenance: the bits a representative gained, the constraint
+  /// responsible, and a global logical clock. The clock makes provenance
+  /// well-founded across cycle collapsing: the minimum-time event for a bit
+  /// always names a constraint whose left-hand side is a constant or lies
+  /// outside the representative's component, so explain() chains strictly
+  /// decrease in time and terminate at a qualifier constant.
+  struct ProvEvent {
+    uint64_t Gained;
+    ConstraintId Cause;
+    uint32_t Time;
+  };
+
+  /// A compact adjacency entry: the constraint and the other endpoint's
+  /// representative (resolved at rebuild time to skip find() in hot loops).
+  struct CompactEdge {
+    ConstraintId Cons;
+    QualVarId Other;
+  };
+
   struct VarInfo {
     std::string Name;
     SourceLoc Loc;
-    LatticeValue Lower;           ///< Join of reachable lower bounds.
-    LatticeValue Upper;           ///< Meet of reachable upper bounds.
-    /// First-set provenance: (bits gained, constraint responsible), in the
-    /// order the bits were gained. Bounded by the qualifier count.
-    std::vector<std::pair<uint64_t, ConstraintId>> FirstSet;
-    /// Outgoing var->var edges (constraint ids) for forward propagation.
-    std::vector<ConstraintId> Succs;
-    /// Incoming var->var edges (constraint ids) for backward propagation.
-    std::vector<ConstraintId> Preds;
+    LatticeValue Lower;           ///< Join of reachable lower bounds (rep).
+    LatticeValue Upper;           ///< Meet of reachable upper bounds (rep).
+    std::vector<ProvEvent> FirstSet; ///< Provenance events (rep).
+    /// Heads of this var's outgoing/incoming pending-edge lists (indices
+    /// into PendingPool, ~0u = empty), keyed by the representative at
+    /// insertion time (stable between rebuilds).
+    uint32_t PendingSuccHead = ~0u;
+    uint32_t PendingPredHead = ~0u;
+  };
+
+  /// One node of an intrusive singly-linked pending-edge list. All nodes
+  /// live in PendingPool, so a rebuild retires every list in O(1) with no
+  /// per-variable heap traffic.
+  struct PendingNode {
+    ConstraintId Cons;
+    uint32_t Next;
   };
 
   const QualifierSet &QS;
+  SolverConfig Config;
   std::vector<VarInfo> Vars;
   std::vector<Constraint> Constraints;
+  /// Cycle-collapsing representatives; mutable because find() compresses
+  /// paths, which is observationally const.
+  mutable UnionFind Reps;
+  /// Every var->var constraint ever added: the rebuild source of truth.
+  std::vector<ConstraintId> VarVarEdges;
+  unsigned NewVarVarEdges = 0;  ///< ... added since the last rebuild.
+  /// Backing store for the per-var pending-edge lists; cleared wholesale at
+  /// each rebuild (the CSR then owns every edge).
+  std::vector<PendingNode> PendingPool;
+  /// Vars whose pending lists became non-empty since the last rebuild, so
+  /// the rebuild resets exactly those heads instead of sweeping every
+  /// VarInfo.
+  std::vector<QualVarId> PendingTouched;
+  /// Snapshot of Stats.EdgeVisits at the last rebuild; the difference to
+  /// the live counter is the propagation pressure that triggers the next
+  /// rebuild (see SolverConfig::CollapsePressureFactor).
+  uint64_t VisitsAtRebuild = 0;
+  /// CSR adjacency over representatives, rebuilt by rebuildCompactGraph().
+  /// Row i covers [SuccStart[i], SuccStart[i+1]) in SuccEdges; vars created
+  /// after the rebuild have no row. Edge arrays live in EdgeArena.
+  std::vector<uint32_t> SuccStart;
+  std::vector<uint32_t> PredStart;
+  CompactEdge *SuccEdges = nullptr;
+  CompactEdge *PredEdges = nullptr;
+  BumpPtrAllocator EdgeArena;
   /// Ids of constraints whose Rhs is a constant (upper bounds), for the
   /// violation scan.
   std::vector<ConstraintId> UpperBoundIds;
   /// Ids of const <= const constraints (checked directly).
   std::vector<ConstraintId> ConstConstIds;
   unsigned SolvedConstraints = 0;
+  uint32_t ProvClock = 0;
+  SolverStats Stats;
 
-  void raiseLower(QualVarId Var, LatticeValue NewBits, ConstraintId Cause,
-                  std::vector<QualVarId> &Worklist);
+  /// True when \p Mask covers every registered qualifier bit, i.e. the
+  /// constraint really is an unmasked <= (only such edges witness equality
+  /// on a cycle and may be collapsed).
+  bool isFullMask(uint64_t Mask) const {
+    return (Mask & QS.usedBits()) == QS.usedBits();
+  }
+
+  /// Joins \p NewBits into \p Rep's lower solution, recording provenance.
+  /// Returns true if any bit was gained. \p Rep must be a representative.
+  bool raiseLower(QualVarId Rep, LatticeValue NewBits, ConstraintId Cause);
+
+  /// Meets \p Cap into \p Rep's upper solution; true if it shrank.
+  bool capUpper(QualVarId Rep, LatticeValue Cap);
+
+  /// Folds the two variables' solution state onto one representative and
+  /// returns it. Both arguments must be (distinct) representatives.
+  QualVarId mergeReps(QualVarId A, QualVarId B);
+
+  bool shouldRebuild() const;
+
+  /// Deduplicate parallel edges, Tarjan over the unmasked edges to collapse
+  /// <=-cycles onto union-find representatives, and rebuild the CSR
+  /// adjacency over the result (component-internal edges dropped).
+  /// Everything runs on flat CSR arrays and counting sorts: O(V + E) with
+  /// no per-node allocation and no comparison sort. Representatives that
+  /// absorbed a merge (whose solution state therefore changed) are appended
+  /// to \p MergedReps so the caller can re-seed the worklists.
+  void rebuildCompactGraph(std::vector<QualVarId> &MergedReps);
+
+  /// Worklist propagation over compact + pending edges. Tiers up: when the
+  /// visit counter crosses the pressure threshold mid-drain, collapses and
+  /// compacts the graph via rebuildCompactGraph() and resumes on the
+  /// smaller graph.
+  void runWorklists(std::vector<QualVarId> &LowerWork,
+                    std::vector<QualVarId> &UpperWork);
 };
 
 } // namespace quals

@@ -1,0 +1,286 @@
+//===- tests/solver_scc_test.cpp - Cycle-collapsing solver tests ----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the solver's SCC cycle collapsing (see docs/SOLVER.md): collapsed
+/// cycles share one solution, masked cycles are never collapsed, provenance
+/// explanations survive collapsing, incremental solves that merge two
+/// existing components stay correct, and collapsing is invisible next to the
+/// pure worklist baseline on random cyclic systems.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qual/ConstraintSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+
+namespace {
+
+class SolverSccTest : public ::testing::Test {
+protected:
+  QualifierSet QS;
+  QualifierId Const, Tainted, Nonzero;
+
+  void SetUp() override {
+    Const = QS.add("const", Polarity::Positive);
+    Tainted = QS.add("tainted", Polarity::Positive);
+    Nonzero = QS.add("nonzero", Polarity::Negative);
+  }
+
+  /// A config that rebuilds on every solve that added var->var edges,
+  /// regardless of accumulated worklist pressure, so the tests exercise the
+  /// collapse path deterministically.
+  static SolverConfig eagerCollapse() {
+    SolverConfig Config;
+    Config.CollapseCycles = true;
+    Config.CollapseMinNewEdges = 1;
+    Config.CollapsePressureFactor = 0;
+    return Config;
+  }
+
+  QualExpr constOf(LatticeValue V) { return QualExpr::makeConst(V); }
+  QualExpr varOf(QualVarId V) { return QualExpr::makeVar(V); }
+  LatticeValue just(QualifierId Q) { return QS.valueWithPresent({Q}); }
+};
+
+TEST_F(SolverSccTest, CycleMembersShareOneSolution) {
+  ConstraintSystem Sys(QS, eagerCollapse());
+  QualVarId A = Sys.freshVar("a"), B = Sys.freshVar("b"),
+            C = Sys.freshVar("c");
+  Sys.addLeq(varOf(A), varOf(B), {"a<=b"});
+  Sys.addLeq(varOf(B), varOf(C), {"b<=c"});
+  Sys.addLeq(varOf(C), varOf(A), {"c<=a"});
+  Sys.addLeq(constOf(just(Const)), varOf(A), {"seed"});
+  Sys.addLeq(varOf(B), constOf(QS.notQual(Tainted)), {"cap"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.sameRep(A, B));
+  EXPECT_TRUE(Sys.sameRep(B, C));
+  for (QualVarId V : {A, B, C}) {
+    EXPECT_EQ(Sys.lower(V), just(Const));
+    EXPECT_EQ(Sys.upper(V), QS.notQual(Tainted));
+    EXPECT_TRUE(Sys.mustHave(V, Const));
+    EXPECT_FALSE(Sys.mayHave(V, Tainted));
+  }
+  SolverStats Stats = Sys.getStats();
+  EXPECT_EQ(Stats.SccsCollapsed, 1u);
+  EXPECT_EQ(Stats.VarsCollapsed, 2u);
+}
+
+TEST_F(SolverSccTest, DisabledConfigNeverCollapsesButAgrees) {
+  SolverConfig Off;
+  Off.CollapseCycles = false;
+  ConstraintSystem Sys(QS, Off);
+  QualVarId A = Sys.freshVar("a"), B = Sys.freshVar("b");
+  Sys.addLeq(varOf(A), varOf(B), {"a<=b"});
+  Sys.addLeq(varOf(B), varOf(A), {"b<=a"});
+  Sys.addLeq(constOf(just(Tainted)), varOf(A), {"seed"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_FALSE(Sys.sameRep(A, B));
+  EXPECT_EQ(Sys.lower(A), Sys.lower(B));
+  EXPECT_EQ(Sys.upper(A), Sys.upper(B));
+  EXPECT_EQ(Sys.getStats().CollapsePasses, 0u);
+}
+
+TEST_F(SolverSccTest, MaskedCycleIsNotCollapsed) {
+  // a <= b on all components, b <= a only on tainted: not a full cycle, so
+  // the vars must stay distinct and const still flows one-way only.
+  ConstraintSystem Sys(QS, eagerCollapse());
+  QualVarId A = Sys.freshVar("a"), B = Sys.freshVar("b");
+  Sys.addLeq(varOf(A), varOf(B), {"a<=b"});
+  Sys.addLeqMasked(varOf(B), varOf(A), QS.bitFor(Tainted), {"b<=a taint"});
+  Sys.addLeq(constOf(just(Const)), varOf(B), {"const b"});
+  Sys.addLeq(constOf(just(Tainted)), varOf(B), {"taint b"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_FALSE(Sys.sameRep(A, B));
+  // const reaches only b; tainted flows back to a through the masked edge.
+  EXPECT_FALSE(Sys.mustHave(A, Const));
+  EXPECT_TRUE(Sys.mustHave(B, Const));
+  EXPECT_TRUE(Sys.mustHave(A, Tainted));
+  EXPECT_EQ(Sys.getStats().SccsCollapsed, 0u);
+}
+
+TEST_F(SolverSccTest, ExplainSurvivesCollapsing) {
+  // source -> ring of 5 -> sink with an upper bound: the offending-bit
+  // provenance must still walk back to "source" after the ring collapses.
+  ConstraintSystem Sys(QS, eagerCollapse());
+  QualVarId Src = Sys.freshVar("src");
+  Sys.addLeq(constOf(just(Tainted)), varOf(Src), {"source"});
+  std::vector<QualVarId> Ring;
+  for (int I = 0; I != 5; ++I)
+    Ring.push_back(Sys.freshVar("r" + std::to_string(I)));
+  for (int I = 0; I != 5; ++I)
+    Sys.addLeq(varOf(Ring[I]), varOf(Ring[(I + 1) % 5]),
+               {"ring " + std::to_string(I)});
+  Sys.addLeq(varOf(Src), varOf(Ring[2]), {"entry"});
+  QualVarId Sink = Sys.freshVar("sink");
+  Sys.addLeq(varOf(Ring[4]), varOf(Sink), {"exit"});
+  Sys.addLeq(varOf(Sink), constOf(QS.notQual(Tainted)),
+             {"sink must be untainted"});
+  EXPECT_FALSE(Sys.solve());
+  std::vector<Violation> Vs = Sys.collectViolations();
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].OffendingBits, QS.bitFor(Tainted));
+  std::string Explanation = Sys.explain(Vs[0]);
+  EXPECT_NE(Explanation.find("sink must be untainted"), std::string::npos);
+  EXPECT_NE(Explanation.find("source"), std::string::npos);
+  EXPECT_NE(Explanation.find("tainted"), std::string::npos);
+}
+
+TEST_F(SolverSccTest, IncrementalEdgeMergesTwoComponents) {
+  // Two separately collapsed cycles; later edges connect them into one big
+  // cycle. The next solve must observe the merge (directly or via another
+  // rebuild) and equalize the solutions.
+  ConstraintSystem Sys(QS, eagerCollapse());
+  QualVarId A1 = Sys.freshVar("a1"), A2 = Sys.freshVar("a2");
+  QualVarId B1 = Sys.freshVar("b1"), B2 = Sys.freshVar("b2");
+  Sys.addLeq(varOf(A1), varOf(A2), {"a1<=a2"});
+  Sys.addLeq(varOf(A2), varOf(A1), {"a2<=a1"});
+  Sys.addLeq(varOf(B1), varOf(B2), {"b1<=b2"});
+  Sys.addLeq(varOf(B2), varOf(B1), {"b2<=b1"});
+  Sys.addLeq(constOf(just(Const)), varOf(A1), {"const a"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.sameRep(A1, A2));
+  EXPECT_TRUE(Sys.sameRep(B1, B2));
+  EXPECT_FALSE(Sys.sameRep(A1, B1));
+  EXPECT_FALSE(Sys.mustHave(B1, Const));
+
+  Sys.addLeq(varOf(A2), varOf(B1), {"a->b"});
+  Sys.addLeq(varOf(B2), varOf(A1), {"b->a"});
+  Sys.addLeq(constOf(just(Tainted)), varOf(B2), {"taint b"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.sameRep(A1, B1));
+  for (QualVarId V : {A1, A2, B1, B2}) {
+    EXPECT_TRUE(Sys.mustHave(V, Const));
+    EXPECT_TRUE(Sys.mustHave(V, Tainted));
+  }
+
+  // A bound on one former component constrains all of them: nonzero is a
+  // negative qualifier, so forcing its bit from below forbids it everywhere
+  // on the merged cycle.
+  Sys.addLeq(constOf(QS.withoutQual(QS.bottom(), Nonzero)), varOf(B1),
+             {"not nonzero"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_FALSE(Sys.mayHave(A1, Nonzero));
+}
+
+TEST_F(SolverSccTest, PressurePolicyTiersUpOnlyUnderRepeatedTraffic) {
+  // Default thresholds: one solve over a 200-var cycle costs ~200 edge
+  // visits, below the 2x-edge-count pressure bar, so the solver stays on
+  // the plain worklist tier -- no rebuild, no merging, values still exact.
+  ConstraintSystem Sys(QS); // default config, pressure policy active
+  std::vector<QualVarId> Chain;
+  for (int I = 0; I != 200; ++I)
+    Chain.push_back(Sys.freshVar("c" + std::to_string(I)));
+  for (int I = 0; I + 1 != 200; ++I)
+    Sys.addLeq(varOf(Chain[I]), varOf(Chain[I + 1]), {"chain"});
+  Sys.addLeq(varOf(Chain[199]), varOf(Chain[0]), {"close"});
+  Sys.addLeq(constOf(just(Const)), varOf(Chain[17]), {"seed"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_EQ(Sys.getStats().CollapsePasses, 0u);
+  EXPECT_FALSE(Sys.sameRep(Chain[0], Chain[199]));
+  EXPECT_TRUE(Sys.mustHave(Chain[0], Const));
+  EXPECT_TRUE(Sys.mustHave(Chain[137], Const));
+
+  // Small incremental batch: a fresh var hanging off the cycle rides the
+  // pending edge lists.
+  QualVarId Tail = Sys.freshVar("tail");
+  Sys.addLeq(varOf(Chain[42]), varOf(Tail), {"tail edge"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(Tail, Const));
+
+  // Each new fact re-walks the whole cycle. After a few laps the
+  // accumulated visits cross the pressure threshold, the solver tiers up
+  // mid-drain, and the cycle collapses to one representative.
+  Sys.addLeq(constOf(just(Tainted)), varOf(Tail), {"late taint"});
+  Sys.addLeq(varOf(Tail), varOf(Chain[0]), {"tail back"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_TRUE(Sys.mustHave(Chain[137], Tainted));
+  Sys.addLeq(constOf(QS.withoutQual(QS.bottom(), Nonzero)), varOf(Tail),
+             {"not nonzero"});
+  ASSERT_TRUE(Sys.solve());
+  EXPECT_FALSE(Sys.mayHave(Chain[55], Nonzero));
+  EXPECT_GE(Sys.getStats().CollapsePasses, 1u);
+  EXPECT_TRUE(Sys.sameRep(Chain[0], Chain[199]));
+}
+
+TEST_F(SolverSccTest, RandomCyclicSystemMatchesWorklistBaseline) {
+  // Differential test: a random cyclic system solved with eager collapsing
+  // must agree variable-by-variable with the collapse-off baseline.
+  struct Lcg {
+    uint64_t State = 0x9E3779B97F4A7C15ULL;
+    uint64_t next() {
+      State ^= State << 13;
+      State ^= State >> 7;
+      State ^= State << 17;
+      return State;
+    }
+    unsigned below(unsigned N) { return next() % N; }
+  };
+
+  SolverConfig Off;
+  Off.CollapseCycles = false;
+  ConstraintSystem On(QS, eagerCollapse());
+  ConstraintSystem Base(QS, Off);
+  const unsigned N = 300;
+  Lcg R;
+  for (unsigned I = 0; I != N; ++I) {
+    On.freshVar("v");
+    Base.freshVar("v");
+  }
+  auto addBoth = [&](QualExpr L, QualExpr Rhs) {
+    On.addLeq(L, Rhs, {"e"});
+    Base.addLeq(L, Rhs, {"e"});
+  };
+  for (unsigned I = 0; I != 4 * N; ++I)
+    addBoth(QualExpr::makeVar(R.below(N)), QualExpr::makeVar(R.below(N)));
+  for (unsigned I = 0; I != N / 10; ++I)
+    addBoth(constOf(LatticeValue(R.below(8))), QualExpr::makeVar(R.below(N)));
+  for (unsigned I = 0; I != N / 10; ++I)
+    addBoth(QualExpr::makeVar(R.below(N)),
+            constOf(LatticeValue(QS.usedBits() & ~(uint64_t(1) << R.below(3)))));
+  bool OkOn = On.solve();
+  bool OkBase = Base.solve();
+  EXPECT_EQ(OkOn, OkBase);
+  for (unsigned V = 0; V != N; ++V) {
+    EXPECT_EQ(On.lower(V).bits(), Base.lower(V).bits()) << "var " << V;
+    EXPECT_EQ(On.upper(V).bits(), Base.upper(V).bits()) << "var " << V;
+  }
+  EXPECT_GE(On.getStats().SccsCollapsed, 1u);
+  // Violations (if any) must agree on the offending constraint set size.
+  EXPECT_EQ(On.collectViolations().size(), Base.collectViolations().size());
+}
+
+TEST_F(SolverSccTest, StatsCountDedupAndSelfEdges) {
+  ConstraintSystem Sys(QS, eagerCollapse());
+  QualVarId A = Sys.freshVar("a"), B = Sys.freshVar("b");
+  for (int I = 0; I != 4; ++I)
+    Sys.addLeq(varOf(A), varOf(B), {"dup"});
+  Sys.addLeq(varOf(B), varOf(A), {"back"});
+  Sys.addLeq(constOf(just(Const)), varOf(A), {"seed"});
+  ASSERT_TRUE(Sys.solve());
+  SolverStats Stats = Sys.getStats();
+  // The cycle collapses, so all five var->var edges become intra-component.
+  EXPECT_EQ(Stats.SccsCollapsed, 1u);
+  EXPECT_EQ(Stats.VarVarEdges, 5u);
+  EXPECT_EQ(Stats.CompactEdges, 0u);
+  EXPECT_EQ(Stats.SelfEdgesDropped + Stats.EdgesDeduped, 5u);
+  EXPECT_EQ(Stats.SolveCalls, 1u);
+
+  // A duplicated chain off the collapsed rep dedups in the next rebuild.
+  QualVarId C = Sys.freshVar("c");
+  for (int I = 0; I != 3; ++I)
+    Sys.addLeq(varOf(B), varOf(C), {"dup out"});
+  ASSERT_TRUE(Sys.solve());
+  Stats = Sys.getStats();
+  EXPECT_TRUE(Sys.mustHave(C, Const));
+  EXPECT_EQ(Stats.CompactEdges, 1u);
+  EXPECT_GE(Stats.EdgesDeduped, 2u);
+}
+
+} // namespace

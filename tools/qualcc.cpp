@@ -16,6 +16,8 @@
 //   --positions     print the per-position classification
 //   --nonnull       also run the flow-insensitive nonnull checker
 //   --flow-nonnull  also run the flow-sensitive (Section 6) checker
+//   --stats         print a solver statistics table
+//   --no-collapse   disable solver cycle collapsing (ablation baseline)
 //   --quiet         counts only
 //
 // Exit status: 0 on success, 1 on front-end errors, 2 on const errors.
@@ -63,6 +65,8 @@ int main(int argc, char **argv) {
   bool PrintPositions = false;
   bool RunNonNull = false;
   bool RunFlowNonNull = false;
+  bool PrintStats = false;
+  bool CollapseCycles = true;
   bool Quiet = false;
   std::vector<const char *> Files;
 
@@ -77,12 +81,17 @@ int main(int argc, char **argv) {
       RunNonNull = true;
     else if (!std::strcmp(argv[I], "--flow-nonnull"))
       RunFlowNonNull = true;
+    else if (!std::strcmp(argv[I], "--stats"))
+      PrintStats = true;
+    else if (!std::strcmp(argv[I], "--no-collapse"))
+      CollapseCycles = false;
     else if (!std::strcmp(argv[I], "--quiet"))
       Quiet = true;
     else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: qualcc [--mono] [--protos] [--positions] "
-                   "[--nonnull] [--flow-nonnull] [--quiet] file.c...\n");
+                   "[--nonnull] [--flow-nonnull] [--stats] [--no-collapse] "
+                   "[--quiet] file.c...\n");
       return argv[I][1] == 'h' ? 0 : 1;
     } else {
       Files.push_back(argv[I]);
@@ -122,14 +131,19 @@ int main(int argc, char **argv) {
 
   ConstInference::Options Opts;
   Opts.Polymorphic = Polymorphic;
+  Opts.CollapseCycles = CollapseCycles;
   ConstInference Inf(TU, Diags, Opts);
   Timer InferTimer;
   if (!Inf.run()) {
     std::fprintf(stderr, "qualcc: const errors detected:\n%s",
                  Diags.renderAll().c_str());
+    if (PrintStats)
+      std::printf("%s", renderSolverStats(Inf.solverStats()).c_str());
     return 2;
   }
   double InferSeconds = InferTimer.seconds();
+  if (PrintStats)
+    std::printf("%s", renderSolverStats(Inf.solverStats()).c_str());
 
   if (PrintPositions) {
     for (const InterestingPos &Pos : Inf.positions()) {

@@ -13,6 +13,7 @@
 //   --mono   monomorphic qualifier inference (default: polymorphic)
 //   --run    evaluate under the Figure 5 semantics after checking
 //   --trace  with --run, print every reduction step
+//   --stats  print a solver statistics table after the check
 //   --quals  comma-separated qualifier spec, name[:neg] (default:
 //            "const,nonzero:neg,dynamic,tainted")
 //
@@ -47,6 +48,7 @@ int main(int argc, char **argv) {
   bool Polymorphic = true;
   bool Run = false;
   bool Trace = false;
+  bool PrintStats = false;
   const char *File = nullptr;
   std::string QualSpec = "const,nonzero:neg,dynamic,tainted";
 
@@ -57,11 +59,13 @@ int main(int argc, char **argv) {
       Run = true;
     else if (!std::strcmp(argv[I], "--trace"))
       Run = Trace = true;
+    else if (!std::strcmp(argv[I], "--stats"))
+      PrintStats = true;
     else if (!std::strcmp(argv[I], "--quals") && I + 1 < argc)
       QualSpec = argv[++I];
     else if (argv[I][0] == '-') {
       std::fprintf(stderr,
-                   "usage: qualcheck [--mono] [--run] [--trace] "
+                   "usage: qualcheck [--mono] [--run] [--trace] [--stats] "
                    "[--quals spec] file.q\n");
       return std::strcmp(argv[I], "--help") ? 1 : 0;
     } else {
@@ -128,6 +132,8 @@ int main(int argc, char **argv) {
   }
   std::printf("qualified type: %s\n",
               toString(QS, Result.Type, &Sys).c_str());
+  if (PrintStats)
+    std::printf("%s", renderSolverStats(Result.Stats).c_str());
   if (!Result.QualOk) {
     std::printf("qualifier check: REJECTED\n");
     for (const Violation &V : Result.Violations)
