@@ -25,6 +25,8 @@
 
 #include "qual/ConstraintSystem.h"
 #include "qual/TypeScheme.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -284,6 +286,55 @@ void BM_IncrementalResolve(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * 16);
 }
 BENCHMARK(BM_IncrementalResolve);
+
+void BM_DisabledTraceScope(benchmark::State &State) {
+  // Raw per-scope cost of instrumentation when tracing is off: one relaxed
+  // load in the constructor, one branch in the destructor. This is the
+  // price every instrumented phase pays in an un-traced run, so it must
+  // stay in the nanosecond range.
+  Tracer::instance().setEnabled(false);
+  MetricsRegistry::setCollecting(false);
+  for (auto _ : State) {
+    TraceScope Scope("bench.disabled", "bench");
+    benchmark::DoNotOptimize(Scope);
+    traceInstant("bench.disabled.instant", "bench");
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DisabledTraceScope);
+
+void BM_SolveObservability(benchmark::State &State) {
+  // End-to-end ablation for the observability hooks in the solve path:
+  // arg 0 runs with every sink off (the default production configuration),
+  // arg 1 with the tracer and metrics collection both on. The arg-0 numbers
+  // must match BM_SolveChain at the same size; the delta to arg 1 is the
+  // full cost of recording.
+  QualifierSet QS = makeQuals();
+  unsigned N = 1 << 12;
+  bool Observe = State.range(0);
+  Tracer::instance().setEnabled(Observe);
+  MetricsRegistry::setCollecting(Observe);
+  for (auto _ : State) {
+    Tracer::instance().clear(); // keep the event buffer from growing
+    ConstraintSystem Sys(QS);
+    QualVarId Prev = Sys.freshVar("v0");
+    Sys.addLeq(QualExpr::makeConst(QS.valueWithPresent({0})),
+               QualExpr::makeVar(Prev), {"seed"});
+    for (unsigned I = 1; I != N; ++I) {
+      QualVarId Next = Sys.freshVar("v");
+      Sys.addLeq(QualExpr::makeVar(Prev), QualExpr::makeVar(Next), {"edge"});
+      Prev = Next;
+    }
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Sys.lower(Prev));
+  }
+  Tracer::instance().setEnabled(false);
+  Tracer::instance().clear();
+  MetricsRegistry::setCollecting(false);
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_SolveObservability)->Arg(0)->Arg(1);
 
 void BM_SchemeGeneralizeInstantiate(benchmark::State &State) {
   // Generalize a body-sized subgraph down to interface summaries, then

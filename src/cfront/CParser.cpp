@@ -7,6 +7,8 @@
 
 #include "cfront/CParser.h"
 
+#include "support/Metrics.h"
+
 using namespace quals;
 using namespace quals::cfront;
 
@@ -1293,7 +1295,25 @@ bool quals::cfront::parseCSource(SourceManager &SM, std::string Name,
                                  CTypeContext &Types, StringInterner &Idents,
                                  DiagnosticEngine &Diags,
                                  TranslationUnit &TU) {
+  std::string TraceArgs =
+      "\"file\":\"" + jsonEscape(Name) + "\"";
   unsigned BufferId = SM.addBuffer(std::move(Name), std::move(Source));
+  // Lexing is fused into the parse; measure it with a token-counting
+  // pre-scan when observability is on (lex diagnostics go to a sink engine
+  // -- the parse below re-lexes and re-reports them).
+  if (observabilityActive()) {
+    PhaseScope Phase("lex", "cfront");
+    DiagnosticEngine Sink(SM);
+    CLexer L(SM, BufferId, Sink);
+    uint64_t Tokens = 0;
+    while (L.next().Kind != CTok::Eof)
+      ++Tokens;
+    Phase.setTraceArgs(TraceArgs + ",\"tokens\":" + std::to_string(Tokens));
+    if (MetricsRegistry::collecting())
+      MetricsRegistry::global().counter("cfront.lex.tokens").add(Tokens);
+  }
+  PhaseScope Phase("parse", "cfront");
+  Phase.setTraceArgs(std::move(TraceArgs));
   CParser P(SM, BufferId, Ast, Types, Idents, Diags, TU);
   return P.parseTranslationUnit();
 }

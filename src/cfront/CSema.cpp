@@ -7,6 +7,8 @@
 
 #include "cfront/CSema.h"
 
+#include "support/Metrics.h"
+
 using namespace quals;
 using namespace quals::cfront;
 
@@ -40,6 +42,7 @@ CQualType CSema::decayed(CQualType T) {
 }
 
 bool CSema::analyze(TranslationUnit &Unit) {
+  PhaseScope Phase("sema", "cfront");
   TU = &Unit;
   Scopes.clear();
   pushScope();

@@ -7,6 +7,8 @@
 
 #include "constinf/ConstInfer.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 
 using namespace quals;
@@ -40,12 +42,15 @@ QualType ConstInference::functionUse(const FunctionDecl *FD) {
 bool ConstInference::run() {
   // 1. Global variables (and their shared cells) come first so their
   //    qualifier variables are never generalized.
-  for (VarDecl *G : TU.Globals)
-    Translator->varLValueType(G);
-  // Library (undefined) function interfaces also predate the traversal.
-  for (FunctionDecl *F : TU.Functions)
-    if (!F->isDefined())
-      Translator->functionInterfaceType(F);
+  {
+    PhaseScope Phase("ref-types", "constinf");
+    for (VarDecl *G : TU.Globals)
+      Translator->varLValueType(G);
+    // Library (undefined) function interfaces also predate the traversal.
+    for (FunctionDecl *F : TU.Functions)
+      if (!F->isDefined())
+        Translator->functionInterfaceType(F);
+  }
 
   ConstraintGen Gen(*Sys, Factory, Ctors, *Translator, ConstQual, Diags,
                     [this](const FunctionDecl *FD) {
@@ -55,42 +60,47 @@ bool ConstInference::run() {
 
   // 2-3. FDG traversal, callees before callers (or callers-first in the
   // ablation mode, which starves the polymorphic instantiation).
+  // buildFdg records its own "fdg" phase; everything from here to the solve
+  // is the "constraint-gen" phase.
   Fdg Graph = buildFdg(TU);
-  std::vector<const std::vector<unsigned> *> Order;
-  Order.reserve(Graph.Sccs.Components.size());
-  for (const std::vector<unsigned> &Component : Graph.Sccs.Components)
-    Order.push_back(&Component);
-  if (!Opts.CalleesFirst)
-    std::reverse(Order.begin(), Order.end());
-  for (const std::vector<unsigned> *ComponentPtr : Order) {
-    const std::vector<unsigned> &Component = *ComponentPtr;
-    Watermark Mark = takeWatermark(*Sys);
-    // Interfaces for the whole SCC first (mutual recursion uses them
-    // monomorphically within the component, as in the paper).
-    for (unsigned Node : Component)
-      Translator->functionInterfaceType(Graph.Functions[Node]);
-    for (unsigned Node : Component) {
-      FunctionDecl *F = Graph.Functions[Node];
-      if (F->isDefined())
-        Gen.genFunction(F, Translator->functionInterfaceType(F));
-    }
-    if (!Opts.Polymorphic)
-      continue;
-    for (unsigned Node : Component) {
-      FunctionDecl *F = Graph.Functions[Node];
-      if (!F->isDefined())
+  {
+    PhaseScope GenPhase("constraint-gen", "constinf");
+    std::vector<const std::vector<unsigned> *> Order;
+    Order.reserve(Graph.Sccs.Components.size());
+    for (const std::vector<unsigned> &Component : Graph.Sccs.Components)
+      Order.push_back(&Component);
+    if (!Opts.CalleesFirst)
+      std::reverse(Order.begin(), Order.end());
+    for (const std::vector<unsigned> *ComponentPtr : Order) {
+      const std::vector<unsigned> &Component = *ComponentPtr;
+      Watermark Mark = takeWatermark(*Sys);
+      // Interfaces for the whole SCC first (mutual recursion uses them
+      // monomorphically within the component, as in the paper).
+      for (unsigned Node : Component)
+        Translator->functionInterfaceType(Graph.Functions[Node]);
+      for (unsigned Node : Component) {
+        FunctionDecl *F = Graph.Functions[Node];
+        if (F->isDefined())
+          Gen.genFunction(F, Translator->functionInterfaceType(F));
+      }
+      if (!Opts.Polymorphic)
         continue;
-      Schemes.emplace(F,
-                      QualScheme::generalize(
-                          *Sys, Translator->functionInterfaceType(F), Mark));
+      for (unsigned Node : Component) {
+        FunctionDecl *F = Graph.Functions[Node];
+        if (!F->isDefined())
+          continue;
+        Schemes.emplace(F, QualScheme::generalize(
+                               *Sys, Translator->functionInterfaceType(F),
+                               Mark));
+      }
     }
+
+    // 4. Global variable definitions are analyzed after the FDG traversal.
+    for (VarDecl *G : TU.Globals)
+      Gen.genGlobalInit(G);
   }
 
-  // 4. Global variable definitions are analyzed after the FDG traversal.
-  for (VarDecl *G : TU.Globals)
-    Gen.genGlobalInit(G);
-
-  // 5. Solve.
+  // 5. Solve ("solve" phase recorded inside ConstraintSystem::solve()).
   bool Ok = Sys->solve();
   if (!Ok || !Sys->collectViolations().empty()) {
     for (const Violation &V : Sys->collectViolations())

@@ -7,6 +7,8 @@
 
 #include "constinf/Fdg.h"
 
+#include "support/Metrics.h"
+
 using namespace quals;
 using namespace quals::constinf;
 using namespace quals::cfront;
@@ -153,6 +155,7 @@ void collectStmt(const CStmt *S, std::vector<const FunctionDecl *> &Out) {
 } // namespace
 
 Fdg quals::constinf::buildFdg(const TranslationUnit &TU) {
+  PhaseScope Phase("fdg", "constinf");
   Fdg Result;
   for (FunctionDecl *F : TU.Functions) {
     Result.NodeOf[F] = Result.Functions.size();

@@ -7,6 +7,8 @@
 
 #include "gen/SynthGen.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <vector>
@@ -358,8 +360,12 @@ SynthProgram Generator::run() {
 } // namespace
 
 SynthProgram quals::synth::generateProgram(const SynthParams &Params) {
+  PhaseScope Phase("generate", "gen");
   Generator G(Params);
-  return G.run();
+  SynthProgram Prog = G.run();
+  Phase.setTraceArgs("\"lines\":" + std::to_string(Prog.LineCount) +
+                     ",\"bytes\":" + std::to_string(Prog.Source.size()));
+  return Prog;
 }
 
 SynthParams quals::synth::paramsForLines(uint64_t Seed,

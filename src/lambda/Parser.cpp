@@ -7,6 +7,8 @@
 
 #include "lambda/Parser.h"
 
+#include "support/Metrics.h"
+
 using namespace quals;
 using namespace quals::lambda;
 
@@ -277,6 +279,21 @@ const Expr *quals::lambda::parseString(SourceManager &SM, std::string Name,
                                        StringInterner &Idents,
                                        DiagnosticEngine &Diags) {
   unsigned BufferId = SM.addBuffer(std::move(Name), std::move(Source));
+  // Lexing is interleaved with parsing, so its cost is only separable by a
+  // dedicated token-counting pre-scan; run one when somebody is measuring
+  // (diagnostics go to a sink engine -- the parse below re-reports them).
+  if (observabilityActive()) {
+    PhaseScope Phase("lex", "lambda");
+    DiagnosticEngine Sink(SM);
+    Lexer L(SM, BufferId, Sink);
+    uint64_t Tokens = 0;
+    while (L.next().Kind != TokKind::Eof)
+      ++Tokens;
+    Phase.setTraceArgs("\"tokens\":" + std::to_string(Tokens));
+    if (MetricsRegistry::collecting())
+      MetricsRegistry::global().counter("lambda.lex.tokens").add(Tokens);
+  }
+  PhaseScope Phase("parse", "lambda");
   Parser P(SM, BufferId, QS, Ctx, Idents, Diags);
   return P.parseProgram();
 }

@@ -8,6 +8,7 @@
 #include "lambda/QualInfer.h"
 
 #include "qual/WellFormed.h"
+#include "support/Metrics.h"
 
 using namespace quals;
 using namespace quals::lambda;
@@ -310,17 +311,24 @@ CheckResult quals::lambda::checkProgram(const Expr *Program,
                                         const QualInferOptions &Options) {
   CheckResult Result;
   StdTypeChecker Checker(STys, Diags);
-  if (!Checker.check(Program))
-    return Result;
+  {
+    PhaseScope Phase("sema", "lambda");
+    if (!Checker.check(Program))
+      return Result;
+  }
   Result.StdTypeOk = true;
 
   QualInferencer Inferencer(QS, Sys, Factory, Ctors, Diags, Options);
-  Result.Type = Inferencer.infer(Program, Checker);
+  {
+    PhaseScope Phase("constraint-gen", "lambda");
+    Result.Type = Inferencer.infer(Program, Checker);
+  }
   if (Result.Type.isNull()) {
     Result.StdTypeOk = false; // Qualifier phase found a structural problem.
     return Result;
   }
 
+  // The "solve" phase span is recorded inside ConstraintSystem::solve().
   Sys.solve();
   Result.Violations = Sys.collectViolations();
   Result.QualOk = Result.Violations.empty();

@@ -7,9 +7,11 @@
 
 #include "qual/ConstraintSystem.h"
 
+#include "support/Metrics.h"
 #include "support/Scc.h"
 #include "support/TextTable.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -115,7 +117,7 @@ bool ConstraintSystem::shouldRebuild() const {
   // the graph CollapsePressureFactor times over since the last rebuild.
   // Workloads that visit each edge at most about once (acyclic flows, a
   // single batch solve) never pay for a rebuild they could not recoup.
-  return Stats.EdgeVisits - VisitsAtRebuild >=
+  return TotalEdgeVisits - VisitsAtRebuild >=
          uint64_t(Config.CollapsePressureFactor) * VarVarEdges.size();
 }
 
@@ -281,9 +283,16 @@ void ConstraintSystem::rebuildCompactGraph(
   PendingTouched.clear();
   PendingPool.clear();
   NewVarVarEdges = 0;
-  VisitsAtRebuild = Stats.EdgeVisits;
+  VisitsAtRebuild = TotalEdgeVisits;
   ++Stats.CollapsePasses;
   Stats.CompactEdges = Edges.size();
+  CompactEdgeCount = Edges.size();
+  traceInstant("solver.rebuild", "qual",
+               "\"compact_edges\":" + std::to_string(Edges.size()) +
+                   ",\"sccs_collapsed\":" +
+                   std::to_string(Stats.SccsCollapsed) +
+                   ",\"vars_collapsed\":" +
+                   std::to_string(Stats.VarsCollapsed));
 }
 
 void ConstraintSystem::runWorklists(std::vector<QualVarId> &LowerWork,
@@ -338,6 +347,7 @@ void ConstraintSystem::runWorklists(std::vector<QualVarId> &LowerWork,
       LatticeValue LV = Vars[V].Lower;
       forEachSucc(V, [&](ConstraintId Id, QualVarId To) {
         ++Stats.EdgeVisits;
+        ++TotalEdgeVisits;
         const Constraint &C = Constraints[Id];
         if (raiseLower(To, LatticeValue(LV.bits() & C.Mask), Id)) {
           LowerWork.push_back(To);
@@ -354,6 +364,7 @@ void ConstraintSystem::runWorklists(std::vector<QualVarId> &LowerWork,
       LatticeValue UV = Vars[V].Upper;
       forEachPred(V, [&](ConstraintId Id, QualVarId From) {
         ++Stats.EdgeVisits;
+        ++TotalEdgeVisits;
         const Constraint &C = Constraints[Id];
         if (capUpper(From, LatticeValue(UV.bits() | ~C.Mask))) {
           UpperWork.push_back(From);
@@ -365,7 +376,11 @@ void ConstraintSystem::runWorklists(std::vector<QualVarId> &LowerWork,
 }
 
 bool ConstraintSystem::solve() {
+  PhaseScope Phase("solve", "qual");
   Timer SolveTimer;
+  // Work counters describe one solve; lifetime accounting that must survive
+  // (rebuild pressure) lives in TotalEdgeVisits/CompactEdgeCount.
+  Stats.reset();
   ++Stats.SolveCalls;
 
   std::vector<QualVarId> LowerWork;
@@ -428,6 +443,8 @@ bool ConstraintSystem::solve() {
       Ok = false;
   }
   Stats.SolveSeconds += SolveTimer.seconds();
+  if (MetricsRegistry::collecting())
+    getStats().publishTo(MetricsRegistry::global());
   return Ok;
 }
 
@@ -546,7 +563,24 @@ SolverStats ConstraintSystem::getStats() const {
   S.NumVars = Vars.size();
   S.NumConstraints = Constraints.size();
   S.VarVarEdges = VarVarEdges.size();
+  S.CompactEdges = CompactEdgeCount;
   return S;
+}
+
+void SolverStats::publishTo(MetricsRegistry &R) const {
+  R.gauge("solver.vars").set(NumVars);
+  R.gauge("solver.constraints").set(NumConstraints);
+  R.gauge("solver.var_var_edges").set(VarVarEdges);
+  R.gauge("solver.compact_edges").set(CompactEdges);
+  R.counter("solver.solve_calls").add(SolveCalls);
+  R.counter("solver.collapse_passes").add(CollapsePasses);
+  R.counter("solver.sccs_collapsed").add(SccsCollapsed);
+  R.counter("solver.vars_collapsed").add(VarsCollapsed);
+  R.counter("solver.edges_deduped").add(EdgesDeduped);
+  R.counter("solver.self_edges_dropped").add(SelfEdgesDropped);
+  R.counter("solver.worklist_pushes").add(WorklistPushes);
+  R.counter("solver.edge_visits").add(EdgeVisits);
+  R.timer("solver.solve").addSeconds(SolveSeconds);
 }
 
 std::string quals::renderSolverStats(const SolverStats &S) {

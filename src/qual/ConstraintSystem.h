@@ -112,12 +112,18 @@ struct SolverConfig {
   unsigned CollapsePressureFactor = 2;
 };
 
+class MetricsRegistry;
+
 /// Counters describing where solve time went; see getStats().
 ///
-/// Cumulative counters (SolveCalls, CollapsePasses, SccsCollapsed,
-/// VarsCollapsed, EdgesDeduped, SelfEdgesDropped, WorklistPushes, EdgeVisits,
-/// SolveSeconds) accumulate over the system's lifetime; snapshot fields
-/// (NumVars..CompactEdges) describe the current state.
+/// Work counters (SolveCalls, CollapsePasses, SccsCollapsed, VarsCollapsed,
+/// EdgesDeduped, SelfEdgesDropped, WorklistPushes, EdgeVisits, SolveSeconds)
+/// describe the *most recent* solve(): the system zeroes them on solve()
+/// entry so repeated incremental solves never report accumulated counts.
+/// Snapshot fields (NumVars..CompactEdges) describe the current state
+/// regardless of when it was built. Callers wanting lifetime totals sum the
+/// per-solve snapshots (or read the "solver.*" counters a metrics-collecting
+/// run accumulates in MetricsRegistry::global(); see publishTo()).
 struct SolverStats {
   unsigned NumVars = 0;         ///< Qualifier variables created.
   unsigned NumConstraints = 0;  ///< Constraints added (all four forms).
@@ -132,6 +138,17 @@ struct SolverStats {
   uint64_t WorklistPushes = 0;  ///< Worklist insertions (incremental solves).
   uint64_t EdgeVisits = 0;      ///< Edge traversals across all propagation.
   double SolveSeconds = 0;      ///< Wall-clock spent inside solve().
+
+  /// Zeroes every field (solve() calls this on entry; also for tests and
+  /// harnesses reusing a stats value).
+  void reset() { *this = SolverStats(); }
+
+  /// Publishes this snapshot into \p R under the "solver." namespace: work
+  /// counters *add* (so per-solve snapshots accumulate into lifetime
+  /// totals), snapshot fields *set* gauges, and SolveSeconds feeds the
+  /// "solver.solve" timer. solve() does this automatically when
+  /// MetricsRegistry::collecting() is on.
+  void publishTo(MetricsRegistry &R) const;
 };
 
 /// Renders \p Stats as an aligned two-column ASCII table (support/TextTable)
@@ -285,10 +302,16 @@ private:
   /// the rebuild resets exactly those heads instead of sweeping every
   /// VarInfo.
   std::vector<QualVarId> PendingTouched;
-  /// Snapshot of Stats.EdgeVisits at the last rebuild; the difference to
+  /// Lifetime edge-visit total. Stats.EdgeVisits resets every solve(), so
+  /// the pressure policy tracks its own accumulator.
+  uint64_t TotalEdgeVisits = 0;
+  /// Snapshot of TotalEdgeVisits at the last rebuild; the difference to
   /// the live counter is the propagation pressure that triggers the next
   /// rebuild (see SolverConfig::CollapsePressureFactor).
   uint64_t VisitsAtRebuild = 0;
+  /// Edges in the current compact graph (survives the per-solve stats
+  /// reset; getStats() reports it as SolverStats::CompactEdges).
+  unsigned CompactEdgeCount = 0;
   /// CSR adjacency over representatives, rebuilt by rebuildCompactGraph().
   /// Row i covers [SuccStart[i], SuccStart[i+1]) in SuccEdges; vars created
   /// after the rebuild have no row. Edge arrays live in EdgeArena.

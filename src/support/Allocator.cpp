@@ -12,6 +12,8 @@
 
 using namespace quals;
 
+std::atomic<uint64_t> BumpPtrAllocator::TotalBytes{0};
+
 void BumpPtrAllocator::startNewSlab(size_t MinSize) {
   size_t Size = std::max(SlabSize, MinSize);
   Slabs.push_back(std::make_unique<char[]>(Size));
@@ -33,5 +35,6 @@ void *BumpPtrAllocator::allocate(size_t Size, size_t Align) {
   }
   Cur += Adjust + Size;
   BytesAllocated += Size;
+  TotalBytes.fetch_add(Size, std::memory_order_relaxed);
   return reinterpret_cast<void *>(Aligned);
 }

@@ -16,6 +16,7 @@
 #ifndef QUALS_SUPPORT_ALLOCATOR_H
 #define QUALS_SUPPORT_ALLOCATOR_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -56,8 +57,19 @@ public:
   /// Total bytes handed out so far (diagnostic/statistics use).
   size_t bytesAllocated() const { return BytesAllocated; }
 
+  /// Bytes handed out by *every* arena in the process since startup; the
+  /// observability layer (support/Metrics.h PhaseScope) snapshots this at
+  /// phase boundaries to attribute arena growth to pipeline phases. A
+  /// relaxed atomic add per allocate() call -- negligible next to the slab
+  /// work it accounts for.
+  static uint64_t totalBytesAllocated() {
+    return TotalBytes.load(std::memory_order_relaxed);
+  }
+
 private:
   static constexpr size_t SlabSize = 64 * 1024;
+
+  static std::atomic<uint64_t> TotalBytes;
 
   std::vector<std::unique_ptr<char[]>> Slabs;
   char *Cur = nullptr;

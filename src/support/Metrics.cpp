@@ -1,0 +1,153 @@
+//===- support/Metrics.cpp - Named counter/gauge/timer registry -----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Allocator.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace quals;
+
+std::atomic<bool> MetricsRegistry::Collecting{false};
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+TimerMetric &MetricsRegistry::timer(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<TimerMetric> &Slot = Timers[Name];
+  if (!Slot)
+    Slot = std::make_unique<TimerMetric>();
+  return *Slot;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters.empty() && Gauges.empty() && Timers.empty();
+}
+
+void MetricsRegistry::resetValues() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &KV : Counters)
+    KV.second->reset();
+  for (auto &KV : Gauges)
+    KV.second->reset();
+  for (auto &KV : Timers)
+    KV.second->reset();
+}
+
+std::string MetricsRegistry::renderTable() const {
+  // One merged, name-sorted listing: kind column disambiguates same-named
+  // metrics of different kinds.
+  struct Row {
+    std::string Name, Kind, Value;
+  };
+  std::vector<Row> Rows;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &KV : Counters)
+      Rows.push_back({KV.first, "counter",
+                      std::to_string(KV.second->value())});
+    for (const auto &KV : Gauges)
+      Rows.push_back({KV.first, "gauge",
+                      std::to_string(KV.second->value())});
+    for (const auto &KV : Timers) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.3f ms (x%llu)",
+                    KV.second->seconds() * 1000.0,
+                    static_cast<unsigned long long>(KV.second->count()));
+      Rows.push_back({KV.first, "timer", Buf});
+    }
+  }
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [](const Row &A, const Row &B) { return A.Name < B.Name; });
+  TextTable T;
+  T.addColumn("Metric");
+  T.addColumn("Kind");
+  T.addColumn("Value", Align::Right);
+  for (const Row &R : Rows)
+    T.addRow({R.Name, R.Kind, R.Value});
+  return T.render();
+}
+
+std::string MetricsRegistry::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &KV : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n  \"" + jsonEscape(KV.first) +
+           "\":" + std::to_string(KV.second->value());
+  }
+  Out += "},\n\"gauges\":{";
+  First = true;
+  for (const auto &KV : Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n  \"" + jsonEscape(KV.first) +
+           "\":" + std::to_string(KV.second->value());
+  }
+  Out += "},\n\"timers\":{";
+  First = true;
+  for (const auto &KV : Timers) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", KV.second->seconds());
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n  \"" + jsonEscape(KV.first) + "\":{\"seconds\":" + Buf +
+           ",\"count\":" + std::to_string(KV.second->count()) + "}";
+  }
+  Out += "}}\n";
+  return Out;
+}
+
+PhaseScope::PhaseScope(const char *Name, const char *Category)
+    : Span(Name, Category), Name(Name),
+      Collect(MetricsRegistry::collecting()) {
+  if (Collect) {
+    StartUs = Tracer::nowMicros();
+    StartArenaBytes = BumpPtrAllocator::totalBytesAllocated();
+  }
+}
+
+PhaseScope::~PhaseScope() {
+  if (!Collect)
+    return;
+  MetricsRegistry &R = MetricsRegistry::global();
+  std::string Base = "phase.";
+  Base += Name;
+  R.timer(Base).addSeconds((Tracer::nowMicros() - StartUs) * 1e-6);
+  R.gauge(Base + ".arena_bytes")
+      .add(static_cast<int64_t>(BumpPtrAllocator::totalBytesAllocated() -
+                                StartArenaBytes));
+}

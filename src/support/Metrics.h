@@ -1,0 +1,194 @@
+//===- support/Metrics.h - Named counter/gauge/timer registry ---*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named metrics backing the tools' --metrics output and the
+/// benchmark harnesses' per-phase breakdowns (the paper's Table 2 measures
+/// compile/mono/poly time; this generalizes that to every pipeline phase).
+/// Three kinds:
+///
+/// \li **Counter** -- monotonically increasing uint64 (events, tokens,
+///     edge visits).
+/// \li **Gauge** -- settable/addable int64 snapshot (arena bytes, live
+///     graph sizes).
+/// \li **TimerMetric** -- accumulated wall seconds plus a sample count
+///     (per-phase time; "phase.<name>" by convention).
+///
+/// Registration is idempotent: asking for an existing name returns the same
+/// metric object, so independent pipeline stages may "register" the same
+/// metric without coordination. References returned by the registry are
+/// stable for the registry's lifetime. Value updates are atomic and
+/// lock-free; registration takes a lock.
+///
+/// A process-wide instance (MetricsRegistry::global()) collects the CLI
+/// pipelines' phases. Collection is gated on an atomic flag
+/// (setCollecting()) so un-instrumented runs pay one relaxed load per
+/// phase. Rendering is deterministic (names sorted) in two formats: an
+/// aligned table (support/TextTable) for humans and a stable JSON document
+/// for machine diffing and bench archival.
+///
+/// PhaseScope is the one-liner used by every pipeline layer: an RAII span
+/// that feeds (1) the Chrome tracer (support/Trace.h), (2) a
+/// "phase.<name>" TimerMetric, and (3) a "phase.<name>.arena_bytes" gauge
+/// measuring bump-allocator growth attributable to the phase.
+///
+/// Naming conventions live in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_METRICS_H
+#define QUALS_SUPPORT_METRICS_H
+
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace quals {
+
+/// A monotonically increasing event count.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A point-in-time value that can be set or adjusted.
+class Gauge {
+public:
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  void add(int64_t Delta) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+/// Accumulated wall-clock seconds with a sample count.
+class TimerMetric {
+public:
+  void addSeconds(double S) {
+    // Accumulate in integer nanoseconds so concurrent adds stay lock-free.
+    Nanos.fetch_add(static_cast<uint64_t>(S * 1e9),
+                    std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+  }
+  double seconds() const {
+    return Nanos.load(std::memory_order_relaxed) * 1e-9;
+  }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  void reset() {
+    Nanos.store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Nanos{0};
+  std::atomic<uint64_t> Count{0};
+};
+
+/// A registry of named metrics; see the file comment.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// The process-wide registry the pipelines publish into.
+  static MetricsRegistry &global();
+
+  /// True when the pipelines should publish phase metrics; one relaxed
+  /// atomic load, mirroring Tracer::isEnabled().
+  static bool collecting() {
+    return Collecting.load(std::memory_order_relaxed);
+  }
+  static void setCollecting(bool On) {
+    Collecting.store(On, std::memory_order_relaxed);
+  }
+
+  /// Returns the metric named \p Name, registering it on first use.
+  /// Duplicate registration (same name, same kind) returns the same object.
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  TimerMetric &timer(const std::string &Name);
+
+  /// True if nothing has been registered.
+  bool empty() const;
+
+  /// Zeroes every metric's value; registrations are kept.
+  void resetValues();
+
+  /// Renders all metrics as an aligned ASCII table: name, kind, value
+  /// (timers show milliseconds and sample count). Rows sort by name.
+  std::string renderTable() const;
+
+  /// Renders all metrics as a stable JSON document:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "timers":{"phase.parse":{"seconds":0.0123,"count":2},...}}
+  /// Keys sort lexicographically, timer seconds print with fixed
+  /// precision, so two runs diff cleanly.
+  std::string renderJson() const;
+
+private:
+  static std::atomic<bool> Collecting;
+
+  mutable std::mutex Mutex;
+  // std::map: stable references plus lexicographic iteration for free.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<TimerMetric>> Timers;
+};
+
+/// True when any observability sink is live (tracer or metrics); pipeline
+/// layers use this to gate work that only exists to be measured, such as
+/// the standalone lex pre-scan phase.
+inline bool observabilityActive() {
+  return Tracer::isEnabled() || MetricsRegistry::collecting();
+}
+
+/// RAII phase instrumentation: a Chrome-trace span named \p Name in
+/// category \p Category plus, when metrics collection is on, an
+/// accumulation into the global registry's "phase.<Name>" timer and
+/// "phase.<Name>.arena_bytes" gauge (bump-allocator bytes allocated while
+/// the phase was open; nested phases' bytes count toward every open
+/// phase). Inert when both sinks are off.
+class PhaseScope {
+public:
+  explicit PhaseScope(const char *Name, const char *Category = "quals");
+  PhaseScope(const PhaseScope &) = delete;
+  PhaseScope &operator=(const PhaseScope &) = delete;
+  ~PhaseScope();
+
+  /// Attaches a JSON object body to the underlying trace span.
+  void setTraceArgs(std::string ArgsJson) {
+    Span.setArgs(std::move(ArgsJson));
+  }
+
+private:
+  TraceScope Span;
+  const char *Name;
+  bool Collect;
+  uint64_t StartUs = 0;
+  uint64_t StartArenaBytes = 0;
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_METRICS_H

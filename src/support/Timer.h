@@ -18,17 +18,47 @@
 
 namespace quals {
 
-/// Simple monotonic stopwatch; starts on construction.
+/// Monotonic stopwatch with pause/resume accumulation; starts running on
+/// construction. stop()/resume() let a phase timer exclude nested callee
+/// phases: stop before calling into the nested phase, resume after, and
+/// seconds() reports only the accumulated self time.
 class Timer {
 public:
   Timer() : Start(Clock::now()) {}
 
-  /// Restarts the stopwatch.
-  void reset() { Start = Clock::now(); }
+  /// Restarts the stopwatch: zeroes the accumulated time and runs.
+  void reset() {
+    Accumulated = 0;
+    Running = true;
+    Start = Clock::now();
+  }
 
-  /// Seconds elapsed since construction or the last reset().
+  /// Pauses: banks the running segment. No-op if already stopped.
+  void stop() {
+    if (!Running)
+      return;
+    Accumulated +=
+        std::chrono::duration<double>(Clock::now() - Start).count();
+    Running = false;
+  }
+
+  /// Continues accumulating after a stop(). No-op if already running.
+  void resume() {
+    if (Running)
+      return;
+    Running = true;
+    Start = Clock::now();
+  }
+
+  /// True between construction/reset()/resume() and the next stop().
+  bool isRunning() const { return Running; }
+
+  /// Accumulated seconds: every completed run segment plus the live one.
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - Start).count();
+    double S = Accumulated;
+    if (Running)
+      S += std::chrono::duration<double>(Clock::now() - Start).count();
+    return S;
   }
 
   /// Milliseconds elapsed.
@@ -37,6 +67,8 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
+  double Accumulated = 0;
+  bool Running = true;
 };
 
 } // namespace quals

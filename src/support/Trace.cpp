@@ -1,0 +1,143 @@
+//===- support/Trace.cpp - Chrome-trace-event recording -------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+using namespace quals;
+
+std::atomic<bool> Tracer::Enabled{false};
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+uint64_t Tracer::nowMicros() {
+  using Clock = std::chrono::steady_clock;
+  // The epoch is the first call, so timestamps start near zero and the
+  // viewer's timeline is not offset by machine uptime.
+  static const Clock::time_point Epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               Epoch)
+      .count();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.clear();
+}
+
+uint32_t Tracer::denseTidLocked(uint64_t ThreadHash) {
+  for (uint32_t I = 0, E = ThreadIds.size(); I != E; ++I)
+    if (ThreadIds[I] == ThreadHash)
+      return I;
+  ThreadIds.push_back(ThreadHash);
+  return ThreadIds.size() - 1;
+}
+
+void Tracer::recordComplete(std::string Name, std::string Category,
+                            uint64_t StartUs, uint64_t DurUs,
+                            std::string ArgsJson) {
+  uint64_t Hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({std::move(Name), std::move(Category), 'X', StartUs,
+                    DurUs, denseTidLocked(Hash), std::move(ArgsJson)});
+}
+
+void Tracer::recordInstant(std::string Name, std::string Category,
+                           std::string ArgsJson) {
+  uint64_t Now = nowMicros();
+  uint64_t Hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({std::move(Name), std::move(Category), 'i', Now, 0,
+                    denseTidLocked(Hash), std::move(ArgsJson)});
+}
+
+size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events;
+}
+
+std::string quals::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string Tracer::toChromeJson() const {
+  std::vector<TraceEvent> Sorted = snapshot();
+  // Spans close in LIFO order, so recording order is by *end* time; the
+  // trace-event format wants non-decreasing "ts" per document for friendly
+  // loading. stable_sort keeps nesting order for equal timestamps (an outer
+  // span that began the same microsecond as its first child sorts first
+  // because it was recorded later... not guaranteed -- so break ties by
+  // longer duration first, which puts parents before their children).
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.StartUs != B.StartUs)
+                       return A.StartUs < B.StartUs;
+                     return A.DurUs > B.DurUs;
+                   });
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Sorted) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+           jsonEscape(E.Category) + "\",\"ph\":\"";
+    Out += E.Phase;
+    Out += "\",\"ts\":" + std::to_string(E.StartUs);
+    if (E.Phase == 'X')
+      Out += ",\"dur\":" + std::to_string(E.DurUs);
+    if (E.Phase == 'i')
+      Out += ",\"s\":\"t\""; // thread-scoped instant
+    Out += ",\"pid\":1,\"tid\":" + std::to_string(E.Tid);
+    if (!E.Args.empty())
+      Out += ",\"args\":{" + E.Args + "}";
+    Out += '}';
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeJson(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << toChromeJson();
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,164 @@
+//===- support/Trace.h - Chrome-trace-event recording -----------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide tracer recording hierarchical phase spans and point events
+/// in the Chrome trace-event format, loadable in chrome://tracing and
+/// Perfetto (https://ui.perfetto.dev). The paper's whole evaluation (Table 2,
+/// Figure 6) is about *measuring* inference; this is the measuring device:
+/// every pipeline layer (cfront, lambda, constinf, qual, gen) opens
+/// TraceScope spans around its phases, and the CLI tools dump the result via
+/// --trace-out=<file>.
+///
+/// Design constraints:
+///
+/// \li **Near-zero cost when disabled.** The enabled flag is a process-wide
+///     relaxed atomic; a disabled TraceScope is one load in the constructor
+///     and one branch in the destructor -- no clock reads, no locking, no
+///     allocation. Instrumentation may therefore stay in release builds.
+/// \li **Thread-safe.** Events append under a mutex (span granularity is
+///     phases, not per-token work, so contention is irrelevant); thread ids
+///     are mapped to small dense integers in first-use order so traces are
+///     stable across runs.
+/// \li **Monotonic timestamps.** All times are microseconds on
+///     steady_clock relative to a fixed process epoch, so events serialize
+///     in plausible, strictly non-decreasing begin order.
+///
+/// Span/metric naming conventions live in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_TRACE_H
+#define QUALS_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace quals {
+
+/// One recorded trace event (complete span or instant).
+struct TraceEvent {
+  std::string Name;     ///< Event name (span or instant label).
+  std::string Category; ///< Module: "cfront", "lambda", "constinf", ...
+  char Phase;           ///< 'X' complete span, 'i' instant.
+  uint64_t StartUs;     ///< Microseconds since the tracer epoch.
+  uint64_t DurUs;       ///< Span duration ('X' only; 0 for instants).
+  uint32_t Tid;         ///< Dense thread id (0 = first recording thread).
+  std::string Args;     ///< Pre-serialized JSON object body ("" = none).
+};
+
+/// The process-wide trace-event recorder. All members are thread-safe.
+class Tracer {
+public:
+  /// The process-wide instance.
+  static Tracer &instance();
+
+  /// True when recording; checked inline by every instrumentation site.
+  static bool isEnabled() { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Turns recording on or off (existing events are kept).
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded events (recording state is unchanged).
+  void clear();
+
+  /// Microseconds since the tracer epoch (monotonic).
+  static uint64_t nowMicros();
+
+  /// Records a complete span ('X'). \p ArgsJson, when non-empty, must be the
+  /// body of a JSON object, e.g. "\"tokens\":42".
+  void recordComplete(std::string Name, std::string Category,
+                      uint64_t StartUs, uint64_t DurUs,
+                      std::string ArgsJson = {});
+
+  /// Records an instant event ('i') at the current time.
+  void recordInstant(std::string Name, std::string Category,
+                     std::string ArgsJson = {});
+
+  /// Number of events recorded so far.
+  size_t eventCount() const;
+
+  /// Copy of the recorded events (tests; ordering is recording order).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Serializes every event as a Chrome trace-event JSON document
+  /// ({"traceEvents": [...], ...}), sorted by start time.
+  std::string toChromeJson() const;
+
+  /// Writes toChromeJson() to \p Path; false if the file cannot be written.
+  bool writeChromeJson(const std::string &Path) const;
+
+private:
+  Tracer() = default;
+
+  static std::atomic<bool> Enabled;
+
+  mutable std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+  /// Thread-id registration order; index = dense tid.
+  std::vector<uint64_t> ThreadIds;
+
+  uint32_t denseTidLocked(uint64_t ThreadHash);
+};
+
+/// RAII span: records one complete event on the process tracer covering the
+/// scope's lifetime. When tracing is disabled at construction the scope is
+/// inert (the destructor re-checks nothing and records nothing).
+class TraceScope {
+public:
+  explicit TraceScope(std::string Name, std::string Category = "quals")
+      : Active(Tracer::isEnabled()) {
+    if (Active) {
+      this->Name = std::move(Name);
+      this->Category = std::move(Category);
+      StartUs = Tracer::nowMicros();
+    }
+  }
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+  /// Attaches a JSON object body (e.g. "\"tokens\":42") to the span.
+  void setArgs(std::string ArgsJson) {
+    if (Active)
+      Args = std::move(ArgsJson);
+  }
+
+  ~TraceScope() {
+    if (Active)
+      Tracer::instance().recordComplete(std::move(Name), std::move(Category),
+                                        StartUs,
+                                        Tracer::nowMicros() - StartUs,
+                                        std::move(Args));
+  }
+
+private:
+  bool Active;
+  std::string Name;
+  std::string Category;
+  std::string Args;
+  uint64_t StartUs = 0;
+};
+
+/// Records an instant event when tracing is enabled; no-op otherwise.
+inline void traceInstant(std::string Name, std::string Category = "quals",
+                         std::string ArgsJson = {}) {
+  if (Tracer::isEnabled())
+    Tracer::instance().recordInstant(std::move(Name), std::move(Category),
+                                     std::move(ArgsJson));
+}
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes not added).
+std::string jsonEscape(const std::string &S);
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_TRACE_H

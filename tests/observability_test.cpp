@@ -1,0 +1,283 @@
+//===- tests/observability_test.cpp - Trace + metrics unit tests ----------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the observability substrate: the process-wide Chrome-trace recorder
+// (support/Trace.h), the metrics registry (support/Metrics.h), and the
+// PhaseScope glue that every pipeline layer uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Allocator.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace quals;
+
+namespace {
+
+/// Both the tracer and the collection flag are process-wide; every test
+/// starts from the all-off, no-events state and restores it afterward.
+class ObservabilityTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Tracer::instance().setEnabled(false);
+    Tracer::instance().clear();
+    MetricsRegistry::setCollecting(false);
+  }
+  void TearDown() override {
+    Tracer::instance().setEnabled(false);
+    Tracer::instance().clear();
+    MetricsRegistry::setCollecting(false);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(Tracer::isEnabled());
+  {
+    TraceScope Scope("ghost", "test");
+    Scope.setArgs("\"x\":1");
+    traceInstant("ghost.instant", "test");
+  }
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+}
+
+TEST_F(ObservabilityTest, EnabledScopeRecordsCompleteSpan) {
+  Tracer::instance().setEnabled(true);
+  {
+    TraceScope Scope("unit.span", "test");
+    Scope.setArgs("\"tokens\":42");
+  }
+  auto Events = Tracer::instance().snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "unit.span");
+  EXPECT_EQ(Events[0].Category, "test");
+  EXPECT_EQ(Events[0].Phase, 'X');
+  EXPECT_EQ(Events[0].Args, "\"tokens\":42");
+  EXPECT_EQ(Events[0].Tid, 0u);
+}
+
+TEST_F(ObservabilityTest, InstantEventsRecordWithZeroDuration) {
+  Tracer::instance().setEnabled(true);
+  traceInstant("unit.instant", "test", "\"n\":7");
+  auto Events = Tracer::instance().snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Phase, 'i');
+  EXPECT_EQ(Events[0].DurUs, 0u);
+  EXPECT_EQ(Events[0].Args, "\"n\":7");
+}
+
+TEST_F(ObservabilityTest, ScopeEnabledStateIsLatchedAtConstruction) {
+  // A scope opened while disabled stays inert even if tracing turns on
+  // before it closes; a half-measured span would have a bogus start time.
+  TraceScope Scope("latched", "test");
+  Tracer::instance().setEnabled(true);
+  { TraceScope Inner("live", "test"); }
+  EXPECT_EQ(Tracer::instance().eventCount(), 1u);
+}
+
+TEST_F(ObservabilityTest, NestedSpansSerializeParentFirst) {
+  Tracer::instance().setEnabled(true);
+  {
+    TraceScope Outer("outer", "test");
+    TraceScope Inner("inner", "test");
+  }
+  // Destruction order records inner before outer...
+  auto Events = Tracer::instance().snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Name, "inner");
+  // ...but serialization sorts by start time (ties broken longest-first)
+  // so viewers nest children under parents.
+  std::string Json = Tracer::instance().toChromeJson();
+  size_t OuterPos = Json.find("\"outer\"");
+  size_t InnerPos = Json.find("\"inner\"");
+  ASSERT_NE(OuterPos, std::string::npos);
+  ASSERT_NE(InnerPos, std::string::npos);
+  EXPECT_LT(OuterPos, InnerPos);
+}
+
+TEST_F(ObservabilityTest, ChromeJsonHasRequiredShape) {
+  Tracer::instance().setEnabled(true);
+  { TraceScope Scope("shape", "test"); }
+  traceInstant("shape.marker", "test");
+  std::string Json = Tracer::instance().toChromeJson();
+  EXPECT_NE(Json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"pid\":1"), std::string::npos);
+  // Instants carry the scope hint Perfetto expects.
+  EXPECT_NE(Json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ClearDropsEventsButKeepsRecording) {
+  Tracer::instance().setEnabled(true);
+  traceInstant("before", "test");
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+  EXPECT_TRUE(Tracer::isEnabled());
+  traceInstant("after", "test");
+  EXPECT_EQ(Tracer::instance().eventCount(), 1u);
+}
+
+TEST_F(ObservabilityTest, WriteChromeJsonReportsFailure) {
+  EXPECT_FALSE(Tracer::instance().writeChromeJson(
+      "/nonexistent-dir-for-quals-test/trace.json"));
+}
+
+TEST_F(ObservabilityTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, DuplicateRegistrationReturnsSameObject) {
+  MetricsRegistry R;
+  Counter &C1 = R.counter("dup");
+  Counter &C2 = R.counter("dup");
+  EXPECT_EQ(&C1, &C2);
+  Gauge &G1 = R.gauge("dup");
+  Gauge &G2 = R.gauge("dup");
+  EXPECT_EQ(&G1, &G2);
+  TimerMetric &T1 = R.timer("dup");
+  TimerMetric &T2 = R.timer("dup");
+  EXPECT_EQ(&T1, &T2);
+  // Same name, different kind: distinct namespaces, distinct objects.
+  C1.add(3);
+  G1.set(-5);
+  EXPECT_EQ(C2.value(), 3u);
+  EXPECT_EQ(G2.value(), -5);
+}
+
+TEST(Metrics, ValuesAccumulateAndReset) {
+  MetricsRegistry R;
+  R.counter("c").add();
+  R.counter("c").add(9);
+  EXPECT_EQ(R.counter("c").value(), 10u);
+  R.gauge("g").set(100);
+  R.gauge("g").add(-30);
+  EXPECT_EQ(R.gauge("g").value(), 70);
+  R.timer("t").addSeconds(0.25);
+  R.timer("t").addSeconds(0.5);
+  EXPECT_NEAR(R.timer("t").seconds(), 0.75, 1e-6);
+  EXPECT_EQ(R.timer("t").count(), 2u);
+
+  R.resetValues();
+  EXPECT_EQ(R.counter("c").value(), 0u);
+  EXPECT_EQ(R.gauge("g").value(), 0);
+  EXPECT_EQ(R.timer("t").count(), 0u);
+  EXPECT_FALSE(R.empty()); // registrations survive a value reset
+}
+
+TEST(Metrics, EmptyRegistryRenders) {
+  MetricsRegistry R;
+  EXPECT_TRUE(R.empty());
+  // Rendering an empty registry must not crash and must stay parseable.
+  std::string Json = R.renderJson();
+  EXPECT_NE(Json.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(Json.find("\"timers\":{}"), std::string::npos);
+  (void)R.renderTable();
+}
+
+TEST(Metrics, ZeroCountMetricsStillRender) {
+  MetricsRegistry R;
+  R.counter("touched.never");
+  R.timer("timed.never");
+  std::string Table = R.renderTable();
+  EXPECT_NE(Table.find("touched.never"), std::string::npos);
+  EXPECT_NE(Table.find("timed.never"), std::string::npos);
+  std::string Json = R.renderJson();
+  EXPECT_NE(Json.find("\"touched.never\":0"), std::string::npos);
+  EXPECT_NE(Json.find("\"count\":0"), std::string::npos);
+}
+
+TEST(Metrics, RenderJsonSortsKeysStably) {
+  MetricsRegistry R;
+  R.counter("zeta");
+  R.counter("alpha");
+  R.gauge("mid").set(4);
+  std::string Json = R.renderJson();
+  size_t A = Json.find("\"alpha\"");
+  size_t Z = Json.find("\"zeta\"");
+  ASSERT_NE(A, std::string::npos);
+  ASSERT_NE(Z, std::string::npos);
+  EXPECT_LT(A, Z);
+  EXPECT_NE(Json.find("\"mid\":4"), std::string::npos);
+  // Deterministic: rendering twice gives the identical document.
+  EXPECT_EQ(Json, R.renderJson());
+}
+
+TEST(Metrics, RenderTableShowsTimerSampleCounts) {
+  MetricsRegistry R;
+  R.timer("phase.fake").addSeconds(0.002);
+  R.timer("phase.fake").addSeconds(0.001);
+  std::string Table = R.renderTable();
+  EXPECT_NE(Table.find("phase.fake"), std::string::npos);
+  EXPECT_NE(Table.find("(x2)"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// PhaseScope + observabilityActive
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, ObservabilityActiveTracksEitherSink) {
+  EXPECT_FALSE(observabilityActive());
+  Tracer::instance().setEnabled(true);
+  EXPECT_TRUE(observabilityActive());
+  Tracer::instance().setEnabled(false);
+  MetricsRegistry::setCollecting(true);
+  EXPECT_TRUE(observabilityActive());
+}
+
+TEST_F(ObservabilityTest, PhaseScopePublishesTimerAndArenaBytes) {
+  MetricsRegistry::setCollecting(true);
+  MetricsRegistry &R = MetricsRegistry::global();
+  uint64_t CountBefore = R.timer("phase.obs_test").count();
+  {
+    PhaseScope Phase("obs_test", "test");
+    BumpPtrAllocator A;
+    (void)A.allocate(4096, 8);
+  }
+  EXPECT_EQ(R.timer("phase.obs_test").count(), CountBefore + 1);
+  EXPECT_GE(R.timer("phase.obs_test").seconds(), 0.0);
+  // The arena gauge charges the phase with bytes bump-allocated while it
+  // was open -- at least the 4 KiB requested above.
+  EXPECT_GE(R.gauge("phase.obs_test.arena_bytes").value(), 4096);
+}
+
+TEST_F(ObservabilityTest, PhaseScopeInertWhenAllSinksOff) {
+  MetricsRegistry &R = MetricsRegistry::global();
+  uint64_t CountBefore = R.timer("phase.obs_inert").count();
+  { PhaseScope Phase("obs_inert", "test"); }
+  EXPECT_EQ(R.timer("phase.obs_inert").count(), CountBefore);
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+}
+
+TEST_F(ObservabilityTest, PhaseScopeEmitsTraceSpanWithArgs) {
+  Tracer::instance().setEnabled(true);
+  {
+    PhaseScope Phase("obs_span", "test");
+    Phase.setTraceArgs("\"items\":3");
+  }
+  auto Events = Tracer::instance().snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "obs_span");
+  EXPECT_EQ(Events[0].Args, "\"items\":3");
+}

@@ -1,0 +1,105 @@
+//===- tools/ObsFlags.h - Shared observability CLI plumbing -----*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The --trace-out / --metrics flags shared by qualcc, qualcheck, and
+/// qualgen. ObsSession parses the flags, switches the process-wide tracer
+/// and metrics registry on, and flushes both on destruction -- so every
+/// exit path of main() (including error paths, where a trace is most
+/// interesting) still writes the trace file and prints the metrics report.
+///
+///   --trace-out=<file>   record Chrome trace events, write them to <file>
+///   --metrics[=table|json]  print collected metrics on exit (default table)
+///
+/// See docs/OBSERVABILITY.md for the span/metric naming conventions and how
+/// to load the trace in Perfetto.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_TOOLS_OBSFLAGS_H
+#define QUALS_TOOLS_OBSFLAGS_H
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace quals {
+
+/// Observability flag state for one tool invocation; see the file comment.
+class ObsSession {
+public:
+  /// Returns true (and consumes the flag) when \p Arg is an observability
+  /// flag; prints to stderr and sets badFlag() on a malformed value.
+  bool parseFlag(const char *Arg) {
+    if (!std::strncmp(Arg, "--trace-out=", 12)) {
+      TraceOut = Arg + 12;
+      if (TraceOut.empty()) {
+        std::fprintf(stderr, "--trace-out= requires a file name\n");
+        Bad = true;
+      }
+      return true;
+    }
+    if (!std::strcmp(Arg, "--metrics")) {
+      Metrics = MetricsMode::Table;
+      return true;
+    }
+    if (!std::strncmp(Arg, "--metrics=", 10)) {
+      const char *Mode = Arg + 10;
+      if (!std::strcmp(Mode, "table"))
+        Metrics = MetricsMode::Table;
+      else if (!std::strcmp(Mode, "json"))
+        Metrics = MetricsMode::Json;
+      else {
+        std::fprintf(stderr, "--metrics= wants 'table' or 'json', got '%s'\n",
+                     Mode);
+        Bad = true;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// True if a recognized observability flag had a malformed value.
+  bool badFlag() const { return Bad; }
+
+  /// Turns the requested sinks on; call once after flag parsing.
+  void activate() {
+    if (!TraceOut.empty())
+      Tracer::instance().setEnabled(true);
+    if (Metrics != MetricsMode::Off)
+      MetricsRegistry::setCollecting(true);
+  }
+
+  /// Flushes on every exit path: writes the trace file and prints the
+  /// metrics report to stdout.
+  ~ObsSession() {
+    if (!TraceOut.empty()) {
+      Tracer::instance().setEnabled(false);
+      if (!Tracer::instance().writeChromeJson(TraceOut))
+        std::fprintf(stderr, "warning: cannot write trace to '%s'\n",
+                     TraceOut.c_str());
+    }
+    if (Metrics == MetricsMode::Table)
+      std::fputs(MetricsRegistry::global().renderTable().c_str(), stdout);
+    else if (Metrics == MetricsMode::Json)
+      std::fputs(MetricsRegistry::global().renderJson().c_str(), stdout);
+  }
+
+private:
+  enum class MetricsMode { Off, Table, Json };
+
+  std::string TraceOut;
+  MetricsMode Metrics = MetricsMode::Off;
+  bool Bad = false;
+};
+
+} // namespace quals
+
+#endif // QUALS_TOOLS_OBSFLAGS_H

@@ -18,6 +18,8 @@
 //   --flow-nonnull  also run the flow-sensitive (Section 6) checker
 //   --stats         print a solver statistics table
 //   --no-collapse   disable solver cycle collapsing (ablation baseline)
+//   --trace-out=<file>      write a Chrome trace of the pipeline phases
+//   --metrics[=table|json]  print per-phase metrics on exit
 //   --quiet         counts only
 //
 // Exit status: 0 on success, 1 on front-end errors, 2 on const errors.
@@ -30,6 +32,8 @@
 #include "cfront/CSema.h"
 #include "constinf/ConstInfer.h"
 #include "support/Timer.h"
+
+#include "ObsFlags.h"
 
 #include <cstdio>
 #include <cstring>
@@ -69,6 +73,7 @@ int main(int argc, char **argv) {
   bool CollapseCycles = true;
   bool Quiet = false;
   std::vector<const char *> Files;
+  ObsSession Obs;
 
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--mono"))
@@ -87,10 +92,14 @@ int main(int argc, char **argv) {
       CollapseCycles = false;
     else if (!std::strcmp(argv[I], "--quiet"))
       Quiet = true;
-    else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
+    else if (Obs.parseFlag(argv[I])) {
+      if (Obs.badFlag())
+        return 1;
+    } else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: qualcc [--mono] [--protos] [--positions] "
                    "[--nonnull] [--flow-nonnull] [--stats] [--no-collapse] "
+                   "[--trace-out=file] [--metrics[=table|json]] "
                    "[--quiet] file.c...\n");
       return argv[I][1] == 'h' ? 0 : 1;
     } else {
@@ -101,6 +110,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "qualcc: no input files\n");
     return 1;
   }
+  Obs.activate();
 
   SourceManager SM;
   DiagnosticEngine Diags(SM);

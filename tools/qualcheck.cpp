@@ -14,6 +14,8 @@
 //   --run    evaluate under the Figure 5 semantics after checking
 //   --trace  with --run, print every reduction step
 //   --stats  print a solver statistics table after the check
+//   --trace-out=<file>  write a Chrome trace of the pipeline phases
+//   --metrics[=table|json]  print per-phase metrics on exit
 //   --quals  comma-separated qualifier spec, name[:neg] (default:
 //            "const,nonzero:neg,dynamic,tainted")
 //
@@ -25,6 +27,8 @@
 #include "lambda/Eval.h"
 #include "lambda/Parser.h"
 #include "lambda/QualInfer.h"
+
+#include "ObsFlags.h"
 
 #include <cstdio>
 #include <cstring>
@@ -51,6 +55,7 @@ int main(int argc, char **argv) {
   bool PrintStats = false;
   const char *File = nullptr;
   std::string QualSpec = "const,nonzero:neg,dynamic,tainted";
+  ObsSession Obs;
 
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--mono"))
@@ -63,9 +68,13 @@ int main(int argc, char **argv) {
       PrintStats = true;
     else if (!std::strcmp(argv[I], "--quals") && I + 1 < argc)
       QualSpec = argv[++I];
-    else if (argv[I][0] == '-') {
+    else if (Obs.parseFlag(argv[I])) {
+      if (Obs.badFlag())
+        return 1;
+    } else if (argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: qualcheck [--mono] [--run] [--trace] [--stats] "
+                   "[--trace-out=file] [--metrics[=table|json]] "
                    "[--quals spec] file.q\n");
       return std::strcmp(argv[I], "--help") ? 1 : 0;
     } else {
@@ -76,6 +85,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "qualcheck: no input file\n");
     return 1;
   }
+  Obs.activate();
 
   QualifierSet QS;
   QualifierId ConstQual = ~0u;

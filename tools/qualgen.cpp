@@ -8,6 +8,10 @@
 // Emits a deterministic synthetic C benchmark to stdout:
 //
 //   qualgen [--lines N] [--seed S] [--const-rate R] [--writer-rate R]
+//           [--trace-out=file] [--metrics[=table|json]]
+//
+// Note --metrics prints to stdout after the program text; when piping the
+// program into another tool, prefer --trace-out (which writes to a file).
 //
 // Pipe into qualcc to reproduce Table 2 rows by hand:
 //
@@ -17,16 +21,20 @@
 
 #include "gen/SynthGen.h"
 
+#include "ObsFlags.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+using namespace quals;
 using namespace quals::synth;
 
 int main(int argc, char **argv) {
   unsigned Lines = 2000;
   uint64_t Seed = 1;
   double ConstRate = -1, WriterRate = -1;
+  ObsSession Obs;
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--lines") && I + 1 < argc)
       Lines = std::strtoul(argv[++I], nullptr, 10);
@@ -36,12 +44,17 @@ int main(int argc, char **argv) {
       ConstRate = std::strtod(argv[++I], nullptr);
     else if (!std::strcmp(argv[I], "--writer-rate") && I + 1 < argc)
       WriterRate = std::strtod(argv[++I], nullptr);
-    else {
+    else if (Obs.parseFlag(argv[I])) {
+      if (Obs.badFlag())
+        return 1;
+    } else {
       std::fprintf(stderr, "usage: qualgen [--lines N] [--seed S] "
-                           "[--const-rate R] [--writer-rate R]\n");
+                           "[--const-rate R] [--writer-rate R] "
+                           "[--trace-out=file] [--metrics[=table|json]]\n");
       return std::strcmp(argv[I], "--help") ? 1 : 0;
     }
   }
+  Obs.activate();
   SynthParams P = paramsForLines(Seed, Lines);
   if (ConstRate >= 0)
     P.ConstDeclRate = ConstRate;

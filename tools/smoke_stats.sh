@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # smoke_stats.sh - run the --stats path of both CLIs over every example
 # program and fail on a crash.
 #
@@ -10,7 +10,7 @@
 # stats table to actually appear on stdout. Wired into ctest as
 # cli.smoke_stats by tools/CMakeLists.txt.
 
-set -u
+set -euo pipefail
 
 if [ $# -ne 3 ]; then
     echo "usage: $0 <qualcheck-binary> <qualcc-binary> <programs-dir>" >&2
@@ -24,10 +24,10 @@ FAILED=0
 
 check_run() {
     # $1: tool name for messages, $2...: command.
-    TOOL=$1
+    local TOOL=$1
     shift
-    OUT=$("$@" 2>/dev/null)
-    STATUS=$?
+    local OUT STATUS=0
+    OUT=$("$@" 2>/dev/null) || STATUS=$?
     if [ "$STATUS" -ge 128 ] || { [ "$STATUS" -ne 0 ] && [ "$STATUS" -gt 3 ]; }; then
         echo "FAIL: $TOOL exited with status $STATUS: $*" >&2
         FAILED=1
@@ -64,4 +64,4 @@ if [ "$FOUND" -eq 0 ]; then
     echo "FAIL: no .q or .c programs found in $PROGRAMS" >&2
     exit 2
 fi
-exit $FAILED
+exit "$FAILED"

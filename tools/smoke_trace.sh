@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# smoke_trace.sh - run the observability path (--trace-out / --metrics=json)
+# of both CLIs over the example corpus and validate the artifacts.
+#
+#   smoke_trace.sh <qualcheck-binary> <qualcc-binary> <programs-dir>
+#
+# For every example program the tool must (a) not crash, (b) emit a
+# well-formed Chrome trace-event JSON file whose timestamps are
+# monotonically plausible (non-negative durations, begin times
+# non-decreasing once sorted, spans covering a sane range), and (c) emit
+# parseable metrics JSON naming the expected pipeline phases. Wired into
+# ctest as cli.smoke_trace by tools/CMakeLists.txt. Exits 77 (ctest skip)
+# when python3 is unavailable for the JSON validation.
+
+set -euo pipefail
+
+if [ $# -ne 3 ]; then
+    echo "usage: $0 <qualcheck-binary> <qualcc-binary> <programs-dir>" >&2
+    exit 2
+fi
+
+QUALCHECK=$1
+QUALCC=$2
+PROGRAMS=$3
+FAILED=0
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "SKIP: python3 not available for trace validation" >&2
+    exit 77
+fi
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# validate_trace <trace-file> <required-phase-csv>
+validate_trace() {
+    python3 - "$1" "$2" <<'PYEOF'
+import json, sys
+
+path, required = sys.argv[1], sys.argv[2].split(",")
+with open(path) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "no trace events recorded"
+last_ts = -1
+for e in events:
+    assert e["ph"] in ("X", "i"), f"unexpected phase type {e['ph']!r}"
+    assert isinstance(e["ts"], int) and e["ts"] >= 0, f"bad ts in {e}"
+    assert e["ts"] >= last_ts, "begin timestamps must be non-decreasing"
+    last_ts = e["ts"]
+    if e["ph"] == "X":
+        assert isinstance(e["dur"], int) and e["dur"] >= 0, f"bad dur in {e}"
+        # A pipeline phase over an example file finishing after ten
+        # minutes is not plausible; a trace claiming so is corrupt.
+        assert e["ts"] + e["dur"] < 600_000_000, "implausible span end"
+names = {e["name"] for e in events}
+for phase in required:
+    assert phase in names, f"missing {phase!r} span; have {sorted(names)}"
+PYEOF
+}
+
+# validate_metrics <metrics-file> <required-timer-csv>
+validate_metrics() {
+    python3 - "$1" "$2" <<'PYEOF'
+import json, sys
+
+path, required = sys.argv[1], sys.argv[2].split(",")
+with open(path) as f:
+    doc = json.load(f)
+for key in ("counters", "gauges", "timers"):
+    assert key in doc, f"metrics JSON lacks {key!r}"
+for timer in required:
+    assert timer in doc["timers"], \
+        f"missing timer {timer!r}; have {sorted(doc['timers'])}"
+    entry = doc["timers"][timer]
+    assert entry["seconds"] >= 0 and entry["count"] >= 1, entry
+PYEOF
+}
+
+# check_run <tool-name> <required-phase-csv> <command...>
+check_run() {
+    local TOOL=$1 PHASES=$2
+    shift 2
+    local TRACE="$WORKDIR/$TOOL.trace.json"
+    local METRICS="$WORKDIR/$TOOL.metrics.json"
+    local STATUS=0
+    "$@" "--trace-out=$TRACE" --metrics=json >"$METRICS" 2>/dev/null \
+        || STATUS=$?
+    if [ "$STATUS" -ge 128 ] || { [ "$STATUS" -ne 0 ] && [ "$STATUS" -gt 3 ]; }; then
+        echo "FAIL: $TOOL exited with status $STATUS: $*" >&2
+        FAILED=1
+        return
+    fi
+    # Exit 1 is a front-end error: the pipeline stopped early, so phase
+    # coverage is not expected; the trace must still be well-formed.
+    local REQUIRED=$PHASES
+    if [ "$STATUS" -eq 1 ]; then
+        REQUIRED="lex"
+    fi
+    if ! validate_trace "$TRACE" "$REQUIRED"; then
+        echo "FAIL: $TOOL produced a bad trace for: $*" >&2
+        FAILED=1
+        return
+    fi
+    # The metrics report mixes with regular stdout; extract the JSON
+    # document (it starts at the first '{"counters"' line).
+    local JSONSTART
+    JSONSTART=$(grep -n '^{"counters"' "$METRICS" | head -1 | cut -d: -f1)
+    if [ -z "$JSONSTART" ]; then
+        echo "FAIL: $TOOL printed no metrics JSON: $*" >&2
+        FAILED=1
+        return
+    fi
+    tail -n "+$JSONSTART" "$METRICS" >"$METRICS.json"
+    local TIMERS="phase.solve"
+    if [ "$STATUS" -eq 1 ]; then
+        TIMERS="phase.lex"
+    fi
+    if ! validate_metrics "$METRICS.json" "$TIMERS"; then
+        echo "FAIL: $TOOL produced bad metrics JSON for: $*" >&2
+        FAILED=1
+    fi
+}
+
+FOUND=0
+for F in "$PROGRAMS"/*.q; do
+    [ -e "$F" ] || continue
+    FOUND=1
+    check_run qualcheck "lex,parse,sema,constraint-gen,solve" \
+        "$QUALCHECK" "$F"
+done
+for F in "$PROGRAMS"/*.c; do
+    [ -e "$F" ] || continue
+    FOUND=1
+    check_run qualcc "lex,parse,sema,ref-types,fdg,constraint-gen,solve" \
+        "$QUALCC" "$F"
+done
+
+if [ "$FOUND" -eq 0 ]; then
+    echo "FAIL: no .q or .c programs found in $PROGRAMS" >&2
+    exit 2
+fi
+exit "$FAILED"
