@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <vector>
 
 using namespace quals;
@@ -389,4 +390,18 @@ SynthParams quals::synth::paramsForLines(uint64_t Seed,
         4u, static_cast<unsigned>(P.NumFunctions * Ratio + 0.5));
   }
   return P;
+}
+
+SynthParams quals::synth::corpusFileParams(uint64_t Seed, unsigned Index,
+                                           unsigned TargetLines) {
+  // Stride the seeds apart so adjacent files draw unrelated SplitMix64
+  // streams (consecutive integers would still be fine, but stay distinct
+  // from any seed a caller is likely to pass for a standalone program).
+  return paramsForLines(Seed * 0x100000001B3ULL + Index + 1, TargetLines);
+}
+
+std::string quals::synth::corpusFileName(unsigned Index) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "corpus_%04u.c", Index);
+  return Buf;
 }

@@ -77,6 +77,17 @@ SynthProgram generateProgram(const SynthParams &Params);
 /// (matching the Table 1 line counts).
 SynthParams paramsForLines(uint64_t Seed, unsigned TargetLines);
 
+/// Parameters for file \p Index of a corpus: same target size for every
+/// file, but an independent per-file seed derived from \p Seed so the
+/// programs differ. Used by qualgen --corpus and the batch throughput
+/// benchmark; each file depends only on (Seed, Index, TargetLines), so a
+/// corpus generated on N pool workers is bit-identical to one worker's.
+SynthParams corpusFileParams(uint64_t Seed, unsigned Index,
+                             unsigned TargetLines);
+
+/// Canonical name of corpus file \p Index: "corpus_0042.c".
+std::string corpusFileName(unsigned Index);
+
 } // namespace synth
 } // namespace quals
 

@@ -148,6 +148,10 @@ struct SolverStats {
   /// totals), snapshot fields *set* gauges, and SolveSeconds feeds the
   /// "solver.solve" timer. solve() does this automatically when
   /// MetricsRegistry::collecting() is on.
+  ///
+  /// Safe to call from concurrent batch workers (docs/PARALLEL.md): the
+  /// registry synchronizes internally, counters/timers accumulate into
+  /// corpus totals, and the gauges are last-writer-wins snapshots.
   void publishTo(MetricsRegistry &R) const;
 };
 

@@ -13,6 +13,7 @@
 using namespace quals;
 
 std::atomic<uint64_t> BumpPtrAllocator::TotalBytes{0};
+thread_local uint64_t BumpPtrAllocator::ThreadBytes = 0;
 
 void BumpPtrAllocator::startNewSlab(size_t MinSize) {
   size_t Size = std::max(SlabSize, MinSize);
@@ -36,5 +37,6 @@ void *BumpPtrAllocator::allocate(size_t Size, size_t Align) {
   Cur += Adjust + Size;
   BytesAllocated += Size;
   TotalBytes.fetch_add(Size, std::memory_order_relaxed);
+  ThreadBytes += Size;
   return reinterpret_cast<void *>(Aligned);
 }

@@ -57,19 +57,27 @@ public:
   /// Total bytes handed out so far (diagnostic/statistics use).
   size_t bytesAllocated() const { return BytesAllocated; }
 
-  /// Bytes handed out by *every* arena in the process since startup; the
-  /// observability layer (support/Metrics.h PhaseScope) snapshots this at
-  /// phase boundaries to attribute arena growth to pipeline phases. A
+  /// Bytes handed out by *every* arena in the process since startup. A
   /// relaxed atomic add per allocate() call -- negligible next to the slab
   /// work it accounts for.
   static uint64_t totalBytesAllocated() {
     return TotalBytes.load(std::memory_order_relaxed);
   }
 
+  /// Bytes handed out by arenas on the *calling thread* since it started;
+  /// the observability layer (support/Metrics.h PhaseScope) snapshots this
+  /// at phase boundaries to attribute arena growth to pipeline phases.
+  /// Thread-local so concurrent batch workers (support/ThreadPool.h) never
+  /// bill their allocations to another worker's open phase -- each
+  /// analysis context is confined to one task, so its allocations all land
+  /// on the counter of the thread running that task.
+  static uint64_t threadBytesAllocated() { return ThreadBytes; }
+
 private:
   static constexpr size_t SlabSize = 64 * 1024;
 
   static std::atomic<uint64_t> TotalBytes;
+  static thread_local uint64_t ThreadBytes;
 
   std::vector<std::unique_ptr<char[]>> Slabs;
   char *Cur = nullptr;

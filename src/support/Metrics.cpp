@@ -136,7 +136,9 @@ PhaseScope::PhaseScope(const char *Name, const char *Category)
       Collect(MetricsRegistry::collecting()) {
   if (Collect) {
     StartUs = Tracer::nowMicros();
-    StartArenaBytes = BumpPtrAllocator::totalBytesAllocated();
+    // Thread-local, not process-wide: a concurrent batch worker's
+    // allocations must not be billed to this thread's open phase.
+    StartArenaBytes = BumpPtrAllocator::threadBytesAllocated();
   }
 }
 
@@ -148,6 +150,6 @@ PhaseScope::~PhaseScope() {
   Base += Name;
   R.timer(Base).addSeconds((Tracer::nowMicros() - StartUs) * 1e-6);
   R.gauge(Base + ".arena_bytes")
-      .add(static_cast<int64_t>(BumpPtrAllocator::totalBytesAllocated() -
+      .add(static_cast<int64_t>(BumpPtrAllocator::threadBytesAllocated() -
                                 StartArenaBytes));
 }

@@ -166,9 +166,10 @@ inline bool observabilityActive() {
 /// RAII phase instrumentation: a Chrome-trace span named \p Name in
 /// category \p Category plus, when metrics collection is on, an
 /// accumulation into the global registry's "phase.<Name>" timer and
-/// "phase.<Name>.arena_bytes" gauge (bump-allocator bytes allocated while
-/// the phase was open; nested phases' bytes count toward every open
-/// phase). Inert when both sinks are off.
+/// "phase.<Name>.arena_bytes" gauge (bump-allocator bytes allocated *on
+/// this thread* while the phase was open; nested phases' bytes count
+/// toward every open phase, and concurrent batch workers' allocations are
+/// never billed to another thread's phase). Inert when both sinks are off.
 class PhaseScope {
 public:
   explicit PhaseScope(const char *Name, const char *Category = "quals");

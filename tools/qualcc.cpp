@@ -9,7 +9,7 @@
 // more files, analyzed together like the paper's multi-file benchmarks) and
 // infers the maximum number of consts that can be syntactically present.
 //
-//   qualcc [options] file1.c [file2.c ...]
+//   qualcc [options] file1.c [file2.c ...] [@response-file]
 //
 //   --mono          monomorphic inference (default: polymorphic)
 //   --protos        print annotated prototypes (const where allowed)
@@ -18,11 +18,16 @@
 //   --flow-nonnull  also run the flow-sensitive (Section 6) checker
 //   --stats         print a solver statistics table
 //   --no-collapse   disable solver cycle collapsing (ablation baseline)
+//   --batch         analyze each file as its own translation unit (corpus
+//                   mode) instead of linking all files into one program
+//   -jN, --jobs N   batch workers; implies --batch (docs/PARALLEL.md);
+//                   output order and bytes are identical for every N
 //   --trace-out=<file>      write a Chrome trace of the pipeline phases
 //   --metrics[=table|json]  print per-phase metrics on exit
 //   --quiet         counts only
 //
-// Exit status: 0 on success, 1 on front-end errors, 2 on const errors.
+// Exit status: 0 on success, 1 on front-end errors, 2 on const errors; in
+// batch mode the worst per-file status.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +38,7 @@
 #include "constinf/ConstInfer.h"
 #include "support/Timer.h"
 
+#include "BatchDriver.h"
 #include "ObsFlags.h"
 
 #include <cstdio>
@@ -44,7 +50,7 @@ using namespace quals;
 using namespace quals::cfront;
 using namespace quals::constinf;
 
-static bool readFile(const char *Path, std::string &Out) {
+static bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return false;
@@ -63,7 +69,9 @@ static const char *className(PosClass C) {
   return "?";
 }
 
-int main(int argc, char **argv) {
+namespace {
+
+struct QualccOptions {
   bool Polymorphic = true;
   bool PrintProtos = false;
   bool PrintPositions = false;
@@ -72,46 +80,16 @@ int main(int argc, char **argv) {
   bool PrintStats = false;
   bool CollapseCycles = true;
   bool Quiet = false;
-  std::vector<const char *> Files;
-  ObsSession Obs;
+};
 
-  for (int I = 1; I != argc; ++I) {
-    if (!std::strcmp(argv[I], "--mono"))
-      Polymorphic = false;
-    else if (!std::strcmp(argv[I], "--protos"))
-      PrintProtos = true;
-    else if (!std::strcmp(argv[I], "--positions"))
-      PrintPositions = true;
-    else if (!std::strcmp(argv[I], "--nonnull"))
-      RunNonNull = true;
-    else if (!std::strcmp(argv[I], "--flow-nonnull"))
-      RunFlowNonNull = true;
-    else if (!std::strcmp(argv[I], "--stats"))
-      PrintStats = true;
-    else if (!std::strcmp(argv[I], "--no-collapse"))
-      CollapseCycles = false;
-    else if (!std::strcmp(argv[I], "--quiet"))
-      Quiet = true;
-    else if (Obs.parseFlag(argv[I])) {
-      if (Obs.badFlag())
-        return 1;
-    } else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: qualcc [--mono] [--protos] [--positions] "
-                   "[--nonnull] [--flow-nonnull] [--stats] [--no-collapse] "
-                   "[--trace-out=file] [--metrics[=table|json]] "
-                   "[--quiet] file.c...\n");
-      return argv[I][1] == 'h' ? 0 : 1;
-    } else {
-      Files.push_back(argv[I]);
-    }
-  }
-  if (Files.empty()) {
-    std::fprintf(stderr, "qualcc: no input files\n");
-    return 1;
-  }
-  Obs.activate();
+} // namespace
 
+/// Runs the full pipeline over one translation unit -- \p Paths is every
+/// file of the program (the whole list in whole-program mode, a single
+/// file in batch mode) -- in a fully isolated context, buffering all
+/// output into \p R. Runs on a batch pool worker at -jN.
+static void analyzeUnit(const std::vector<std::string> &Paths,
+                        const QualccOptions &Opts, batch::FileResult &R) {
   SourceManager SM;
   DiagnosticEngine Diags(SM);
   CAstContext Ast;
@@ -120,87 +98,174 @@ int main(int argc, char **argv) {
   TranslationUnit TU;
 
   Timer CompileTimer;
-  for (const char *Path : Files) {
+  for (const std::string &Path : Paths) {
     std::string Source;
     if (!readFile(Path, Source)) {
-      std::fprintf(stderr, "qualcc: cannot read '%s'\n", Path);
-      return 1;
+      batch::appendf(R.Err, "qualcc: cannot read '%s'\n", Path.c_str());
+      R.ExitCode = 1;
+      return;
     }
     if (!parseCSource(SM, Path, std::move(Source), Ast, Types, Idents,
                       Diags, TU)) {
-      std::fprintf(stderr, "%s", Diags.renderAll().c_str());
-      return 1;
+      R.Err += Diags.renderAll();
+      R.ExitCode = 1;
+      return;
     }
   }
   CSema Sema(Ast, Types, Idents, Diags);
   if (!Sema.analyze(TU)) {
-    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
-    return 1;
+    R.Err += Diags.renderAll();
+    R.ExitCode = 1;
+    return;
   }
   double CompileSeconds = CompileTimer.seconds();
 
-  ConstInference::Options Opts;
-  Opts.Polymorphic = Polymorphic;
-  Opts.CollapseCycles = CollapseCycles;
-  ConstInference Inf(TU, Diags, Opts);
+  ConstInference::Options InfOpts;
+  InfOpts.Polymorphic = Opts.Polymorphic;
+  InfOpts.CollapseCycles = Opts.CollapseCycles;
+  ConstInference Inf(TU, Diags, InfOpts);
   Timer InferTimer;
   if (!Inf.run()) {
-    std::fprintf(stderr, "qualcc: const errors detected:\n%s",
-                 Diags.renderAll().c_str());
-    if (PrintStats)
-      std::printf("%s", renderSolverStats(Inf.solverStats()).c_str());
-    return 2;
+    batch::appendf(R.Err, "qualcc: const errors detected:\n%s",
+                   Diags.renderAll().c_str());
+    if (Opts.PrintStats)
+      R.Out += renderSolverStats(Inf.solverStats());
+    R.ExitCode = 2;
+    return;
   }
   double InferSeconds = InferTimer.seconds();
-  if (PrintStats)
-    std::printf("%s", renderSolverStats(Inf.solverStats()).c_str());
+  if (Opts.PrintStats)
+    R.Out += renderSolverStats(Inf.solverStats());
 
-  if (PrintPositions) {
+  if (Opts.PrintPositions) {
     for (const InterestingPos &Pos : Inf.positions()) {
       std::string Where = Pos.ParamIndex < 0
                               ? std::string("result")
                               : "param " + std::to_string(Pos.ParamIndex);
-      std::printf("%-24s %-8s depth %u  %-10s%s\n",
-                  std::string(Pos.Fn->getName()).c_str(), Where.c_str(),
-                  Pos.Depth, className(Inf.classify(Pos)),
-                  Pos.DeclaredConst ? "  [declared]" : "");
+      batch::appendf(R.Out, "%-24s %-8s depth %u  %-10s%s\n",
+                     std::string(Pos.Fn->getName()).c_str(), Where.c_str(),
+                     Pos.Depth, className(Inf.classify(Pos)),
+                     Pos.DeclaredConst ? "  [declared]" : "");
     }
   }
-  if (PrintProtos)
-    std::printf("%s", Inf.renderAnnotatedPrototypes().c_str());
+  if (Opts.PrintProtos)
+    R.Out += Inf.renderAnnotatedPrototypes();
 
   ConstCounts C = Inf.counts();
-  if (!Quiet)
-    std::printf("%s inference over %zu file(s): compile %.3fs, infer "
-                "%.3fs, %u qualifier vars, %u constraints\n",
-                Polymorphic ? "polymorphic" : "monomorphic", Files.size(),
-                CompileSeconds, InferSeconds, Inf.numQualVars(),
-                Inf.numConstraints());
-  std::printf("declared %u, inferred possible-const %u, total positions "
-              "%u\n",
-              C.Declared, C.PossibleConst, C.Total);
+  if (!Opts.Quiet)
+    batch::appendf(R.Out,
+                   "%s inference over %zu file(s): compile %.3fs, infer "
+                   "%.3fs, %u qualifier vars, %u constraints\n",
+                   Opts.Polymorphic ? "polymorphic" : "monomorphic",
+                   Paths.size(), CompileSeconds, InferSeconds,
+                   Inf.numQualVars(), Inf.numConstraints());
+  batch::appendf(R.Out,
+                 "declared %u, inferred possible-const %u, total positions "
+                 "%u\n",
+                 C.Declared, C.PossibleConst, C.Total);
 
-  auto printWarnings = [&SM](const char *Title, const auto &Warnings) {
-    std::printf("%s: %zu warning(s)\n", Title, Warnings.size());
+  auto printWarnings = [&SM, &R](const char *Title, const auto &Warnings) {
+    batch::appendf(R.Out, "%s: %zu warning(s)\n", Title, Warnings.size());
     for (const auto &W : Warnings) {
       PresumedLoc P = SM.getPresumedLoc(W.Loc);
       if (P.isValid())
-        std::printf("  %s:%u:%u: %s\n", std::string(P.Filename).c_str(),
-                    P.Line, P.Column, W.Message.c_str());
+        batch::appendf(R.Out, "  %s:%u:%u: %s\n",
+                       std::string(P.Filename).c_str(), P.Line, P.Column,
+                       W.Message.c_str());
       else
-        std::printf("  %s\n", W.Message.c_str());
+        batch::appendf(R.Out, "  %s\n", W.Message.c_str());
     }
   };
-  if (RunNonNull) {
+  if (Opts.RunNonNull) {
     quals::apps::NonNullChecker Checker;
     Checker.analyze(TU);
     printWarnings("nonnull (flow-insensitive)", Checker.warnings());
   }
-  if (RunFlowNonNull) {
+  if (Opts.RunFlowNonNull) {
     quals::apps::FlowNonNullChecker Checker;
     Checker.analyze(TU);
     printWarnings("nonnull (flow-sensitive, Section 6)",
                   Checker.warnings());
   }
-  return 0;
+}
+
+int main(int argc, char **argv) {
+  QualccOptions Opts;
+  bool Batch = false;
+  unsigned Jobs = 1;
+  std::vector<std::string> Files;
+  ObsSession Obs;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Error;
+    bool ConsumedNext = false;
+    if (!std::strcmp(argv[I], "--mono"))
+      Opts.Polymorphic = false;
+    else if (!std::strcmp(argv[I], "--protos"))
+      Opts.PrintProtos = true;
+    else if (!std::strcmp(argv[I], "--positions"))
+      Opts.PrintPositions = true;
+    else if (!std::strcmp(argv[I], "--nonnull"))
+      Opts.RunNonNull = true;
+    else if (!std::strcmp(argv[I], "--flow-nonnull"))
+      Opts.RunFlowNonNull = true;
+    else if (!std::strcmp(argv[I], "--stats"))
+      Opts.PrintStats = true;
+    else if (!std::strcmp(argv[I], "--no-collapse"))
+      Opts.CollapseCycles = false;
+    else if (!std::strcmp(argv[I], "--batch"))
+      Batch = true;
+    else if (!std::strcmp(argv[I], "--quiet"))
+      Opts.Quiet = true;
+    else if (batch::parseJobsFlag(argv[I], I + 1 < argc ? argv[I + 1] : nullptr,
+                                  Jobs, ConsumedNext, Error)) {
+      if (!Error.empty()) {
+        std::fprintf(stderr, "qualcc: %s\n", Error.c_str());
+        return 1;
+      }
+      I += ConsumedNext;
+      Batch = true; // Parallelism is per translation unit.
+    } else if (Obs.parseFlag(argv[I])) {
+      if (Obs.badFlag())
+        return 1;
+    } else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: qualcc [--mono] [--protos] [--positions] "
+                   "[--nonnull] [--flow-nonnull] [--stats] [--no-collapse] "
+                   "[--batch] [-jN] [--trace-out=file] "
+                   "[--metrics[=table|json]] "
+                   "[--quiet] file.c... [@response-file]\n");
+      return argv[I][1] == 'h' ? 0 : 1;
+    } else if (!batch::expandArg(argv[I], Files, Error)) {
+      std::fprintf(stderr, "qualcc: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "qualcc: no input files\n");
+    return 1;
+  }
+  Obs.activate();
+
+  if (!Batch) {
+    // Whole-program mode (the paper's setup): every file is one linked
+    // translation unit, so the analysis itself cannot be sharded.
+    batch::FileResult R;
+    analyzeUnit(Files, Opts, R);
+    if (!R.Out.empty())
+      std::fwrite(R.Out.data(), 1, R.Out.size(), stdout);
+    if (!R.Err.empty())
+      std::fwrite(R.Err.data(), 1, R.Err.size(), stderr);
+    return R.ExitCode;
+  }
+
+  batch::BatchConfig Config;
+  Config.Jobs = Jobs;
+  Config.Category = "qualcc";
+  Config.Headers = Files.size() > 1;
+  return batch::runBatch(Files, Config,
+                         [&Opts](const std::string &Path, size_t,
+                                 batch::FileResult &R) {
+                           analyzeUnit({Path}, Opts, R);
+                         });
 }

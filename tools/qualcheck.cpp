@@ -8,19 +8,23 @@
 // Checks and optionally runs programs in the paper's demonstration language
 // (Figure 1 + references + qualifier annotations/assertions):
 //
-//   qualcheck [options] file.q
+//   qualcheck [options] file.q [file2.q ...] [@response-file]
 //
 //   --mono   monomorphic qualifier inference (default: polymorphic)
 //   --run    evaluate under the Figure 5 semantics after checking
 //   --trace  with --run, print every reduction step
 //   --stats  print a solver statistics table after the check
+//   -jN, --jobs N  analyze files on N pool workers (docs/PARALLEL.md);
+//            output order and bytes are identical for every N
 //   --trace-out=<file>  write a Chrome trace of the pipeline phases
 //   --metrics[=table|json]  print per-phase metrics on exit
 //   --quals  comma-separated qualifier spec, name[:neg] (default:
 //            "const,nonzero:neg,dynamic,tainted")
 //
-// Exit status: 0 accepted, 1 front-end/type errors, 2 qualifier errors,
-// 3 evaluation got stuck.
+// Each file is checked independently in an isolated context; with several
+// files the per-file reports are emitted in input order under "== file =="
+// banners. Exit status is the worst per-file status: 0 accepted, 1
+// front-end/type errors, 2 qualifier errors, 3 evaluation got stuck.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +32,7 @@
 #include "lambda/Parser.h"
 #include "lambda/QualInfer.h"
 
+#include "BatchDriver.h"
 #include "ObsFlags.h"
 
 #include <cstdio>
@@ -38,7 +43,7 @@
 using namespace quals;
 using namespace quals::lambda;
 
-static bool readFile(const char *Path, std::string &Out) {
+static bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return false;
@@ -48,49 +53,27 @@ static bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
-int main(int argc, char **argv) {
+namespace {
+
+struct CheckOptions {
   bool Polymorphic = true;
   bool Run = false;
   bool Trace = false;
   bool PrintStats = false;
-  const char *File = nullptr;
   std::string QualSpec = "const,nonzero:neg,dynamic,tainted";
-  ObsSession Obs;
+};
 
-  for (int I = 1; I != argc; ++I) {
-    if (!std::strcmp(argv[I], "--mono"))
-      Polymorphic = false;
-    else if (!std::strcmp(argv[I], "--run"))
-      Run = true;
-    else if (!std::strcmp(argv[I], "--trace"))
-      Run = Trace = true;
-    else if (!std::strcmp(argv[I], "--stats"))
-      PrintStats = true;
-    else if (!std::strcmp(argv[I], "--quals") && I + 1 < argc)
-      QualSpec = argv[++I];
-    else if (Obs.parseFlag(argv[I])) {
-      if (Obs.badFlag())
-        return 1;
-    } else if (argv[I][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: qualcheck [--mono] [--run] [--trace] [--stats] "
-                   "[--trace-out=file] [--metrics[=table|json]] "
-                   "[--quals spec] file.q\n");
-      return std::strcmp(argv[I], "--help") ? 1 : 0;
-    } else {
-      File = argv[I];
-    }
-  }
-  if (!File) {
-    std::fprintf(stderr, "qualcheck: no input file\n");
-    return 1;
-  }
-  Obs.activate();
+} // namespace
 
+/// Checks one program in a fully isolated context (own qualifier set,
+/// source manager, AST arena, interner, constraint system), buffering all
+/// output into \p R. Runs on a batch pool worker at -jN.
+static void checkOneFile(const std::string &Path, const CheckOptions &Opts,
+                         batch::FileResult &R) {
   QualifierSet QS;
   QualifierId ConstQual = ~0u;
   {
-    std::stringstream Spec(QualSpec);
+    std::stringstream Spec(Opts.QualSpec);
     std::string Item;
     while (std::getline(Spec, Item, ',')) {
       bool Negative = false;
@@ -101,17 +84,18 @@ int main(int argc, char **argv) {
       }
       if (Item.empty())
         continue;
-      QualifierId Id = QS.add(
-          Item, Negative ? Polarity::Negative : Polarity::Positive);
+      QualifierId Id =
+          QS.add(Item, Negative ? Polarity::Negative : Polarity::Positive);
       if (Item == "const")
         ConstQual = Id;
     }
   }
 
   std::string Source;
-  if (!readFile(File, Source)) {
-    std::fprintf(stderr, "qualcheck: cannot read '%s'\n", File);
-    return 1;
+  if (!readFile(Path, Source)) {
+    batch::appendf(R.Err, "qualcheck: cannot read '%s'\n", Path.c_str());
+    R.ExitCode = 1;
+    return;
   }
 
   SourceManager SM;
@@ -119,10 +103,11 @@ int main(int argc, char **argv) {
   AstContext Ast;
   StringInterner Idents;
   const Expr *Program =
-      parseString(SM, File, std::move(Source), QS, Ast, Idents, Diags);
+      parseString(SM, Path, std::move(Source), QS, Ast, Idents, Diags);
   if (!Program) {
-    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
-    return 1;
+    R.Err += Diags.renderAll();
+    R.ExitCode = 1;
+    return;
   }
 
   STyContext STys;
@@ -130,52 +115,111 @@ int main(int argc, char **argv) {
   QualTypeFactory Factory;
   LambdaTypeCtors Ctors;
   QualInferOptions Options;
-  Options.Polymorphic = Polymorphic;
+  Options.Polymorphic = Opts.Polymorphic;
   if (ConstQual != ~0u)
     Options.ConstQual = ConstQual;
 
-  CheckResult Result = checkProgram(Program, QS, STys, Sys, Factory, Ctors,
-                                    Diags, Options);
+  CheckResult Result =
+      checkProgram(Program, QS, STys, Sys, Factory, Ctors, Diags, Options);
   if (!Result.StdTypeOk) {
-    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
-    return 1;
+    R.Err += Diags.renderAll();
+    R.ExitCode = 1;
+    return;
   }
-  std::printf("qualified type: %s\n",
-              toString(QS, Result.Type, &Sys).c_str());
-  if (PrintStats)
-    std::printf("%s", renderSolverStats(Result.Stats).c_str());
+  batch::appendf(R.Out, "qualified type: %s\n",
+                 toString(QS, Result.Type, &Sys).c_str());
+  if (Opts.PrintStats)
+    R.Out += renderSolverStats(Result.Stats);
   if (!Result.QualOk) {
-    std::printf("qualifier check: REJECTED\n");
+    R.Out += "qualifier check: REJECTED\n";
     for (const Violation &V : Result.Violations)
-      std::printf("%s", Sys.explain(V).c_str());
-    return 2;
+      R.Out += Sys.explain(V);
+    R.ExitCode = 2;
+    return;
   }
-  std::printf("qualifier check: accepted (%s)\n",
-              Polymorphic ? "polymorphic" : "monomorphic");
+  batch::appendf(R.Out, "qualifier check: accepted (%s)\n",
+                 Opts.Polymorphic ? "polymorphic" : "monomorphic");
 
-  if (Run) {
+  if (Opts.Run) {
     Evaluator Ev(Ast, QS);
     unsigned StepNo = 0;
     Evaluator::StepObserver Observer;
-    if (Trace)
+    if (Opts.Trace)
       Observer = [&](const Expr *Term) {
-        std::printf("  --> [%u] %s\n", ++StepNo,
-                    toString(QS, Term).c_str());
+        batch::appendf(R.Out, "  --> [%u] %s\n", ++StepNo,
+                       toString(QS, Term).c_str());
       };
-    EvalResult R = Ev.evaluate(Program, 100000, Observer);
-    switch (R.Outcome) {
+    EvalResult Res = Ev.evaluate(Program, 100000, Observer);
+    switch (Res.Outcome) {
     case EvalOutcome::Value:
-      std::printf("value: %s (%u steps)\n",
-                  toString(QS, R.Result).c_str(), R.Steps);
+      batch::appendf(R.Out, "value: %s (%u steps)\n",
+                     toString(QS, Res.Result).c_str(), Res.Steps);
       break;
     case EvalOutcome::Stuck:
-      std::printf("STUCK after %u steps: %s\n", R.Steps,
-                  R.StuckReason.c_str());
-      return 3;
+      batch::appendf(R.Out, "STUCK after %u steps: %s\n", Res.Steps,
+                     Res.StuckReason.c_str());
+      R.ExitCode = 3;
+      break;
     case EvalOutcome::TimedOut:
-      std::printf("step limit reached (possibly diverging)\n");
+      R.Out += "step limit reached (possibly diverging)\n";
       break;
     }
   }
-  return 0;
+}
+
+int main(int argc, char **argv) {
+  CheckOptions Opts;
+  unsigned Jobs = 1;
+  std::vector<std::string> Files;
+  ObsSession Obs;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Error;
+    bool ConsumedNext = false;
+    if (!std::strcmp(argv[I], "--mono"))
+      Opts.Polymorphic = false;
+    else if (!std::strcmp(argv[I], "--run"))
+      Opts.Run = true;
+    else if (!std::strcmp(argv[I], "--trace"))
+      Opts.Run = Opts.Trace = true;
+    else if (!std::strcmp(argv[I], "--stats"))
+      Opts.PrintStats = true;
+    else if (!std::strcmp(argv[I], "--quals") && I + 1 < argc)
+      Opts.QualSpec = argv[++I];
+    else if (batch::parseJobsFlag(argv[I], I + 1 < argc ? argv[I + 1] : nullptr,
+                                  Jobs, ConsumedNext, Error)) {
+      if (!Error.empty()) {
+        std::fprintf(stderr, "qualcheck: %s\n", Error.c_str());
+        return 1;
+      }
+      I += ConsumedNext;
+    } else if (Obs.parseFlag(argv[I])) {
+      if (Obs.badFlag())
+        return 1;
+    } else if (argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: qualcheck [--mono] [--run] [--trace] [--stats] "
+                   "[-jN] [--trace-out=file] [--metrics[=table|json]] "
+                   "[--quals spec] file.q... [@response-file]\n");
+      return std::strcmp(argv[I], "--help") ? 1 : 0;
+    } else if (!batch::expandArg(argv[I], Files, Error)) {
+      std::fprintf(stderr, "qualcheck: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "qualcheck: no input file\n");
+    return 1;
+  }
+  Obs.activate();
+
+  batch::BatchConfig Config;
+  Config.Jobs = Jobs;
+  Config.Category = "qualcheck";
+  Config.Headers = Files.size() > 1;
+  return batch::runBatch(Files, Config,
+                         [&Opts](const std::string &Path, size_t,
+                                 batch::FileResult &R) {
+                           checkOneFile(Path, Opts, R);
+                         });
 }

@@ -5,10 +5,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Emits a deterministic synthetic C benchmark to stdout:
+// Emits deterministic synthetic C benchmarks:
 //
 //   qualgen [--lines N] [--seed S] [--const-rate R] [--writer-rate R]
+//           [--corpus N [--out-dir DIR]] [-jN]
 //           [--trace-out=file] [--metrics[=table|json]]
+//           [out1.c out2.c ...]
+//
+// With no positional arguments one program goes to stdout (the classic
+// mode). Positional arguments name output files: each gets an independent
+// program (per-file seed derived from --seed and the file's position).
+// --corpus N emits N programs named corpus_0000.c .. into --out-dir
+// (default "."), creating the directory if needed -- the synthetic stand-in
+// for the paper's multi-program benchmark suite, sized per file by
+// --lines. -jN generates output files on N pool workers; every file
+// depends only on its own seed, so the corpus is bit-identical for any N.
 //
 // Note --metrics prints to stdout after the program text; when piping the
 // program into another tool, prefer --trace-out (which writes to a file).
@@ -17,25 +28,58 @@
 //
 //   qualgen --lines 8741 --seed 1004 > bench.c && qualcc bench.c
 //
+// Exit status: 0, or 1 if any output file cannot be written (all files are
+// still attempted).
+//
 //===----------------------------------------------------------------------===//
 
 #include "gen/SynthGen.h"
 
+#include "BatchDriver.h"
 #include "ObsFlags.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 using namespace quals;
 using namespace quals::synth;
+
+/// Generates the program for \p Index and writes it to \p Path; errors are
+/// buffered into \p R (runs on a pool worker at -jN).
+static void generateOneFile(const std::string &Path, unsigned Index,
+                            uint64_t Seed, unsigned Lines, double ConstRate,
+                            double WriterRate, batch::FileResult &R) {
+  SynthParams P = corpusFileParams(Seed, Index, Lines);
+  if (ConstRate >= 0)
+    P.ConstDeclRate = ConstRate;
+  if (WriterRate >= 0)
+    P.WriterRate = WriterRate;
+  SynthProgram Prog = generateProgram(P);
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out || !(Out << Prog.Source)) {
+    batch::appendf(R.Err, "qualgen: cannot write '%s'\n", Path.c_str());
+    R.ExitCode = 1;
+  }
+}
 
 int main(int argc, char **argv) {
   unsigned Lines = 2000;
   uint64_t Seed = 1;
   double ConstRate = -1, WriterRate = -1;
+  unsigned Corpus = 0;
+  std::string OutDir = ".";
+  bool HaveOutDir = false;
+  unsigned Jobs = 1;
+  std::vector<std::string> OutFiles;
   ObsSession Obs;
   for (int I = 1; I != argc; ++I) {
+    std::string Error;
+    bool ConsumedNext = false;
     if (!std::strcmp(argv[I], "--lines") && I + 1 < argc)
       Lines = std::strtoul(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
@@ -44,23 +88,78 @@ int main(int argc, char **argv) {
       ConstRate = std::strtod(argv[++I], nullptr);
     else if (!std::strcmp(argv[I], "--writer-rate") && I + 1 < argc)
       WriterRate = std::strtod(argv[++I], nullptr);
-    else if (Obs.parseFlag(argv[I])) {
+    else if (!std::strcmp(argv[I], "--corpus") && I + 1 < argc)
+      Corpus = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--out-dir") && I + 1 < argc) {
+      OutDir = argv[++I];
+      HaveOutDir = true;
+    } else if (batch::parseJobsFlag(argv[I],
+                                    I + 1 < argc ? argv[I + 1] : nullptr,
+                                    Jobs, ConsumedNext, Error)) {
+      if (!Error.empty()) {
+        std::fprintf(stderr, "qualgen: %s\n", Error.c_str());
+        return 1;
+      }
+      I += ConsumedNext;
+    } else if (Obs.parseFlag(argv[I])) {
       if (Obs.badFlag())
         return 1;
-    } else {
-      std::fprintf(stderr, "usage: qualgen [--lines N] [--seed S] "
-                           "[--const-rate R] [--writer-rate R] "
-                           "[--trace-out=file] [--metrics[=table|json]]\n");
+    } else if (argv[I][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: qualgen [--lines N] [--seed S] "
+                   "[--const-rate R] [--writer-rate R] "
+                   "[--corpus N [--out-dir DIR]] [-jN] "
+                   "[--trace-out=file] [--metrics[=table|json]] "
+                   "[out.c...]\n");
       return std::strcmp(argv[I], "--help") ? 1 : 0;
+    } else {
+      OutFiles.push_back(argv[I]);
     }
   }
+  if (Corpus && !OutFiles.empty()) {
+    std::fprintf(stderr,
+                 "qualgen: --corpus and positional output files are "
+                 "mutually exclusive\n");
+    return 1;
+  }
+  if (HaveOutDir && !Corpus) {
+    std::fprintf(stderr, "qualgen: --out-dir requires --corpus\n");
+    return 1;
+  }
   Obs.activate();
-  SynthParams P = paramsForLines(Seed, Lines);
-  if (ConstRate >= 0)
-    P.ConstDeclRate = ConstRate;
-  if (WriterRate >= 0)
-    P.WriterRate = WriterRate;
-  SynthProgram Prog = generateProgram(P);
-  std::fputs(Prog.Source.c_str(), stdout);
-  return 0;
+
+  if (Corpus) {
+    std::error_code Ec;
+    std::filesystem::create_directories(OutDir, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "qualgen: cannot create directory '%s': %s\n",
+                   OutDir.c_str(), Ec.message().c_str());
+      return 1;
+    }
+    for (unsigned I = 0; I != Corpus; ++I)
+      OutFiles.push_back((std::filesystem::path(OutDir) / corpusFileName(I))
+                             .string());
+  }
+
+  if (OutFiles.empty()) {
+    // Classic mode: one program to stdout.
+    SynthParams P = paramsForLines(Seed, Lines);
+    if (ConstRate >= 0)
+      P.ConstDeclRate = ConstRate;
+    if (WriterRate >= 0)
+      P.WriterRate = WriterRate;
+    SynthProgram Prog = generateProgram(P);
+    std::fputs(Prog.Source.c_str(), stdout);
+    return 0;
+  }
+
+  batch::BatchConfig Config;
+  Config.Jobs = Jobs;
+  Config.Category = "qualgen";
+  return batch::runBatch(
+      OutFiles, Config,
+      [&](const std::string &Path, size_t Index, batch::FileResult &R) {
+        generateOneFile(Path, static_cast<unsigned>(Index), Seed, Lines,
+                        ConstRate, WriterRate, R);
+      });
 }

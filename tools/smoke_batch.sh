@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# smoke_batch.sh - end-to-end exercise of the parallel batch layer.
+#
+#   smoke_batch.sh <qualcheck-binary> <qualcc-binary> <qualgen-binary> \
+#                  <programs-dir>
+#
+# Asserts the batch determinism guarantee (docs/PARALLEL.md) over real
+# binaries: (a) qualcheck stdout/stderr and exit status over the example
+# corpus are byte-identical at -j1 and -j8, (b) a qualgen --corpus run is
+# bit-identical at -j1 and -j4, (c) qualcc --batch -j4 over an
+# @response-file of that corpus succeeds and its --metrics=json report is
+# parseable with sane batch.* values (JSON validation skipped without
+# python3). Wired into ctest as cli.smoke_batch by tools/CMakeLists.txt.
+
+set -euo pipefail
+
+if [ $# -ne 4 ]; then
+    echo "usage: $0 <qualcheck> <qualcc> <qualgen> <programs-dir>" >&2
+    exit 2
+fi
+
+QUALCHECK=$1
+QUALCC=$2
+QUALGEN=$3
+PROGRAMS=$4
+FAILED=0
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# --- (a) qualcheck determinism over the example corpus -------------------
+QFILES=()
+for F in "$PROGRAMS"/*.q; do
+    [ -e "$F" ] && QFILES+=("$F")
+done
+if [ "${#QFILES[@]}" -lt 2 ]; then
+    echo "FAIL: need at least two .q examples in $PROGRAMS" >&2
+    exit 2
+fi
+
+J1=0; "$QUALCHECK" -j1 "${QFILES[@]}" \
+    >"$WORKDIR/j1.out" 2>"$WORKDIR/j1.err" || J1=$?
+J8=0; "$QUALCHECK" -j8 "${QFILES[@]}" \
+    >"$WORKDIR/j8.out" 2>"$WORKDIR/j8.err" || J8=$?
+if [ "$J1" -ne "$J8" ]; then
+    echo "FAIL: qualcheck exit codes differ: -j1=$J1 -j8=$J8" >&2
+    FAILED=1
+fi
+if ! cmp -s "$WORKDIR/j1.out" "$WORKDIR/j8.out"; then
+    echo "FAIL: qualcheck stdout differs between -j1 and -j8" >&2
+    diff "$WORKDIR/j1.out" "$WORKDIR/j8.out" | head >&2 || true
+    FAILED=1
+fi
+if ! cmp -s "$WORKDIR/j1.err" "$WORKDIR/j8.err"; then
+    echo "FAIL: qualcheck stderr differs between -j1 and -j8" >&2
+    FAILED=1
+fi
+# The corpus contains rejected programs, so the batch must fail overall.
+if [ "$J1" -eq 0 ]; then
+    echo "FAIL: qualcheck batch over examples should exit nonzero" >&2
+    FAILED=1
+fi
+
+# --- (b) qualgen --corpus determinism ------------------------------------
+"$QUALGEN" --corpus 8 --lines 120 --seed 7 --out-dir "$WORKDIR/c1" -j1
+"$QUALGEN" --corpus 8 --lines 120 --seed 7 --out-dir "$WORKDIR/c4" -j4
+if ! diff -r "$WORKDIR/c1" "$WORKDIR/c4" >/dev/null; then
+    echo "FAIL: qualgen corpus differs between -j1 and -j4" >&2
+    FAILED=1
+fi
+if [ "$(ls "$WORKDIR/c1"/corpus_*.c | wc -l)" -ne 8 ]; then
+    echo "FAIL: qualgen --corpus 8 did not emit 8 files" >&2
+    FAILED=1
+fi
+
+# --- (c) qualcc --batch over an @response-file with metrics --------------
+RSP="$WORKDIR/corpus.rsp"
+{
+    echo "# synthetic corpus"
+    ls "$WORKDIR/c1"/corpus_*.c
+    echo "$PROGRAMS/strchr_demo.c"
+} >"$RSP"
+NFILES=$((8 + 1))
+
+STATUS=0
+"$QUALCC" --batch -j4 --quiet --metrics=json "@$RSP" \
+    >"$WORKDIR/cc.out" 2>"$WORKDIR/cc.err" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: qualcc --batch -j4 exited $STATUS" >&2
+    cat "$WORKDIR/cc.err" >&2
+    FAILED=1
+fi
+# Batch stdout and metrics determinism: same command at -j1, identical
+# stdout up to the metrics report (timers differ), i.e. the per-file
+# blocks.
+STATUS1=0
+"$QUALCC" --batch -j1 --quiet "@$RSP" >"$WORKDIR/cc1.out" 2>/dev/null \
+    || STATUS1=$?
+if [ "$STATUS1" -ne 0 ]; then
+    echo "FAIL: qualcc --batch -j1 exited $STATUS1" >&2
+    FAILED=1
+fi
+# Strip the metrics JSON (starts at '{"counters"') before comparing.
+sed '/^{"counters"/,$d' "$WORKDIR/cc.out" >"$WORKDIR/cc.blocks"
+if ! cmp -s "$WORKDIR/cc.blocks" "$WORKDIR/cc1.out"; then
+    echo "FAIL: qualcc --batch stdout differs between -j4 and -j1" >&2
+    diff "$WORKDIR/cc.blocks" "$WORKDIR/cc1.out" | head >&2 || true
+    FAILED=1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+    JSONSTART=$(grep -n '^{"counters"' "$WORKDIR/cc.out" | head -1 | cut -d: -f1)
+    if [ -z "$JSONSTART" ]; then
+        echo "FAIL: qualcc --batch printed no metrics JSON" >&2
+        FAILED=1
+    else
+        tail -n "+$JSONSTART" "$WORKDIR/cc.out" >"$WORKDIR/cc.metrics.json"
+        python3 - "$WORKDIR/cc.metrics.json" "$NFILES" <<'PYEOF' || FAILED=1
+import json, sys
+
+path, nfiles = sys.argv[1], int(sys.argv[2])
+with open(path) as f:
+    doc = json.load(f)
+counters, gauges, timers = doc["counters"], doc["gauges"], doc["timers"]
+assert counters.get("batch.files") == nfiles, counters
+assert counters.get("batch.failed") == 0, counters
+assert gauges.get("batch.jobs") == 4, gauges
+assert timers["batch.wall"]["count"] == 1, timers
+# Per-file phase metrics aggregated into corpus totals: one solve phase
+# sample per file.
+assert timers["phase.solve"]["count"] == nfiles, timers
+assert counters.get("solver.solve_calls", 0) >= nfiles, counters
+PYEOF
+    fi
+else
+    echo "NOTE: python3 unavailable; metrics JSON validation skipped" >&2
+fi
+
+exit "$FAILED"
