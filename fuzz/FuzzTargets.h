@@ -1,0 +1,48 @@
+//===- fuzz/FuzzTargets.h - Shared fuzz entry points -----------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three fuzzable pipelines, factored out of the libFuzzer mains so the
+/// regression corpus can also be replayed by an ordinary gtest in normal
+/// (non-fuzzer) builds -- see tests/fuzz_replay_test.cpp and the ctest
+/// `fuzz.replay_corpus` entry. Each handler runs one hostile input through a
+/// fully isolated analysis context under deliberately tiny resource budgets
+/// (support/Limits.h) and must return without crashing: every outcome --
+/// accept, diagnose, or `fatal: resource limit` bailout -- is a pass; only
+/// a signal (assert, stack overflow, OOM, UB trapped by a sanitizer) is a
+/// finding. See docs/ROBUSTNESS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_FUZZ_FUZZTARGETS_H
+#define QUALS_FUZZ_FUZZTARGETS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace quals {
+namespace fuzz {
+
+/// Treats \p Data as C source: lex, parse, sema, and whole-program const
+/// inference (the full qualcc pipeline). Always returns 0.
+int runCFront(const uint8_t *Data, size_t Size);
+
+/// Treats \p Data as lambda-language source: lex, parse, standard HM type
+/// inference, and qualifier inference (the full qualcheck pipeline).
+/// Always returns 0.
+int runLambda(const uint8_t *Data, size_t Size);
+
+/// Treats \p Data as an operation stream driving the constraint solver
+/// directly: each byte (plus operands) makes variables, adds (masked)
+/// constraints, or solves/queries, exercising incremental re-solves and
+/// cycle collapsing on adversarial graphs. Always returns 0.
+int runSolver(const uint8_t *Data, size_t Size);
+
+} // namespace fuzz
+} // namespace quals
+
+#endif // QUALS_FUZZ_FUZZTARGETS_H

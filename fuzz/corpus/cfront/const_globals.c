@@ -1,0 +1,11 @@
+const int limit = 10;
+int counter = 0;
+
+void bump(int *p, int delta) { *p = *p + delta; }
+
+int next(void) {
+  bump(&counter, 1);
+  if (counter > limit)
+    counter = 0;
+  return counter;
+}

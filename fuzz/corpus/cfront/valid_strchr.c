@@ -1,0 +1,15 @@
+char *find_char(char *s, int c) {
+  while (*s && *s != c)
+    s = s + 1;
+  return s;
+}
+
+int count_char(char *text, int c) {
+  int n = 0;
+  char *p = find_char(text, c);
+  while (*p) {
+    n = n + 1;
+    p = find_char(p + 1, c);
+  }
+  return n;
+}

@@ -1,0 +1,1 @@
+let c = {const} ref 1 in c := 2 ni

@@ -1,0 +1,5 @@
+let id = fn x. x in
+ let y = id (ref 1) in
+  let z = id ({const} ref 1) in
+   y := 2
+  ni ni ni

@@ -8,6 +8,7 @@
 #include "cfront/CLexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -194,10 +195,16 @@ CToken CLexer::lexNumber(size_t Begin) {
   }
   CToken T = make(IsFloat ? CTok::FloatLit : CTok::IntLit, Begin);
   std::string Spelling(T.Text);
-  if (IsFloat)
+  if (IsFloat) {
     T.FloatValue = std::strtod(Spelling.c_str(), nullptr);
-  else
+  } else {
+    // strtol silently clamps to LONG_MAX/LONG_MIN on overflow; only errno
+    // distinguishes 9223372036854775807 from a runaway literal.
+    errno = 0;
     T.IntValue = std::strtol(Spelling.c_str(), nullptr, 0);
+    if (errno == ERANGE)
+      Diags.error(T.Loc, "integer literal out of range");
+  }
   return T;
 }
 

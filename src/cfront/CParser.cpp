@@ -129,6 +129,10 @@ bool CParser::atTypeNameStart() {
 }
 
 bool CParser::parseDeclSpec(DeclSpec &DS) {
+  // Nested struct/union/enum definitions re-enter via the member loop.
+  RecursionGuard Guard(Diags, Tok.Loc);
+  if (!Guard.ok())
+    return false;
   DS.Loc = Tok.Loc;
   unsigned Quals = CQ_None;
   bool SawUnsigned = false, SawSigned = false;
@@ -346,6 +350,10 @@ bool CParser::parseDeclarator(Declarator &D, bool AllowAbstract) {
 }
 
 bool CParser::parseDeclaratorChunks(Declarator &D, bool AllowAbstract) {
+  // Parenthesized declarators ('(*(*(*...)))') recurse here.
+  RecursionGuard Guard(Diags, Tok.Loc);
+  if (!Guard.ok())
+    return false;
   // Pointers (with qualifier lists) in source order.
   std::vector<DeclChunk> Ptrs;
   while (Tok.is(CTok::Star)) {
@@ -677,6 +685,10 @@ bool CParser::parseInitDeclarators(const DeclSpec &DS, Declarator &First,
 
 bool CParser::parseTranslationUnit() {
   while (!Tok.is(CTok::Eof)) {
+    if (Diags.shouldBail() || !Diags.checkResources(Tok.Loc)) {
+      HadError = true;
+      break;
+    }
     if (!parseExternalDecl() && Tok.is(CTok::Eof))
       break;
   }
@@ -696,6 +708,8 @@ const CStmt *CParser::parseCompoundStmt() {
   pushScope();
   std::vector<const CStmt *> Body;
   while (!Tok.is(CTok::RBrace) && !Tok.is(CTok::Eof)) {
+    if (Diags.shouldBail())
+      break;
     const CStmt *S = parseStmt();
     if (!S) {
       skipToRecovery();
@@ -709,6 +723,10 @@ const CStmt *CParser::parseCompoundStmt() {
 }
 
 const CStmt *CParser::parseStmt() {
+  // Nested blocks and control-flow bodies recurse here.
+  RecursionGuard Guard(Diags, Tok.Loc);
+  if (!Guard.ok())
+    return nullptr;
   SourceLoc Loc = Tok.Loc;
   switch (Tok.Kind) {
   case CTok::LBrace:
@@ -1070,6 +1088,11 @@ const CExpr *CParser::parseBinaryExpr(int MinPrec) {
 }
 
 const CExpr *CParser::parseCastExpr() {
+  // Every level of expression nesting -- parenthesized expressions, casts,
+  // conditional/assignment chains -- owns one frame here.
+  RecursionGuard Guard(Diags, Tok.Loc);
+  if (!Guard.ok() || !Diags.checkResources(Tok.Loc))
+    return nullptr;
   if (Tok.is(CTok::LParen)) {
     // Potential cast: '(' type-name ')' cast-expr.
     // Peek to see if a type name begins inside.
@@ -1105,6 +1128,10 @@ const CExpr *CParser::parseCastExpr() {
 }
 
 const CExpr *CParser::parseUnaryExpr() {
+  // '++'/'--'/'sizeof' chains recurse here without a parseCastExpr frame.
+  RecursionGuard Guard(Diags, Tok.Loc);
+  if (!Guard.ok())
+    return nullptr;
   SourceLoc Loc = Tok.Loc;
   switch (Tok.Kind) {
   case CTok::PlusPlus: {

@@ -55,16 +55,24 @@ bool CSema::analyze(TranslationUnit &Unit) {
     declare(F);
 
   // Type global initializers.
-  for (VarDecl *G : Unit.Globals)
+  for (VarDecl *G : Unit.Globals) {
+    if (Diags.shouldBail())
+      break;
     if (const CExpr *Init = G->getInit())
       checkExpr(Init);
+  }
 
-  for (FunctionDecl *F : Unit.Functions)
+  for (FunctionDecl *F : Unit.Functions) {
+    // Stop cleanly once the error cap or a resource budget fired; the
+    // recoverable `fatal:` diagnostic is already in the engine.
+    if (Diags.shouldBail() || !Diags.checkResources(F->getLoc()))
+      break;
     if (F->isDefined())
       analyzeFunction(F);
+  }
 
   popScope();
-  return !HadError;
+  return !HadError && !Diags.shouldBail();
 }
 
 void CSema::analyzeFunction(FunctionDecl *FD) {

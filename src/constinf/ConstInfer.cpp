@@ -22,6 +22,7 @@ ConstInference::ConstInference(TranslationUnit &TU, DiagnosticEngine &Diags,
   SolverConfig Config;
   Config.CollapseCycles = this->Opts.CollapseCycles;
   Config.CollapsePressureFactor = this->Opts.CollapsePressureFactor;
+  Config.MaxConstraints = Diags.limits().MaxConstraints;
   Sys = std::make_unique<ConstraintSystem>(QS, Config);
   Translator = std::make_unique<RefTranslator>(
       *Sys, Factory, Ctors, ConstQual, this->Opts.ConservativeLibraries,
@@ -73,6 +74,11 @@ bool ConstInference::run() {
       std::reverse(Order.begin(), Order.end());
     for (const std::vector<unsigned> *ComponentPtr : Order) {
       const std::vector<unsigned> &Component = *ComponentPtr;
+      // Resource checkpoint once per SCC: stop generating as soon as the
+      // constraint budget, arena budget, or error cap fired.
+      if (Sys->hitConstraintLimit() || Diags.shouldBail() ||
+          !Diags.checkResources(Graph.Functions[Component.front()]->getLoc()))
+        break;
       Watermark Mark = takeWatermark(*Sys);
       // Interfaces for the whole SCC first (mutual recursion uses them
       // monomorphically within the component, as in the paper).
@@ -96,9 +102,23 @@ bool ConstInference::run() {
     }
 
     // 4. Global variable definitions are analyzed after the FDG traversal.
-    for (VarDecl *G : TU.Globals)
+    for (VarDecl *G : TU.Globals) {
+      if (Sys->hitConstraintLimit() || Diags.shouldBail())
+        break;
       Gen.genGlobalInit(G);
+    }
   }
+
+  if (Sys->hitConstraintLimit()) {
+    Diags.fatal(SourceLoc(),
+                "resource limit: constraint budget exhausted (" +
+                    std::to_string(Diags.limits().MaxConstraints) +
+                    " constraints); raise with --limit-constraints=N, 0 "
+                    "for unlimited");
+    return false;
+  }
+  if (Diags.shouldBail())
+    return false;
 
   // 5. Solve ("solve" phase recorded inside ConstraintSystem::solve()).
   bool Ok = Sys->solve();

@@ -68,6 +68,14 @@ void ConstraintGen::genFunction(const FunctionDecl *FD, QualType FnTy) {
   CurrentFn = FD;
   unsigned NumParams = FD->getType()->getParams().size();
   assert(FnTy.getNumArgs() == NumParams + 1 && "interface arity mismatch");
+  if (FnTy.getNumArgs() != NumParams + 1) {
+    // Release-build recovery for the invariant above: skip the function
+    // with a diagnostic instead of indexing out of bounds.
+    Diags.error(FD->getLoc(), "internal: interface arity mismatch for '" +
+                                  std::string(FD->getName()) + "'");
+    CurrentFn = nullptr;
+    return;
+  }
   CurrentRet = FnTy.getArg(NumParams);
   genStmt(FD->getBody());
   CurrentFn = nullptr;

@@ -8,6 +8,7 @@
 #include "lambda/Lexer.h"
 
 #include <cctype>
+#include <limits>
 #include <unordered_map>
 
 using namespace quals;
@@ -81,11 +82,20 @@ Token Lexer::next() {
 
   if (std::isdigit(static_cast<unsigned char>(C))) {
     long Value = 0;
+    bool Overflow = false;
     while (Pos < Text.size() &&
            std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
-      Value = Value * 10 + (Text[Pos] - '0');
+      int Digit = Text[Pos] - '0';
+      // Same check as the C front end's ERANGE path: accumulating past
+      // LONG_MAX is signed-overflow UB, not a big number.
+      if (Value > (std::numeric_limits<long>::max() - Digit) / 10)
+        Overflow = true;
+      else
+        Value = Value * 10 + Digit;
       ++Pos;
     }
+    if (Overflow)
+      Diags.error(locAt(Begin), "integer literal out of range");
     Token T = makeToken(TokKind::IntLit, Begin, Pos);
     T.IntValue = Value;
     return T;

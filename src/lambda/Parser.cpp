@@ -57,6 +57,11 @@ const Expr *Parser::parseProgram() {
 }
 
 const Expr *Parser::parseExpr() {
+  // Every nesting construct (fn/let/if bodies, parenthesized expressions)
+  // recurses through here, so one guard bounds the whole parse stack.
+  RecursionGuard Guard(Diags, Tok.Loc);
+  if (!Guard.ok() || !Diags.checkResources(Tok.Loc))
+    return nullptr;
   SourceLoc Loc = Tok.Loc;
   if (Tok.is(TokKind::KwFn)) {
     advance();
@@ -149,6 +154,10 @@ const Expr *Parser::parseApp() {
 }
 
 const Expr *Parser::parseUnary() {
+  // '!' and 'ref' chains recurse here without passing through parseExpr.
+  RecursionGuard Guard(Diags, Tok.Loc);
+  if (!Guard.ok())
+    return nullptr;
   SourceLoc Loc = Tok.Loc;
   if (Tok.is(TokKind::Bang)) {
     advance();

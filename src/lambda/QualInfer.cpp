@@ -93,6 +93,11 @@ QualType QualInferencer::infer(const Expr *Program,
 }
 
 QualType QualInferencer::inferExpr(const Expr *E) {
+  // Term depth is normally capped by the parser's guard, but hand-built
+  // ASTs (tests, future front ends) reach here directly.
+  RecursionGuard Guard(Diags, E->getLoc());
+  if (!Guard.ok())
+    return QualType();
   QualType Result;
   switch (E->getKind()) {
   case Expr::Kind::IntLit: {
@@ -128,14 +133,19 @@ QualType QualInferencer::inferExpr(const Expr *E) {
   case Expr::Kind::Lambda: {
     const auto *L = cast<LambdaExpr>(E);
     STy *ShapeTy = Shapes->getNodeType(E);
-    assert(ShapeTy && "lambda without a standard type");
+    // The shape checker types every node it accepts, but this inferencer is
+    // a public entry point callable with a foreign checker/AST pair -- so
+    // recover instead of asserting (the assert would compile away in
+    // release builds and leave a null deref).
+    if (!ShapeTy)
+      return fail(E, "internal: lambda without a standard type");
     // The lambda's resolved standard type is Fn(param, body); spread the
     // parameter's shape into a qualified type with fresh variables.
     STy *Resolved = ShapeTy;
     while (Resolved->getKind() == STy::Kind::Var && Resolved->Link)
       Resolved = Resolved->Link;
-    assert(Resolved->getKind() == STy::Kind::Fn &&
-           "lambda's standard type is not a function");
+    if (Resolved->getKind() != STy::Kind::Fn)
+      return fail(E, "internal: lambda's standard type is not a function");
     QualType ParamTy = spreadSTy(Resolved->Arg0,
                                  "param_" + std::string(L->getParam()),
                                  E->getLoc());
@@ -183,7 +193,8 @@ QualType QualInferencer::inferExpr(const Expr *E) {
     // (If): both branches flow into a fresh result type (least upper bound
     // via subsumption).
     STy *ShapeTy = Shapes->getNodeType(E);
-    assert(ShapeTy && "if without a standard type");
+    if (!ShapeTy)
+      return fail(E, "internal: if without a standard type");
     Result = spreadSTy(ShapeTy, "if_result", E->getLoc());
     ConstraintOrigin Origin(E->getLoc(), "if-branch flows into result");
     if (!decomposeLeq(Sys, ThenTy, Result, Origin) ||
@@ -323,7 +334,16 @@ CheckResult quals::lambda::checkProgram(const Expr *Program,
     PhaseScope Phase("constraint-gen", "lambda");
     Result.Type = Inferencer.infer(Program, Checker);
   }
-  if (Result.Type.isNull()) {
+  if (Sys.hitConstraintLimit()) {
+    Diags.fatal(Program->getLoc(),
+                "resource limit: constraint budget exhausted (" +
+                    std::to_string(Sys.getConfig().MaxConstraints) +
+                    " constraints); raise with --limit-constraints=N, 0 "
+                    "for unlimited");
+    Result.StdTypeOk = false;
+    return Result;
+  }
+  if (Result.Type.isNull() || Diags.shouldBail()) {
     Result.StdTypeOk = false; // Qualifier phase found a structural problem.
     return Result;
   }

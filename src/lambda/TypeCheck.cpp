@@ -88,6 +88,11 @@ STy *StdTypeChecker::check(const Expr *Program) {
 }
 
 STy *StdTypeChecker::infer(const Expr *E) {
+  // Term depth is normally capped by the parser's guard, but hand-built
+  // ASTs (tests, future front ends) reach here directly.
+  RecursionGuard Guard(Diags, E->getLoc());
+  if (!Guard.ok())
+    return nullptr;
   STy *Result = nullptr;
   switch (E->getKind()) {
   case Expr::Kind::IntLit:

@@ -37,6 +37,13 @@ void ConstraintSystem::addLeq(QualExpr Lhs, QualExpr Rhs,
 
 void ConstraintSystem::addLeqMasked(QualExpr Lhs, QualExpr Rhs, uint64_t Mask,
                                     ConstraintOrigin Origin) {
+  if (Config.MaxConstraints && Constraints.size() >= Config.MaxConstraints) {
+    // Dropping the constraint keeps every invariant intact; the latch below
+    // forces callers onto their resource-limit failure path before any
+    // solution could be reported.
+    ConstraintLimitHit = true;
+    return;
+  }
   ConstraintId Id = Constraints.size();
   Constraints.push_back({Lhs, Rhs, Mask, std::move(Origin)});
   if (Lhs.isVar() && Rhs.isVar()) {

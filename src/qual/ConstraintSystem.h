@@ -110,6 +110,12 @@ struct SolverConfig {
   /// visit each edge at most once never pay for a rebuild at all. 0 forces
   /// a rebuild on every solve that meets CollapseMinNewEdges.
   unsigned CollapsePressureFactor = 2;
+
+  /// Constraint budget (support/Limits.h): once this many constraints are
+  /// stored, further add*() calls are dropped and hitConstraintLimit()
+  /// latches. The analyses translate the latch into a recoverable
+  /// `fatal: resource limit` diagnostic. 0 = unlimited.
+  uint64_t MaxConstraints = 0;
 };
 
 class MetricsRegistry;
@@ -241,6 +247,11 @@ public:
   /// True if a full solve + violation scan finds no inconsistency.
   bool isSatisfiable();
 
+  /// True once SolverConfig::MaxConstraints stopped an add*() call. The
+  /// stored system is then a prefix of the intended one, so solutions are
+  /// meaningless; callers must fail with a resource-limit diagnostic.
+  bool hitConstraintLimit() const { return ConstraintLimitHit; }
+
   /// Renders a human-readable explanation of \p V: the chain of constraints
   /// that carried the offending qualifier from its source to the bound.
   std::string explain(const Violation &V) const;
@@ -331,6 +342,7 @@ private:
   std::vector<ConstraintId> ConstConstIds;
   unsigned SolvedConstraints = 0;
   uint32_t ProvClock = 0;
+  bool ConstraintLimitHit = false;
   SolverStats Stats;
 
   /// True when \p Mask covers every registered qualifier bit, i.e. the

@@ -7,9 +7,13 @@
 ///
 /// \file
 /// A bump-pointer arena. AST nodes, type shapes, and constraint objects are
-/// allocated here and live for the duration of the owning analysis; no
-/// per-node destructors run (allocated types must be trivially destructible
-/// or leak-free by construction).
+/// allocated here and live for the duration of the owning analysis.
+/// create() registers a deferred destructor for types that are not
+/// trivially destructible (nodes holding std::vector members and the
+/// like), run in reverse order when the arena dies -- so long-lived batch
+/// processes reclaim node-owned heap memory with every analysis context,
+/// not just the slabs. Raw allocate()/copyArray() memory never runs
+/// destructors; keep it trivial.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -34,13 +39,24 @@ public:
   BumpPtrAllocator(BumpPtrAllocator &&) = default;
   BumpPtrAllocator &operator=(BumpPtrAllocator &&) = default;
 
+  ~BumpPtrAllocator() {
+    // Reverse construction order, mirroring stack unwinding.
+    for (auto It = Dtors.rbegin(); It != Dtors.rend(); ++It)
+      It->Destroy(It->Obj);
+  }
+
   /// Allocates \p Size bytes aligned to \p Align.
   void *allocate(size_t Size, size_t Align);
 
-  /// Allocates and default-constructs a \p T with constructor args.
+  /// Allocates and default-constructs a \p T with constructor args. When T
+  /// is not trivially destructible its destructor is deferred to the
+  /// arena's death (see the file comment).
   template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
     void *Mem = allocate(sizeof(T), alignof(T));
-    return new (Mem) T(std::forward<Args>(CtorArgs)...);
+    T *Obj = new (Mem) T(std::forward<Args>(CtorArgs)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back({Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Obj;
   }
 
   /// Copies \p Count objects of trivially-copyable \p T into the arena and
@@ -79,6 +95,13 @@ private:
   static std::atomic<uint64_t> TotalBytes;
   static thread_local uint64_t ThreadBytes;
 
+  /// A deferred destructor for one non-trivially-destructible node.
+  struct DtorEntry {
+    void *Obj;
+    void (*Destroy)(void *);
+  };
+
+  std::vector<DtorEntry> Dtors;
   std::vector<std::unique_ptr<char[]>> Slabs;
   char *Cur = nullptr;
   char *End = nullptr;

@@ -7,26 +7,83 @@
 
 #include "support/Diagnostics.h"
 
+#include "support/Allocator.h"
 #include "support/SourceManager.h"
 
 using namespace quals;
 
+DiagnosticEngine::DiagnosticEngine(const SourceManager &SM, Limits L)
+    : SM(SM), Lim(L),
+      ArenaBaseline(BumpPtrAllocator::threadBytesAllocated()) {}
+
 void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
-  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
   ++NumErrors;
+  // After a bailout only the count advances: recording millions of
+  // diagnostics is exactly the resource exhaustion the cap exists to stop.
+  if (Bailout)
+    return;
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  if (Lim.MaxErrors && NumErrors >= Lim.MaxErrors)
+    fatal(Loc, "resource limit: too many errors emitted (" +
+                   std::to_string(Lim.MaxErrors) +
+                   "); stopping analysis (raise with --limit-errors=N, 0 "
+                   "for unlimited)");
 }
 
 void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  if (Bailout)
+    return;
   Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
 }
 
 void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  if (Bailout)
+    return;
   Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::fatal(SourceLoc Loc, std::string Message) {
+  ++NumErrors;
+  if (Bailout)
+    return; // Only the first fatal condition is recorded.
+  Bailout = true;
+  Diags.push_back({DiagKind::Fatal, Loc, std::move(Message)});
+}
+
+bool DiagnosticEngine::enterRecursion(SourceLoc Loc) {
+  ++Depth;
+  if (Bailout)
+    return false;
+  if (Lim.MaxRecursionDepth && Depth > Lim.MaxRecursionDepth) {
+    fatal(Loc, "resource limit: nesting too deep (limit " +
+                   std::to_string(Lim.MaxRecursionDepth) +
+                   "; raise with --limit-depth=N, 0 for unlimited)");
+    return false;
+  }
+  return true;
+}
+
+bool DiagnosticEngine::checkResources(SourceLoc Loc) {
+  if (Bailout)
+    return false;
+  if (Lim.MaxArenaBytes &&
+      BumpPtrAllocator::threadBytesAllocated() - ArenaBaseline >
+          Lim.MaxArenaBytes) {
+    fatal(Loc, "resource limit: analysis exceeded " +
+                   std::to_string(Lim.MaxArenaBytes) +
+                   " arena bytes (raise with --limit-arena-mb=N, 0 for "
+                   "unlimited)");
+    return false;
+  }
+  return true;
 }
 
 void DiagnosticEngine::clear() {
   Diags.clear();
   NumErrors = 0;
+  Depth = 0;
+  Bailout = false;
+  ArenaBaseline = BumpPtrAllocator::threadBytesAllocated();
 }
 
 std::string DiagnosticEngine::renderAll() const {
@@ -50,6 +107,9 @@ std::string DiagnosticEngine::renderAll() const {
       break;
     case DiagKind::Note:
       Out += "note: ";
+      break;
+    case DiagKind::Fatal:
+      Out += "fatal: ";
       break;
     }
     Out += D.Message;

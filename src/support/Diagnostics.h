@@ -10,11 +10,20 @@
 /// Library code never aborts on user errors; it reports here and the caller
 /// inspects the collected diagnostics.
 ///
+/// The engine doubles as the resource guard of one analysis context
+/// (support/Limits.h): it caps the number of recorded errors, meters the
+/// recursion depth of the parsers, and watches the context's arena growth.
+/// When any budget is exhausted it records a single `fatal:` diagnostic and
+/// flips shouldBail(); every phase checks that flag at its loop heads and
+/// unwinds cleanly, so hostile input ends in a rendered diagnostic and a
+/// nonzero exit instead of a stack overflow or OOM kill.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QUALS_SUPPORT_DIAGNOSTICS_H
 #define QUALS_SUPPORT_DIAGNOSTICS_H
 
+#include "support/Limits.h"
 #include "support/SourceLoc.h"
 
 #include <string>
@@ -24,8 +33,9 @@ namespace quals {
 
 class SourceManager;
 
-/// Severity of a diagnostic.
-enum class DiagKind { Error, Warning, Note };
+/// Severity of a diagnostic. Fatal marks a resource-limit (or internal
+/// invariant) bailout: analysis stops at the next checkpoint.
+enum class DiagKind { Error, Warning, Note, Fatal };
 
 /// A single reported diagnostic.
 struct Diagnostic {
@@ -37,16 +47,42 @@ struct Diagnostic {
 /// Collects diagnostics; rendering is separated so analyses can run silently.
 class DiagnosticEngine {
 public:
-  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+  explicit DiagnosticEngine(const SourceManager &SM, Limits L = Limits());
 
   void error(SourceLoc Loc, std::string Message);
   void warning(SourceLoc Loc, std::string Message);
   void note(SourceLoc Loc, std::string Message);
 
+  /// Reports an unrecoverable condition (resource exhaustion, broken
+  /// internal invariant observed in release builds) and flips shouldBail().
+  /// Counts as an error for hasErrors()/exit-code purposes.
+  void fatal(SourceLoc Loc, std::string Message);
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned getNumErrors() const { return NumErrors; }
   const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
   void clear();
+
+  /// The resource budgets this context runs under.
+  const Limits &limits() const { return Lim; }
+
+  /// True once a fatal condition fired; phases must stop starting new work.
+  bool shouldBail() const { return Bailout; }
+
+  //===--------------------------------------------------------------------===//
+  // Recursion metering (prefer the RecursionGuard RAII below)
+  //===--------------------------------------------------------------------===//
+
+  /// Enters one level of parser/analysis recursion. Returns false (emitting
+  /// the fatal diagnostic exactly once) when the depth limit is exceeded.
+  /// Always pairs with exitRecursion(), even on a false return.
+  bool enterRecursion(SourceLoc Loc);
+  void exitRecursion() { --Depth; }
+
+  /// Checks the non-recursion budgets (currently arena bytes) at a cheap
+  /// checkpoint -- one thread-local read. Returns false, emitting the fatal
+  /// diagnostic once, when a budget is exhausted or a bailout is pending.
+  bool checkResources(SourceLoc Loc);
 
   /// Renders every diagnostic as "file:line:col: severity: message" followed
   /// by the offending source line, clang style.
@@ -54,8 +90,31 @@ public:
 
 private:
   const SourceManager &SM;
+  Limits Lim;
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned Depth = 0;
+  uint64_t ArenaBaseline;
+  bool Bailout = false;
+};
+
+/// RAII recursion meter: place at the top of every self-recursive parse
+/// function and bail out (returning the function's failure value) when ok()
+/// is false.
+class RecursionGuard {
+public:
+  RecursionGuard(DiagnosticEngine &D, SourceLoc Loc)
+      : D(D), Entered(D.enterRecursion(Loc)) {}
+  ~RecursionGuard() { D.exitRecursion(); }
+  RecursionGuard(const RecursionGuard &) = delete;
+  RecursionGuard &operator=(const RecursionGuard &) = delete;
+
+  /// False when the depth limit was exceeded: unwind now.
+  bool ok() const { return Entered; }
+
+private:
+  DiagnosticEngine &D;
+  bool Entered;
 };
 
 } // namespace quals

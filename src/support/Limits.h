@@ -1,0 +1,63 @@
+//===- support/Limits.h - Resource limits for hostile input ----*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource limits guarding every entry point against hostile or degenerate
+/// input. The paper's evaluation runs the tool over arbitrary real-world C
+/// (Section 5); at corpus scale "never crash, always diagnose" is a hard
+/// requirement, so exhaustion of any budget below must surface as a
+/// recoverable `fatal: resource limit` diagnostic plus a nonzero exit --
+/// never a stack overflow, OOM kill, or assert.
+///
+/// The Limits value rides inside DiagnosticEngine (which every front end and
+/// analysis already threads), so one knob block configures a whole analysis
+/// context. The tools expose the knobs as `--limit-*` flags
+/// (tools/LimitFlags.h); a value of 0 always means "unlimited".
+///
+/// See docs/ROBUSTNESS.md for the threat model and how each limit is
+/// enforced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SUPPORT_LIMITS_H
+#define QUALS_SUPPORT_LIMITS_H
+
+#include <cstdint>
+
+namespace quals {
+
+/// Per-analysis-context resource budgets. Each field uses 0 for "unlimited";
+/// the defaults are generous enough that no legitimate benchmark in the
+/// repository ever trips them, and small enough that a pathological input
+/// dies with a diagnostic instead of taking the process down.
+struct Limits {
+  /// Errors reported before the engine emits a `fatal: too many errors`
+  /// diagnostic, stops recording, and asks callers to bail out. A
+  /// pathological input otherwise emits millions of diagnostics.
+  unsigned MaxErrors = 64;
+
+  /// Nesting depth of recursive-descent parsing (expressions, declarators,
+  /// statements, abstractions). Each level costs a handful of stack frames,
+  /// so the default keeps the deepest parse well inside an 1 MiB stack while
+  /// accepting any human-written program.
+  unsigned MaxRecursionDepth = 256;
+
+  /// Qualifier constraints a ConstraintSystem will store. Enforced by the
+  /// solver itself (SolverConfig::MaxConstraints); the analyses translate
+  /// exhaustion into a fatal diagnostic.
+  uint64_t MaxConstraints = 1u << 24; // 16M constraints
+
+  /// Arena bytes one analysis context may allocate, measured as the growth
+  /// of BumpPtrAllocator::threadBytesAllocated() since the context's
+  /// DiagnosticEngine was created (a context is confined to one thread; see
+  /// docs/PARALLEL.md).
+  uint64_t MaxArenaBytes = 4ull << 30; // 4 GiB
+};
+
+} // namespace quals
+
+#endif // QUALS_SUPPORT_LIMITS_H

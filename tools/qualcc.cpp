@@ -39,6 +39,7 @@
 #include "support/Timer.h"
 
 #include "BatchDriver.h"
+#include "LimitFlags.h"
 #include "ObsFlags.h"
 
 #include <cstdio>
@@ -80,6 +81,7 @@ struct QualccOptions {
   bool PrintStats = false;
   bool CollapseCycles = true;
   bool Quiet = false;
+  Limits Lim;
 };
 
 } // namespace
@@ -91,7 +93,7 @@ struct QualccOptions {
 static void analyzeUnit(const std::vector<std::string> &Paths,
                         const QualccOptions &Opts, batch::FileResult &R) {
   SourceManager SM;
-  DiagnosticEngine Diags(SM);
+  DiagnosticEngine Diags(SM, Opts.Lim);
   CAstContext Ast;
   CTypeContext Types;
   StringInterner Idents;
@@ -195,6 +197,7 @@ int main(int argc, char **argv) {
   unsigned Jobs = 1;
   std::vector<std::string> Files;
   ObsSession Obs;
+  LimitFlags LimitsCli;
 
   for (int I = 1; I != argc; ++I) {
     std::string Error;
@@ -228,12 +231,17 @@ int main(int argc, char **argv) {
     } else if (Obs.parseFlag(argv[I])) {
       if (Obs.badFlag())
         return 1;
+    } else if (LimitsCli.parseFlag(argv[I])) {
+      if (LimitsCli.badFlag())
+        return 1;
     } else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: qualcc [--mono] [--protos] [--positions] "
                    "[--nonnull] [--flow-nonnull] [--stats] [--no-collapse] "
                    "[--batch] [-jN] [--trace-out=file] "
                    "[--metrics[=table|json]] "
+                   "[--limit-errors=N] [--limit-depth=N] "
+                   "[--limit-constraints=N] [--limit-arena-mb=N] "
                    "[--quiet] file.c... [@response-file]\n");
       return argv[I][1] == 'h' ? 0 : 1;
     } else if (!batch::expandArg(argv[I], Files, Error)) {
@@ -245,6 +253,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "qualcc: no input files\n");
     return 1;
   }
+  Opts.Lim = LimitsCli.limits();
   Obs.activate();
 
   if (!Batch) {

@@ -33,6 +33,7 @@
 #include "lambda/QualInfer.h"
 
 #include "BatchDriver.h"
+#include "LimitFlags.h"
 #include "ObsFlags.h"
 
 #include <cstdio>
@@ -61,6 +62,7 @@ struct CheckOptions {
   bool Trace = false;
   bool PrintStats = false;
   std::string QualSpec = "const,nonzero:neg,dynamic,tainted";
+  Limits Lim;
 };
 
 } // namespace
@@ -99,7 +101,7 @@ static void checkOneFile(const std::string &Path, const CheckOptions &Opts,
   }
 
   SourceManager SM;
-  DiagnosticEngine Diags(SM);
+  DiagnosticEngine Diags(SM, Opts.Lim);
   AstContext Ast;
   StringInterner Idents;
   const Expr *Program =
@@ -111,7 +113,9 @@ static void checkOneFile(const std::string &Path, const CheckOptions &Opts,
   }
 
   STyContext STys;
-  ConstraintSystem Sys(QS);
+  SolverConfig SysConfig;
+  SysConfig.MaxConstraints = Opts.Lim.MaxConstraints;
+  ConstraintSystem Sys(QS, SysConfig);
   QualTypeFactory Factory;
   LambdaTypeCtors Ctors;
   QualInferOptions Options;
@@ -172,6 +176,7 @@ int main(int argc, char **argv) {
   unsigned Jobs = 1;
   std::vector<std::string> Files;
   ObsSession Obs;
+  LimitFlags LimitsCli;
 
   for (int I = 1; I != argc; ++I) {
     std::string Error;
@@ -196,10 +201,15 @@ int main(int argc, char **argv) {
     } else if (Obs.parseFlag(argv[I])) {
       if (Obs.badFlag())
         return 1;
+    } else if (LimitsCli.parseFlag(argv[I])) {
+      if (LimitsCli.badFlag())
+        return 1;
     } else if (argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: qualcheck [--mono] [--run] [--trace] [--stats] "
                    "[-jN] [--trace-out=file] [--metrics[=table|json]] "
+                   "[--limit-errors=N] [--limit-depth=N] "
+                   "[--limit-constraints=N] [--limit-arena-mb=N] "
                    "[--quals spec] file.q... [@response-file]\n");
       return std::strcmp(argv[I], "--help") ? 1 : 0;
     } else if (!batch::expandArg(argv[I], Files, Error)) {
@@ -211,6 +221,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "qualcheck: no input file\n");
     return 1;
   }
+  Opts.Lim = LimitsCli.limits();
   Obs.activate();
 
   batch::BatchConfig Config;

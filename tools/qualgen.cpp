@@ -36,6 +36,7 @@
 #include "gen/SynthGen.h"
 
 #include "BatchDriver.h"
+#include "LimitFlags.h"
 #include "ObsFlags.h"
 
 #include <cstdio>
@@ -77,6 +78,10 @@ int main(int argc, char **argv) {
   unsigned Jobs = 1;
   std::vector<std::string> OutFiles;
   ObsSession Obs;
+  // The generator parses no input, so the budgets are never consulted; the
+  // flags are still accepted so scripted pipelines can pass one --limit-*
+  // set to every tool uniformly.
+  LimitFlags LimitsCli;
   for (int I = 1; I != argc; ++I) {
     std::string Error;
     bool ConsumedNext = false;
@@ -104,12 +109,17 @@ int main(int argc, char **argv) {
     } else if (Obs.parseFlag(argv[I])) {
       if (Obs.badFlag())
         return 1;
+    } else if (LimitsCli.parseFlag(argv[I])) {
+      if (LimitsCli.badFlag())
+        return 1;
     } else if (argv[I][0] == '-') {
       std::fprintf(stderr,
                    "usage: qualgen [--lines N] [--seed S] "
                    "[--const-rate R] [--writer-rate R] "
                    "[--corpus N [--out-dir DIR]] [-jN] "
                    "[--trace-out=file] [--metrics[=table|json]] "
+                   "[--limit-errors=N] [--limit-depth=N] "
+                   "[--limit-constraints=N] [--limit-arena-mb=N] "
                    "[out.c...]\n");
       return std::strcmp(argv[I], "--help") ? 1 : 0;
     } else {
