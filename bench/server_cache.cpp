@@ -1,0 +1,117 @@
+//===- bench/server_cache.cpp - Warm-vs-cold server latency benchmark ------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what qualsd's content-addressed cache buys: the same request
+// stream is served twice by one in-process Server -- the first pass runs
+// the full pipeline per request (every lookup misses), the second answers
+// everything from cache -- and the wall-clock ratio is the headline
+// number. The corpus is qualgen's deterministic synthetic programs, sent
+// as inline sources exactly as an editor integration would.
+//
+//   server_cache [--files N] [--lines N] [--seed S]
+//
+// Output is a JSON document (checked in as BENCH_server.json):
+//
+//   {"files":50,"lines_per_file":400,"cold_seconds":...,
+//    "warm_seconds":...,"speedup":...,
+//    "cache":{"hits":50,"misses":50},"responses_identical":true}
+//
+// The run aborts (exit 1) if the two response streams are not
+// byte-identical or the cache counters do not prove the warm pass hit --
+// a fast second pass that returned different bytes would be a bug, not a
+// result. docs/SERVER.md quotes the outcome.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/SynthGen.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+using namespace quals;
+using namespace quals::serve;
+
+int main(int argc, char **argv) {
+  unsigned Files = 50;
+  unsigned Lines = 400;
+  uint64_t Seed = 1004;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--files") && I + 1 < argc)
+      Files = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--lines") && I + 1 < argc)
+      Lines = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
+      Seed = std::strtoull(argv[++I], nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: server_cache [--files N] [--lines N] [--seed S]\n");
+      return 1;
+    }
+  }
+
+  // One request line per synthetic program, inline source.
+  std::string Requests;
+  for (unsigned I = 0; I != Files; ++I) {
+    synth::SynthProgram Prog =
+        synth::generateProgram(synth::corpusFileParams(Seed, I, Lines));
+    Requests += "{\"id\":" + std::to_string(I) +
+                ",\"method\":\"analyze\",\"params\":{\"source\":";
+    appendJsonString(Requests, Prog.Source);
+    Requests += ",\"name\":";
+    appendJsonString(Requests, synth::corpusFileName(I));
+    Requests += "}}\n";
+  }
+
+  ServerConfig Config;
+  Server S(Config);
+
+  auto pass = [&S, &Requests](std::string &Responses) {
+    std::istringstream In(Requests);
+    std::ostringstream Out;
+    Timer T;
+    int Exit = S.run(In, Out);
+    double Seconds = T.seconds();
+    if (Exit != 0) {
+      std::fprintf(stderr, "server_cache: run() exited %d\n", Exit);
+      std::exit(1);
+    }
+    Responses = Out.str();
+    return Seconds;
+  };
+
+  std::string ColdResponses, WarmResponses;
+  double ColdSeconds = pass(ColdResponses);
+  double WarmSeconds = pass(WarmResponses);
+
+  CacheStats Stats = S.cache().stats();
+  bool Identical = ColdResponses == WarmResponses;
+  if (!Identical || Stats.Hits != Files || Stats.Misses != Files) {
+    std::fprintf(stderr,
+                 "server_cache: warm pass is not a pure cache replay "
+                 "(identical=%d hits=%llu misses=%llu)\n",
+                 Identical, static_cast<unsigned long long>(Stats.Hits),
+                 static_cast<unsigned long long>(Stats.Misses));
+    return 1;
+  }
+
+  std::printf("{\"files\":%u,\"lines_per_file\":%u,"
+              "\"cold_seconds\":%.4f,\"warm_seconds\":%.4f,"
+              "\"speedup\":%.1f,\n"
+              " \"cache\":{\"hits\":%llu,\"misses\":%llu},"
+              "\"responses_identical\":true}\n",
+              Files, Lines, ColdSeconds, WarmSeconds,
+              WarmSeconds > 0 ? ColdSeconds / WarmSeconds : 0.0,
+              static_cast<unsigned long long>(Stats.Hits),
+              static_cast<unsigned long long>(Stats.Misses));
+  return 0;
+}

@@ -13,8 +13,10 @@
 #include "lambda/Parser.h"
 #include "lambda/QualInfer.h"
 #include "qual/ConstraintSystem.h"
+#include "serve/Protocol.h"
 #include "support/Limits.h"
 
+#include <cstdlib>
 #include <string>
 
 using namespace quals;
@@ -207,5 +209,66 @@ int fuzz::runSolver(const uint8_t *Data, size_t Size) {
   for (const Violation &V : Sys.collectViolations())
     (void)Sys.explain(V);
   (void)Sys.getStats();
+  return 0;
+}
+
+namespace {
+
+/// Asserts the decode -> encode -> decode round-trip for one decoded
+/// string: appendJsonString must emit a literal the parser accepts and
+/// decodes to the same bytes. abort() (not a gtest macro) so the property
+/// holds identically under libFuzzer and the replay test.
+void checkStringRoundTrip(const std::string &Decoded,
+                          const serve::ProtocolLimits &Lim) {
+  if (Decoded.size() > Lim.MaxStringBytes)
+    return; // Re-parsing would trip the budget, not the codec.
+  std::string Encoded;
+  serve::appendJsonString(Encoded, Decoded);
+  serve::JsonValue Back;
+  std::string Error;
+  if (!serve::parseJson(Encoded, Lim, Back, Error) ||
+      Back.kind() != serve::JsonValue::Kind::String ||
+      Back.asString() != Decoded)
+    std::abort();
+}
+
+/// Walks every string in a parsed document (values and object keys) and
+/// round-trips it.
+void checkValueStrings(const serve::JsonValue &V,
+                       const serve::ProtocolLimits &Lim) {
+  if (V.kind() == serve::JsonValue::Kind::String)
+    checkStringRoundTrip(V.asString(), Lim);
+  for (const serve::JsonValue &E : V.elements())
+    checkValueStrings(E, Lim);
+  for (const auto &M : V.members()) {
+    checkStringRoundTrip(M.first, Lim);
+    checkValueStrings(M.second, Lim);
+  }
+}
+
+} // namespace
+
+int fuzz::runProtocol(const uint8_t *Data, size_t Size) {
+  std::string Line = toSource(Data, Size);
+
+  // Budgets an order of magnitude below the server defaults, same
+  // rationale as fuzzLimits(): tight budgets keep executions fast and
+  // prove the bailout paths.
+  serve::ProtocolLimits Lim;
+  Lim.MaxRequestBytes = 64u << 10;
+  Lim.MaxDepth = 32;
+  Lim.MaxStringBytes = 16u << 10;
+
+  serve::JsonValue Doc;
+  std::string Error;
+  if (parseJson(Line, Lim, Doc, Error))
+    checkValueStrings(Doc, Lim);
+  else if (Error.empty())
+    std::abort(); // Failures must always carry a diagnostic.
+
+  serve::Request Req;
+  Error.clear();
+  if (!parseRequest(Line, Lim, Req, Error) && Error.empty())
+    std::abort();
   return 0;
 }

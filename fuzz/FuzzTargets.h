@@ -42,6 +42,14 @@ int runLambda(const uint8_t *Data, size_t Size);
 /// cycle collapsing on adversarial graphs. Always returns 0.
 int runSolver(const uint8_t *Data, size_t Size);
 
+/// Treats \p Data as one qualsd request line: JSON parsing under tight
+/// budgets, request validation, and -- when anything parsed -- the
+/// serialize/re-parse round-trip of every decoded string (the property the
+/// server's byte-identical replies rest on). Always returns 0; a round-trip
+/// mismatch aborts, which the fuzzer reports as a crash. Never runs an
+/// analysis: hostile *sources* are the cfront/lambda targets' job.
+int runProtocol(const uint8_t *Data, size_t Size);
+
 } // namespace fuzz
 } // namespace quals
 

@@ -1,0 +1,21 @@
+//===- fuzz/fuzz_protocol.cpp - libFuzzer main for the qualsd protocol ----===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Build with -DQUALS_ENABLE_FUZZERS=ON (clang only), then:
+//
+//   build/fuzz/fuzz_protocol fuzz/corpus/protocol -max_total_time=60
+//
+// Crashing inputs belong in fuzz/corpus/protocol/ so fuzz.replay_corpus
+// guards the fix; see docs/ROBUSTNESS.md and docs/SERVER.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzTargets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  return quals::fuzz::runProtocol(Data, Size);
+}

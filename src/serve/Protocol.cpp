@@ -1,0 +1,484 @@
+//===- serve/Protocol.cpp - qualsd wire protocol ---------------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace quals;
+using namespace quals::serve;
+
+int64_t JsonValue::asInt64(bool &Ok) const {
+  Ok = K == Kind::Number && Num == std::floor(Num) &&
+       Num >= -9223372036854775808.0 && Num < 9223372036854775808.0;
+  return Ok ? static_cast<int64_t>(Num) : 0;
+}
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a bounded byte range. Every recursion
+/// is metered against ProtocolLimits::MaxDepth, mirroring the front ends'
+/// RecursionGuard discipline (the parser stack is the resource at risk).
+class Parser {
+public:
+  Parser(std::string_view Text, const ProtocolLimits &Lim)
+      : Text(Text), Lim(Lim) {}
+
+  bool parse(JsonValue &Out, std::string &Error) {
+    if (Text.size() > Lim.MaxRequestBytes)
+      return fail(Lim.MaxRequestBytes, "request exceeds byte limit", Error);
+    skipWs();
+    if (!parseValue(Out, 0, Error))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail(Pos, "trailing garbage after document", Error);
+    return true;
+  }
+
+private:
+  std::string_view Text;
+  const ProtocolLimits &Lim;
+  size_t Pos = 0;
+
+  static bool fail(size_t At, const char *Msg, std::string &Error) {
+    Error = "byte " + std::to_string(At) + ": " + Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos != Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.substr(Pos, Len) != Word)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth, std::string &Error) {
+    if (Depth >= Lim.MaxDepth)
+      return fail(Pos, "nesting exceeds depth limit", Error);
+    if (Pos == Text.size())
+      return fail(Pos, "unexpected end of input", Error);
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth, Error);
+    case '[':
+      return parseArray(Out, Depth, Error);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str, Error);
+    case 't':
+      if (!literal("true"))
+        return fail(Pos, "bad literal", Error);
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail(Pos, "bad literal", Error);
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail(Pos, "bad literal", Error);
+      Out.K = JsonValue::Kind::Null;
+      return true;
+    default:
+      return parseNumber(Out, Error);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth, std::string &Error) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos != Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (Pos == Text.size() || Text[Pos] != '"')
+        return fail(Pos, "expected object key", Error);
+      std::string Key;
+      if (!parseString(Key, Error))
+        return false;
+      skipWs();
+      if (Pos == Text.size() || Text[Pos] != ':')
+        return fail(Pos, "expected ':' after key", Error);
+      ++Pos;
+      skipWs();
+      JsonValue Member;
+      if (!parseValue(Member, Depth + 1, Error))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(Member));
+      skipWs();
+      if (Pos == Text.size())
+        return fail(Pos, "unterminated object", Error);
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail(Pos, "expected ',' or '}'", Error);
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth, std::string &Error) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos != Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue Elem;
+      if (!parseValue(Elem, Depth + 1, Error))
+        return false;
+      Out.Elems.push_back(std::move(Elem));
+      skipWs();
+      if (Pos == Text.size())
+        return fail(Pos, "unterminated array", Error);
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail(Pos, "expected ',' or ']'", Error);
+    }
+  }
+
+  /// Appends \p Code as UTF-8.
+  static void appendUtf8(std::string &Out, uint32_t Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xc0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xe0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  bool parseHex4(uint32_t &Out, std::string &Error) {
+    if (Pos + 4 > Text.size())
+      return fail(Pos, "truncated \\u escape", Error);
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos + I];
+      uint32_t D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = C - 'A' + 10;
+      else
+        return fail(Pos + I, "bad hex digit in \\u escape", Error);
+      Out = Out * 16 + D;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out, std::string &Error) {
+    ++Pos; // opening quote
+    Out.clear();
+    for (;;) {
+      if (Pos == Text.size())
+        return fail(Pos, "unterminated string", Error);
+      if (Out.size() > Lim.MaxStringBytes)
+        return fail(Pos, "string exceeds byte limit", Error);
+      unsigned char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail(Pos, "unescaped control character in string", Error);
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos; // backslash
+      if (Pos == Text.size())
+        return fail(Pos, "truncated escape", Error);
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':  Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/':  Out += '/'; break;
+      case 'b':  Out += '\b'; break;
+      case 'f':  Out += '\f'; break;
+      case 'n':  Out += '\n'; break;
+      case 'r':  Out += '\r'; break;
+      case 't':  Out += '\t'; break;
+      case 'u': {
+        uint32_t Code = 0;
+        if (!parseHex4(Code, Error))
+          return false;
+        if (Code >= 0xd800 && Code <= 0xdbff) {
+          // High surrogate: pair with a following \uXXXX low surrogate, or
+          // substitute U+FFFD for a lone one (never crash, never emit
+          // ill-formed UTF-8 the server would then re-serialize).
+          if (Pos + 1 < Text.size() && Text[Pos] == '\\' &&
+              Text[Pos + 1] == 'u') {
+            size_t Save = Pos;
+            Pos += 2;
+            uint32_t Low = 0;
+            if (!parseHex4(Low, Error))
+              return false;
+            if (Low >= 0xdc00 && Low <= 0xdfff) {
+              Code = 0x10000 + ((Code - 0xd800) << 10) + (Low - 0xdc00);
+            } else {
+              Pos = Save; // Not a low surrogate; leave it for the next loop.
+              Code = 0xfffd;
+            }
+          } else {
+            Code = 0xfffd;
+          }
+        } else if (Code >= 0xdc00 && Code <= 0xdfff) {
+          Code = 0xfffd; // Lone low surrogate.
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail(Pos - 1, "unknown escape", Error);
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out, std::string &Error) {
+    size_t Start = Pos;
+    if (Pos != Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos == Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail(Start, "expected value", Error);
+    if (Text[Pos] == '0')
+      ++Pos;
+    else
+      while (Pos != Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    if (Pos != Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Pos == Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail(Pos, "expected digits after '.'", Error);
+      while (Pos != Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos != Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos != Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos == Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail(Pos, "expected exponent digits", Error);
+      while (Pos != Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    // The grammar above admits only strtod-safe spellings, and the copy
+    // bounds the parse for non-NUL-terminated views.
+    std::string Spelling(Text.substr(Start, Pos - Start));
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = std::strtod(Spelling.c_str(), nullptr);
+    if (!std::isfinite(Out.Num))
+      return fail(Start, "number out of range", Error);
+    return true;
+  }
+};
+
+/// Reads an optional boolean member; false return = ill-typed.
+bool readBool(const JsonValue &Obj, const char *Key, bool &Out,
+              std::string &Error) {
+  const JsonValue *V = Obj.find(Key);
+  if (!V)
+    return true;
+  if (V->kind() != JsonValue::Kind::Bool) {
+    Error = std::string("param '") + Key + "' must be a boolean";
+    return false;
+  }
+  Out = V->asBool();
+  return true;
+}
+
+/// Reads an optional string member; false return = ill-typed.
+bool readString(const JsonValue &Obj, const char *Key, std::string &Out,
+                bool &Present, std::string &Error) {
+  Present = false;
+  const JsonValue *V = Obj.find(Key);
+  if (!V)
+    return true;
+  if (V->kind() != JsonValue::Kind::String) {
+    Error = std::string("param '") + Key + "' must be a string";
+    return false;
+  }
+  Out = V->asString();
+  Present = true;
+  return true;
+}
+
+} // namespace
+
+bool quals::serve::parseJson(std::string_view Text, const ProtocolLimits &Lim,
+                             JsonValue &Out, std::string &Error) {
+  return Parser(Text, Lim).parse(Out, Error);
+}
+
+bool quals::serve::parseRequest(std::string_view Line,
+                                const ProtocolLimits &Lim, Request &Out,
+                                std::string &Error) {
+  JsonValue Doc;
+  if (!parseJson(Line, Lim, Doc, Error))
+    return false;
+  if (Doc.kind() != JsonValue::Kind::Object) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+
+  // Pull the id first so even failed requests can echo it.
+  if (const JsonValue *Id = Doc.find("id")) {
+    bool Ok;
+    int64_t V = Id->asInt64(Ok);
+    if (!Ok) {
+      Error = "'id' must be an integer";
+      return false;
+    }
+    Out.Id = V;
+    Out.HasId = true;
+  }
+
+  const JsonValue *MethodV = Doc.find("method");
+  if (!MethodV || MethodV->kind() != JsonValue::Kind::String) {
+    Error = "missing or non-string 'method'";
+    return false;
+  }
+  const std::string &M = MethodV->asString();
+  if (M == "analyze")
+    Out.M = Method::Analyze;
+  else if (M == "invalidate")
+    Out.M = Method::Invalidate;
+  else if (M == "stats")
+    Out.M = Method::Stats;
+  else if (M == "shutdown")
+    Out.M = Method::Shutdown;
+  else {
+    Error = "unknown method '" + M + "'";
+    return false;
+  }
+
+  const JsonValue *Params = Doc.find("params");
+  if (Params && Params->kind() != JsonValue::Kind::Object) {
+    Error = "'params' must be an object";
+    return false;
+  }
+
+  if (Out.M == Method::Analyze) {
+    if (!Params) {
+      Error = "analyze requires params";
+      return false;
+    }
+    bool HavePath = false, HaveName = false, HaveLang = false;
+    bool Mono = false;
+    if (!readString(*Params, "path", Out.Path, HavePath, Error) ||
+        !readString(*Params, "source", Out.Source, Out.HasSource, Error) ||
+        !readString(*Params, "name", Out.Name, HaveName, Error) ||
+        !readString(*Params, "language", Out.Language, HaveLang, Error) ||
+        !readBool(*Params, "mono", Mono, Error) ||
+        !readBool(*Params, "protos", Out.Protos, Error))
+      return false;
+    Out.Polymorphic = !Mono;
+    if (HavePath == Out.HasSource) {
+      Error = "analyze requires exactly one of 'path' or 'source'";
+      return false;
+    }
+    if (Out.Language != "c" && Out.Language != "lambda") {
+      Error = "param 'language' must be \"c\" or \"lambda\"";
+      return false;
+    }
+    if (HavePath)
+      Out.Name = Out.Path;
+  } else if (Out.M == Method::Invalidate) {
+    if (Params) {
+      bool Have = false;
+      if (!readString(*Params, "hash", Out.ContentHashHex, Have, Error))
+        return false;
+      if (Have) {
+        if (Out.ContentHashHex.empty() || Out.ContentHashHex.size() > 16) {
+          Error = "param 'hash' must be 1..16 hex digits";
+          return false;
+        }
+        for (char C : Out.ContentHashHex)
+          if (!std::isxdigit(static_cast<unsigned char>(C))) {
+            Error = "param 'hash' must be 1..16 hex digits";
+            return false;
+          }
+      }
+    }
+  }
+  return true;
+}
+
+void quals::serve::appendJsonString(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\b': Out += "\\b"; break;
+    case '\f': Out += "\\f"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+}

@@ -1,0 +1,313 @@
+//===- serve/Server.cpp - Persistent analysis server -----------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "serve/Pipelines.h"
+#include "support/Hash.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+using namespace quals;
+using namespace quals::serve;
+
+namespace {
+
+/// Outcome of one bounded line read.
+enum class ReadStatus { Eof, Ok, TooLong };
+
+/// Reads one line (up to but not including '\n', trailing '\r' stripped)
+/// with a hard byte cap: an over-cap line is consumed to its end and
+/// reported TooLong, so one hostile line can neither exhaust memory nor
+/// desynchronize the stream.
+ReadStatus readLimitedLine(std::istream &In, std::string &Line,
+                           size_t MaxBytes) {
+  Line.clear();
+  std::streambuf *Buf = In.rdbuf();
+  bool ReadAny = false, Over = false;
+  for (;;) {
+    int C = Buf ? Buf->sbumpc() : std::char_traits<char>::eof();
+    if (C == std::char_traits<char>::eof()) {
+      In.setstate(std::ios::eofbit);
+      if (!ReadAny)
+        return ReadStatus::Eof;
+      break;
+    }
+    ReadAny = true;
+    if (C == '\n')
+      break;
+    if (Line.size() >= MaxBytes)
+      Over = true; // Keep consuming to the newline, discard the excess.
+    else
+      Line += static_cast<char>(C);
+  }
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  return Over ? ReadStatus::TooLong : ReadStatus::Ok;
+}
+
+void appendIdField(std::string &Out, bool HasId, int64_t Id) {
+  Out += "{\"id\":";
+  Out += HasId ? std::to_string(Id) : std::string("null");
+}
+
+std::string hashHex(uint64_t H) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+/// One in-flight request's response slot; the reader flushes the completed
+/// prefix in request order (the BatchDriver discipline).
+struct Slot {
+  std::string Response;
+  bool Done = false;
+};
+
+} // namespace
+
+std::string quals::serve::makeErrorResponse(bool HasId, int64_t Id,
+                                            const std::string &Error) {
+  std::string R;
+  appendIdField(R, HasId, Id);
+  R += ",\"ok\":false,\"error\":";
+  appendJsonString(R, Error);
+  R += "}\n";
+  return R;
+}
+
+Server::Server(const ServerConfig &Config)
+    : Config(Config), Cache(Config.CacheMaxBytes, Config.SpillDir) {}
+
+std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
+  TraceScope Span("req:" + std::to_string(Seq), "serve");
+
+  AnalyzeJob Job;
+  Job.Name = Req.Name;
+  Job.Language = Req.Language;
+  Job.Polymorphic = Req.Polymorphic;
+  Job.Protos = Req.Protos;
+  Job.Lim = Config.Lim;
+  if (Req.HasSource) {
+    Job.Source = Req.Source;
+  } else {
+    std::ifstream In(Req.Path, std::ios::binary);
+    if (!In)
+      return makeErrorResponse(Req.HasId, Req.Id,
+                               "cannot read '" + Req.Path + "'");
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Job.Source = std::move(Buffer).str();
+  }
+
+  CacheKey Key;
+  Key.ContentHash = hashString(Job.Source);
+  Key.ConfigHash = configHash(Job);
+
+  CachedResult Res;
+  bool Hit = Cache.lookup(Key, Res);
+  if (!Hit) {
+    runAnalysis(Job, Res);
+    Cache.insert(Key, Res);
+  }
+  if (Tracer::isEnabled())
+    Span.setArgs("\"cached\":" + std::string(Hit ? "true" : "false") +
+                 ",\"exit\":" + std::to_string(Res.ExitCode));
+
+  // The reply is a pure function of (content, config): the "cached" bit is
+  // deliberately NOT in it, so a warm reply is byte-identical to the cold
+  // run that filled it (hit-path visibility comes from `stats` and the
+  // cache.* metrics instead).
+  std::string R;
+  appendIdField(R, Req.HasId, Req.Id);
+  R += ",\"ok\":true,\"exit\":" + std::to_string(Res.ExitCode);
+  R += ",\"hash\":\"" + hashHex(Key.ContentHash) + "\"";
+  R += ",\"stdout\":";
+  appendJsonString(R, Res.Out);
+  R += ",\"stderr\":";
+  appendJsonString(R, Res.Err);
+  R += "}\n";
+  return R;
+}
+
+std::string Server::handleInvalidate(const Request &Req) {
+  uint64_t Dropped;
+  if (!Req.ContentHashHex.empty())
+    Dropped = Cache.invalidateContent(
+        std::strtoull(Req.ContentHashHex.c_str(), nullptr, 16));
+  else
+    Dropped = Cache.invalidateAll();
+  std::string R;
+  appendIdField(R, Req.HasId, Req.Id);
+  R += ",\"ok\":true,\"dropped\":" + std::to_string(Dropped) + "}\n";
+  return R;
+}
+
+std::string Server::handleStats(const Request &Req) {
+  CacheStats S = Cache.stats();
+  std::string R;
+  appendIdField(R, Req.HasId, Req.Id);
+  R += ",\"ok\":true,\"requests\":" + std::to_string(Requests);
+  R += ",\"cache\":{\"entries\":" + std::to_string(S.Entries);
+  R += ",\"bytes\":" + std::to_string(S.Bytes);
+  R += ",\"hits\":" + std::to_string(S.Hits);
+  R += ",\"misses\":" + std::to_string(S.Misses);
+  R += ",\"evictions\":" + std::to_string(S.Evictions);
+  R += ",\"inserts\":" + std::to_string(S.Inserts);
+  R += ",\"spill_loads\":" + std::to_string(S.SpillLoads);
+  R += ",\"spill_writes\":" + std::to_string(S.SpillWrites);
+  R += "}}\n";
+  return R;
+}
+
+int Server::run(std::istream &In, std::ostream &Out) {
+  TraceScope RunSpan("server.run", "serve");
+  std::unique_ptr<ThreadPool> Pool;
+  if (Config.Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Config.Jobs);
+
+  std::deque<Slot> Pending;
+  std::mutex Mutex;
+  std::condition_variable DoneCv;
+
+  // Writes the completed prefix of Pending to Out, in request order.
+  // Reader thread only (the only thread that writes Out or pops).
+  auto FlushReady = [&] {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    while (!Pending.empty() && Pending.front().Done) {
+      Out << Pending.front().Response;
+      Pending.pop_front();
+    }
+    Out.flush();
+  };
+  // Blocks until every in-flight request has completed and flushed; the
+  // deterministic point at which control requests read/mutate state.
+  auto Barrier = [&] {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    for (;;) {
+      while (!Pending.empty() && Pending.front().Done) {
+        Out << Pending.front().Response;
+        Pending.pop_front();
+      }
+      if (Pending.empty())
+        break;
+      DoneCv.wait(Lock, [&] { return Pending.front().Done; });
+    }
+    Out.flush();
+  };
+  // Backpressure: a peer that streams analyze requests faster than the
+  // workers drain them must not grow the response backlog without bound.
+  // The reader stalls (flushing what it can) once this many requests are
+  // in flight or awaiting flush.
+  const size_t MaxBacklog = static_cast<size_t>(Config.Jobs) * 16 + 16;
+  auto WaitBacklog = [&] {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (Pending.size() >= MaxBacklog) {
+      DoneCv.wait(Lock, [&] { return Pending.front().Done; });
+      while (!Pending.empty() && Pending.front().Done) {
+        Out << Pending.front().Response;
+        Pending.pop_front();
+      }
+      Out.flush();
+    }
+  };
+  auto EmitDone = [&](std::string Response) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Pending.push_back({std::move(Response), true});
+    }
+    FlushReady();
+  };
+  auto CountRequest = [&](bool IsError) {
+    ++Requests;
+    if (MetricsRegistry::collecting()) {
+      MetricsRegistry::global().counter("server.requests").add();
+      if (IsError)
+        MetricsRegistry::global().counter("server.errors").add();
+    }
+  };
+
+  std::string Line;
+  for (;;) {
+    ReadStatus S =
+        readLimitedLine(In, Line, Config.ProtoLim.MaxRequestBytes);
+    if (S == ReadStatus::Eof)
+      break;
+    if (Line.find_first_not_of(" \t") == std::string::npos)
+      continue; // Blank lines are keep-alives, not requests.
+    if (S == ReadStatus::TooLong) {
+      CountRequest(/*IsError=*/true);
+      EmitDone(makeErrorResponse(false, 0, "request exceeds byte limit"));
+      continue;
+    }
+    Request Req;
+    std::string Error;
+    if (!parseRequest(Line, Config.ProtoLim, Req, Error)) {
+      CountRequest(/*IsError=*/true);
+      EmitDone(makeErrorResponse(Req.HasId, Req.Id, Error));
+      continue;
+    }
+    CountRequest(/*IsError=*/false);
+    uint64_t Seq = Requests;
+
+    switch (Req.M) {
+    case Method::Analyze:
+      if (Pool) {
+        WaitBacklog();
+        Slot *S2;
+        {
+          std::lock_guard<std::mutex> Lock(Mutex);
+          Pending.emplace_back();
+          S2 = &Pending.back();
+        }
+        Pool->enqueue([this, S2, &Mutex, &DoneCv, Req = std::move(Req),
+                       Seq] {
+          std::string Response = handleAnalyze(Req, Seq);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          S2->Response = std::move(Response);
+          S2->Done = true;
+          DoneCv.notify_all();
+        });
+        FlushReady();
+      } else {
+        EmitDone(handleAnalyze(Req, Seq));
+      }
+      break;
+    case Method::Invalidate:
+      Barrier();
+      EmitDone(handleInvalidate(Req));
+      break;
+    case Method::Stats:
+      Barrier();
+      EmitDone(handleStats(Req));
+      break;
+    case Method::Shutdown: {
+      Barrier();
+      std::string R;
+      appendIdField(R, Req.HasId, Req.Id);
+      R += ",\"ok\":true}\n";
+      EmitDone(std::move(R));
+      return 0;
+    }
+    }
+  }
+  Barrier();
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- serve/Server.h - Persistent analysis server --------------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qualsd request loop: reads newline-delimited JSON requests from an
+/// input stream, dispatches `analyze` bodies onto a support/ThreadPool, and
+/// answers -- one response line per request, **in request order** -- from
+/// the content-addressed ResultCache, falling back to a fully isolated
+/// serve/Pipelines run on a miss.
+///
+/// Ordering works exactly like tools/BatchDriver: workers complete
+/// out-of-order into per-request slots, the reader thread flushes the
+/// completed prefix, so the response stream is byte-identical for every
+/// worker count. Control requests (`invalidate`, `stats`, `shutdown`)
+/// barrier on all in-flight analyzes first, so their observable state is
+/// deterministic too.
+///
+/// Robustness follows docs/ROBUSTNESS.md: request lines are read under a
+/// hard byte cap (an over-long line is consumed, answered with an error,
+/// and the stream keeps serving), the protocol parser is depth- and
+/// size-budgeted, and every analysis runs under the server's --limit-*
+/// budgets. A malformed request never takes the server down.
+///
+/// Observability: each request runs under a "req:<n>" trace span in
+/// category "serve", and the loop publishes server.requests /
+/// server.errors counters next to the cache.* metrics (docs/SERVER.md,
+/// docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SERVE_SERVER_H
+#define QUALS_SERVE_SERVER_H
+
+#include "serve/Protocol.h"
+#include "serve/ResultCache.h"
+#include "support/Limits.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace quals {
+namespace serve {
+
+/// One server's configuration; fixed for the daemon's lifetime.
+struct ServerConfig {
+  /// Analyze workers; 1 (the default) runs requests inline on the reader
+  /// thread, which is fully deterministic and right for edit streams.
+  unsigned Jobs = 1;
+  /// In-memory cache payload budget; 0 disables caching.
+  uint64_t CacheMaxBytes = 64u << 20;
+  /// Spill directory for restart-warm state; empty disables spill.
+  std::string SpillDir;
+  /// Resource budgets applied to every per-request analysis context.
+  Limits Lim;
+  /// Budgets for the request parser itself.
+  ProtocolLimits ProtoLim;
+};
+
+/// The persistent analysis server; see the file comment.
+class Server {
+public:
+  explicit Server(const ServerConfig &Config);
+
+  /// Serves requests from \p In until `shutdown` or end of input, writing
+  /// one response line per request to \p Out in request order. Returns the
+  /// process exit code (0 on clean shutdown/EOF). May be called again on a
+  /// new stream: the cache stays warm across calls (tests and
+  /// bench/server_cache rely on this to model reconnects).
+  int run(std::istream &In, std::ostream &Out);
+
+  /// The cache, for stats assertions in tests/bench.
+  const ResultCache &cache() const { return Cache; }
+
+  /// Requests read so far (all methods, including malformed lines).
+  uint64_t requestsServed() const { return Requests; }
+
+private:
+  ServerConfig Config;
+  ResultCache Cache;
+  uint64_t Requests = 0;
+
+  /// Builds the response line (including trailing newline) for one
+  /// analyze request; runs on a pool worker when Jobs > 1.
+  std::string handleAnalyze(const Request &Req, uint64_t Seq);
+
+  std::string handleInvalidate(const Request &Req);
+  std::string handleStats(const Request &Req);
+};
+
+/// Serializes an error response: {"id":<id|null>,"ok":false,"error":"..."}.
+std::string makeErrorResponse(bool HasId, int64_t Id,
+                              const std::string &Error);
+
+} // namespace serve
+} // namespace quals
+
+#endif // QUALS_SERVE_SERVER_H

@@ -33,6 +33,22 @@ ThreadPool::~ThreadPool() {
   WorkCv.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  // A task that was enqueued while the workers were already exiting -- for
+  // example by a task still running during the shutdown race -- can land in
+  // the queue after every worker observed it empty. enqueue() promises the
+  // task will run, so drain the leftovers inline. Tasks these tasks enqueue
+  // are picked up by the same loop; no lock is held while running them.
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Queue.empty())
+        break;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
 }
 
 void ThreadPool::enqueue(std::function<void()> Task) {

@@ -56,11 +56,16 @@ TEST(FuzzReplay, LambdaCorpus) { replayDir("lambda", quals::fuzz::runLambda); }
 
 TEST(FuzzReplay, SolverCorpus) { replayDir("solver", quals::fuzz::runSolver); }
 
+TEST(FuzzReplay, ProtocolCorpus) {
+  replayDir("protocol", quals::fuzz::runProtocol);
+}
+
 /// The handlers also accept the empty input (libFuzzer always tries it).
 TEST(FuzzReplay, EmptyInput) {
   EXPECT_EQ(0, quals::fuzz::runCFront(nullptr, 0));
   EXPECT_EQ(0, quals::fuzz::runLambda(nullptr, 0));
   EXPECT_EQ(0, quals::fuzz::runSolver(nullptr, 0));
+  EXPECT_EQ(0, quals::fuzz::runProtocol(nullptr, 0));
 }
 
 /// A deterministic mini-fuzz for toolchains without libFuzzer: random
@@ -84,11 +89,15 @@ TEST(FuzzReplay, DeterministicRandomStress) {
     EXPECT_EQ(0, quals::fuzz::runCFront(Bytes.data(), Bytes.size()));
     EXPECT_EQ(0, quals::fuzz::runLambda(Bytes.data(), Bytes.size()));
     EXPECT_EQ(0, quals::fuzz::runSolver(Bytes.data(), Bytes.size()));
+    EXPECT_EQ(0, quals::fuzz::runProtocol(Bytes.data(), Bytes.size()));
   }
 
   const std::string CTemplate =
       "const struct s { int *p; } g; int f(int x) { return sizeof(g) + "
       "(x ? *g.p : 0x7fffffff); }";
+  const std::string ProtocolTemplate =
+      "{\"id\":1,\"method\":\"analyze\",\"params\":{\"source\":"
+      "\"int f();\",\"name\":\"\\u00e9.c\",\"mono\":true}}";
   const std::string LambdaTemplate =
       "let r = {const} ref (fn x. if x then !r 1 else 0 fi) in r := fn "
       "y. y ni";
@@ -100,6 +109,11 @@ TEST(FuzzReplay, DeterministicRandomStress) {
     EXPECT_EQ(0, quals::fuzz::runLambda(reinterpret_cast<const uint8_t *>(
                                             LambdaTemplate.data()),
                                         Len));
+  for (size_t Len = 0; Len <= ProtocolTemplate.size(); ++Len)
+    EXPECT_EQ(0, quals::fuzz::runProtocol(
+                     reinterpret_cast<const uint8_t *>(
+                         ProtocolTemplate.data()),
+                     Len));
 }
 
 } // namespace

@@ -1,0 +1,626 @@
+//===- tests/serve_test.cpp - Analysis server unit tests ------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the serving layer bottom-up: support/Hash (stability, the
+// never-zero contract), serve/Protocol (the hardened JSON request parser
+// and its budgets), serve/ResultCache (LRU byte budget, invalidation, the
+// disk spill format including corruption handling), and serve/Server
+// end-to-end over string streams (response ordering at every worker count,
+// cold-vs-warm byte identity, error responses, clean shutdown).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Pipelines.h"
+#include "serve/Protocol.h"
+#include "serve/ResultCache.h"
+#include "serve/Server.h"
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace quals;
+using namespace quals::serve;
+
+//===----------------------------------------------------------------------===//
+// support/Hash
+//===----------------------------------------------------------------------===//
+
+TEST(Hash, DeterministicAndDiffuse) {
+  EXPECT_EQ(hashString("int f();"), hashString("int f();"));
+  EXPECT_NE(hashString("int f();"), hashString("int g();"));
+  EXPECT_NE(hashString("a"), hashString("b"));
+  // Size is folded in, so a shared prefix is not a shared hash.
+  EXPECT_NE(hashString(""), hashString(std::string_view("\0", 1)));
+  EXPECT_NE(hashBytes("xy", 1), hashBytes("xy", 2));
+}
+
+TEST(Hash, NeverReturnsZero) {
+  EXPECT_NE(hashString(""), 0u);
+  EXPECT_NE(hashBytes(nullptr, 0), 0u);
+  HashBuilder B;
+  EXPECT_NE(B.digest(), 0u);
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  uint64_t A = hashString("alpha"), C = hashString("beta");
+  EXPECT_NE(hashCombine(A, C), hashCombine(C, A));
+  HashBuilder B1, B2;
+  B1.add(A).add(C);
+  B2.add(C).add(A);
+  EXPECT_NE(B1.digest(), B2.digest());
+}
+
+TEST(Hash, ConfigHashSeparatesEveryField) {
+  AnalyzeJob Base;
+  Base.Name = "a.c";
+  Base.Language = "c";
+  uint64_t H0 = configHash(Base);
+
+  AnalyzeJob J = Base;
+  J.Name = "b.c"; // Diagnostics embed the name; distinct result bytes.
+  EXPECT_NE(configHash(J), H0);
+  J = Base;
+  J.Language = "lambda";
+  EXPECT_NE(configHash(J), H0);
+  J = Base;
+  J.Polymorphic = false;
+  EXPECT_NE(configHash(J), H0);
+  J = Base;
+  J.Protos = true;
+  EXPECT_NE(configHash(J), H0);
+  J = Base;
+  J.Lim.MaxErrors = 3; // Limits can change diagnostics, so they key too.
+  EXPECT_NE(configHash(J), H0);
+  // The source bytes are the *other* key half, never part of the config.
+  J = Base;
+  J.Source = "int x;";
+  EXPECT_EQ(configHash(J), H0);
+}
+
+//===----------------------------------------------------------------------===//
+// serve/Protocol: JSON parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(parseJson(Text, ProtocolLimits(), V, Error)) << Error;
+  return V;
+}
+
+std::string parseErr(const std::string &Text,
+                     ProtocolLimits Lim = ProtocolLimits()) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson(Text, Lim, V, Error)) << "input: " << Text;
+  EXPECT_FALSE(Error.empty());
+  return Error;
+}
+
+} // namespace
+
+TEST(Protocol, ParsesScalarsAndContainers) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_EQ(parseOk("-42.5").asNumber(), -42.5);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+
+  JsonValue V = parseOk(" {\"a\": [1, 2, {\"b\": null}], \"c\": \"d\"} ");
+  ASSERT_EQ(V.kind(), JsonValue::Kind::Object);
+  const JsonValue *A = V.find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->elements().size(), 3u);
+  EXPECT_EQ(A->elements()[1].asNumber(), 2.0);
+  EXPECT_EQ(V.find("c")->asString(), "d");
+  EXPECT_EQ(V.find("missing"), nullptr);
+}
+
+TEST(Protocol, AsInt64RangeChecks) {
+  bool Ok = false;
+  EXPECT_EQ(parseOk("123").asInt64(Ok), 123);
+  EXPECT_TRUE(Ok);
+  parseOk("1.5").asInt64(Ok);
+  EXPECT_FALSE(Ok);
+  parseOk("1e300").asInt64(Ok);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(Protocol, DecodesEscapesAndSurrogates) {
+  EXPECT_EQ(parseOk("\"a\\n\\t\\\\\\\"\\/\"").asString(), "a\n\t\\\"/");
+  EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9");       // é
+  EXPECT_EQ(parseOk("\"\\u20ac\"").asString(), "\xe2\x82\xac");   // €
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(),
+            "\xf0\x9f\x98\x80"); // 😀 via surrogate pair
+  // Lone surrogates become U+FFFD, never ill-formed UTF-8 or a crash.
+  EXPECT_EQ(parseOk("\"\\ud83dx\"").asString(), "\xef\xbf\xbdx");
+  EXPECT_EQ(parseOk("\"\\ude00\"").asString(), "\xef\xbf\xbd");
+}
+
+TEST(Protocol, ReportsByteOffsets) {
+  EXPECT_NE(parseErr("{\"a\":}").find("byte 5"), std::string::npos);
+  parseErr("");
+  parseErr("{");
+  parseErr("[1,]");
+  parseErr("{\"a\":1,}");
+  parseErr("\"unterminated");
+  parseErr("\"bad \\q escape\"");
+  parseErr("nul");
+  parseErr("1 2"); // Trailing garbage after the document.
+}
+
+TEST(Protocol, EnforcesBudgets) {
+  ProtocolLimits Tight;
+  Tight.MaxDepth = 4;
+  std::string Deep(10, '[');
+  Deep += std::string(10, ']');
+  EXPECT_NE(parseErr(Deep, Tight).find("depth"), std::string::npos);
+  // Exactly at the budget is fine: the meter counts every parser
+  // recursion (the stack is the resource), so the innermost scalar is the
+  // fourth level here.
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(parseJson("[[[1]]]", Tight, V, Error)) << Error;
+  EXPECT_FALSE(parseJson("[[[[1]]]]", Tight, V, Error));
+
+  Tight.MaxStringBytes = 4;
+  EXPECT_NE(parseErr("\"hello world\"", Tight).find("string"),
+            std::string::npos);
+
+  Tight.MaxRequestBytes = 8;
+  parseErr("{\"aaaa\":true}", Tight);
+}
+
+//===----------------------------------------------------------------------===//
+// serve/Protocol: request validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Request requestOk(const std::string &Line) {
+  Request R;
+  std::string Error;
+  EXPECT_TRUE(parseRequest(Line, ProtocolLimits(), R, Error)) << Error;
+  return R;
+}
+
+std::string requestErr(const std::string &Line) {
+  Request R;
+  std::string Error;
+  EXPECT_FALSE(parseRequest(Line, ProtocolLimits(), R, Error))
+      << "input: " << Line;
+  EXPECT_FALSE(Error.empty());
+  return Error;
+}
+
+} // namespace
+
+TEST(Protocol, ParsesAnalyzeRequests) {
+  Request R = requestOk("{\"id\":7,\"method\":\"analyze\",\"params\":"
+                        "{\"source\":\"int x;\",\"name\":\"t.c\","
+                        "\"mono\":true,\"protos\":true}}");
+  EXPECT_TRUE(R.HasId);
+  EXPECT_EQ(R.Id, 7);
+  EXPECT_EQ(R.M, Method::Analyze);
+  EXPECT_TRUE(R.HasSource);
+  EXPECT_EQ(R.Source, "int x;");
+  EXPECT_EQ(R.Name, "t.c");
+  EXPECT_FALSE(R.Polymorphic); // mono:true inverts.
+  EXPECT_TRUE(R.Protos);
+
+  R = requestOk("{\"id\":1,\"method\":\"analyze\",\"params\":"
+                "{\"path\":\"/tmp/x.q\",\"language\":\"lambda\"}}");
+  EXPECT_EQ(R.Path, "/tmp/x.q");
+  EXPECT_EQ(R.Name, "/tmp/x.q"); // Path doubles as the buffer name.
+  EXPECT_EQ(R.Language, "lambda");
+  EXPECT_TRUE(R.Polymorphic);
+}
+
+TEST(Protocol, ParsesControlRequests) {
+  EXPECT_EQ(requestOk("{\"id\":1,\"method\":\"stats\"}").M, Method::Stats);
+  EXPECT_EQ(requestOk("{\"id\":2,\"method\":\"shutdown\"}").M,
+            Method::Shutdown);
+  Request R = requestOk("{\"id\":3,\"method\":\"invalidate\"}");
+  EXPECT_EQ(R.M, Method::Invalidate);
+  EXPECT_TRUE(R.ContentHashHex.empty());
+  R = requestOk("{\"id\":4,\"method\":\"invalidate\",\"params\":"
+                "{\"hash\":\"82d966d0f10b53df\"}}");
+  EXPECT_EQ(R.ContentHashHex, "82d966d0f10b53df");
+}
+
+TEST(Protocol, RejectsIllFormedRequests) {
+  requestErr("[1,2,3]");                               // not an object
+  requestErr("{\"id\":1}");                            // no method
+  requestErr("{\"id\":1,\"method\":\"frobnicate\"}");  // unknown method
+  requestErr("{\"id\":1.5,\"method\":\"stats\"}");     // non-integer id
+  requestErr("{\"id\":1,\"method\":\"analyze\"}");     // no params
+  requestErr("{\"id\":1,\"method\":\"analyze\",\"params\":{}}");
+  requestErr("{\"id\":1,\"method\":\"analyze\",\"params\":"
+             "{\"path\":\"a\",\"source\":\"b\"}}");    // both
+  requestErr("{\"id\":1,\"method\":\"analyze\",\"params\":"
+             "{\"source\":\"x\",\"language\":\"ml\"}}");
+  requestErr("{\"id\":1,\"method\":\"analyze\",\"params\":"
+             "{\"source\":\"x\",\"mono\":\"yes\"}}");  // ill-typed flag
+  requestErr("{\"id\":1,\"method\":\"invalidate\",\"params\":"
+             "{\"hash\":\"xyzzy\"}}");                 // non-hex hash
+  requestErr("{\"id\":1,\"method\":\"invalidate\",\"params\":"
+             "{\"hash\":\"0123456789abcdef0\"}}");     // > 16 digits
+  // The id is still recovered for the error response when readable.
+  Request R;
+  std::string Error;
+  EXPECT_FALSE(parseRequest("{\"id\":9,\"method\":\"nope\"}",
+                            ProtocolLimits(), R, Error));
+  EXPECT_TRUE(R.HasId);
+  EXPECT_EQ(R.Id, 9);
+}
+
+TEST(Protocol, AppendJsonStringRoundTrips) {
+  std::string Payload = "line1\nline\t\"2\"\\ \x01\x1f caf\xc3\xa9";
+  std::string Encoded;
+  appendJsonString(Encoded, Payload);
+  EXPECT_EQ(parseOk(Encoded).asString(), Payload);
+}
+
+//===----------------------------------------------------------------------===//
+// serve/ResultCache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CachedResult result(const std::string &Out, int Exit = 0) {
+  CachedResult R;
+  R.Out = Out;
+  R.ExitCode = Exit;
+  return R;
+}
+
+/// A fresh temp dir removed on scope exit (spill tests).
+class TempDir {
+public:
+  TempDir() {
+    Dir = std::filesystem::temp_directory_path() /
+          ("quals_serve_test_" + std::to_string(::getpid()) + "_" +
+           std::to_string(Counter++));
+    std::filesystem::create_directories(Dir);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec);
+  }
+  std::filesystem::path Dir;
+
+private:
+  static int Counter;
+};
+
+int TempDir::Counter = 0;
+
+} // namespace
+
+TEST(ResultCache, MissInsertHitByteIdentical) {
+  ResultCache Cache;
+  CacheKey K{hashString("int x;"), 0x1234};
+  CachedResult Got;
+  EXPECT_FALSE(Cache.lookup(K, Got));
+  CachedResult Put = result("declared 1\n", 2);
+  Put.Err = "warning: w\n";
+  Cache.insert(K, Put);
+  ASSERT_TRUE(Cache.lookup(K, Got));
+  EXPECT_EQ(Got.Out, Put.Out);
+  EXPECT_EQ(Got.Err, Put.Err);
+  EXPECT_EQ(Got.ExitCode, 2);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+}
+
+TEST(ResultCache, KeyHalvesAreIndependent) {
+  ResultCache Cache;
+  Cache.insert({10, 20}, result("a"));
+  CachedResult Got;
+  EXPECT_FALSE(Cache.lookup({10, 21}, Got));
+  EXPECT_FALSE(Cache.lookup({11, 20}, Got));
+  EXPECT_TRUE(Cache.lookup({10, 20}, Got));
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedByBytes) {
+  // Budget fits ~3 entries of 64+36 bytes payload+overhead.
+  ResultCache Cache(300);
+  Cache.insert({1, 1}, result(std::string(36, 'a')));
+  Cache.insert({2, 1}, result(std::string(36, 'b')));
+  Cache.insert({3, 1}, result(std::string(36, 'c')));
+  CachedResult Got;
+  ASSERT_TRUE(Cache.lookup({1, 1}, Got)); // Refresh 1; 2 is now LRU.
+  Cache.insert({4, 1}, result(std::string(36, 'd')));
+  EXPECT_FALSE(Cache.lookup({2, 1}, Got));
+  EXPECT_TRUE(Cache.lookup({1, 1}, Got));
+  EXPECT_TRUE(Cache.lookup({3, 1}, Got));
+  EXPECT_TRUE(Cache.lookup({4, 1}, Got));
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_LE(Cache.stats().Bytes, 300u);
+}
+
+TEST(ResultCache, OversizedEntryIsNeverCached) {
+  ResultCache Cache(100);
+  Cache.insert({1, 1}, result(std::string(200, 'x')));
+  CachedResult Got;
+  EXPECT_FALSE(Cache.lookup({1, 1}, Got));
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+TEST(ResultCache, ZeroBudgetDisablesCaching) {
+  ResultCache Cache(0);
+  Cache.insert({1, 1}, result("x"));
+  CachedResult Got;
+  EXPECT_FALSE(Cache.lookup({1, 1}, Got));
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+TEST(ResultCache, InvalidateContentDropsEveryConfig) {
+  ResultCache Cache;
+  Cache.insert({7, 1}, result("a"));
+  Cache.insert({7, 2}, result("b")); // Same source, different config.
+  Cache.insert({8, 1}, result("c"));
+  EXPECT_EQ(Cache.invalidateContent(7), 2u);
+  CachedResult Got;
+  EXPECT_FALSE(Cache.lookup({7, 1}, Got));
+  EXPECT_FALSE(Cache.lookup({7, 2}, Got));
+  EXPECT_TRUE(Cache.lookup({8, 1}, Got));
+  EXPECT_EQ(Cache.invalidateAll(), 1u);
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+TEST(ResultCache, SpillSurvivesRestart) {
+  TempDir T;
+  CacheKey K{hashString("prog"), 99};
+  CachedResult Put = result("out bytes\n", 2);
+  Put.Err = "err bytes\n";
+  {
+    ResultCache Cache(1 << 20, T.Dir.string());
+    Cache.insert(K, Put);
+    EXPECT_EQ(Cache.stats().SpillWrites, 1u);
+  }
+  // "Restart": a fresh cache over the same directory.
+  ResultCache Cache(1 << 20, T.Dir.string());
+  CachedResult Got;
+  ASSERT_TRUE(Cache.lookup(K, Got));
+  EXPECT_EQ(Got.Out, Put.Out);
+  EXPECT_EQ(Got.Err, Put.Err);
+  EXPECT_EQ(Got.ExitCode, 2);
+  EXPECT_EQ(Cache.stats().SpillLoads, 1u);
+  // Now in memory: a second lookup does not touch disk again.
+  ASSERT_TRUE(Cache.lookup(K, Got));
+  EXPECT_EQ(Cache.stats().SpillLoads, 1u);
+}
+
+TEST(ResultCache, SpillRejectsCorruptAndTruncatedFiles) {
+  TempDir T;
+  CacheKey K{42, 43};
+  {
+    ResultCache Cache(1 << 20, T.Dir.string());
+    Cache.insert(K, result("payload"));
+  }
+  ASSERT_EQ(std::distance(std::filesystem::directory_iterator(T.Dir),
+                          std::filesystem::directory_iterator()), 1);
+  std::filesystem::path Entry =
+      *std::filesystem::directory_iterator(T.Dir);
+  // Truncate mid-payload.
+  std::filesystem::resize_file(Entry, 10);
+  {
+    ResultCache Cache(1 << 20, T.Dir.string());
+    CachedResult Got;
+    EXPECT_FALSE(Cache.lookup(K, Got));
+    // The corrupt file was deleted, not left to fail forever.
+    EXPECT_FALSE(std::filesystem::exists(Entry));
+  }
+  // Garbage magic.
+  {
+    std::ofstream Out(Entry, std::ios::binary);
+    Out << "NOTQSDC garbage that is long enough to cover a header maybe";
+  }
+  ResultCache Cache(1 << 20, T.Dir.string());
+  CachedResult Got;
+  EXPECT_FALSE(Cache.lookup(K, Got));
+  EXPECT_FALSE(std::filesystem::exists(Entry));
+}
+
+TEST(ResultCache, InvalidateAlsoClearsSpill) {
+  TempDir T;
+  ResultCache Cache(1 << 20, T.Dir.string());
+  Cache.insert({1, 1}, result("a"));
+  Cache.insert({1, 2}, result("b"));
+  Cache.insert({2, 1}, result("c"));
+  Cache.invalidateContent(1);
+  EXPECT_EQ(std::distance(std::filesystem::directory_iterator(T.Dir),
+                          std::filesystem::directory_iterator()), 1);
+  Cache.invalidateAll();
+  EXPECT_EQ(std::distance(std::filesystem::directory_iterator(T.Dir),
+                          std::filesystem::directory_iterator()), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// serve/Pipelines
+//===----------------------------------------------------------------------===//
+
+TEST(Pipelines, RunsAreDeterministic) {
+  AnalyzeJob Job;
+  Job.Name = "t.c";
+  Job.Source = "int deref(int *p) { return *p; }";
+  Job.Language = "c";
+  CachedResult A, B;
+  runAnalysis(Job, A);
+  runAnalysis(Job, B);
+  EXPECT_EQ(A.Out, B.Out);
+  EXPECT_EQ(A.Err, B.Err);
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.ExitCode, 0);
+  EXPECT_NE(A.Out.find("possible-const"), std::string::npos);
+}
+
+TEST(Pipelines, ReportsFrontEndErrorsAsExitOne) {
+  AnalyzeJob Job;
+  Job.Name = "bad.c";
+  Job.Source = "int f( {";
+  CachedResult R;
+  runAnalysis(Job, R);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Err.find("bad.c"), std::string::npos);
+}
+
+TEST(Pipelines, LambdaPipelineMatchesLanguage) {
+  AnalyzeJob Job;
+  Job.Name = "t.q";
+  Job.Source = "let x = ref 1 in !x ni";
+  Job.Language = "lambda";
+  CachedResult R;
+  runAnalysis(Job, R);
+  EXPECT_EQ(R.ExitCode, 0) << R.Err;
+  EXPECT_NE(R.Out.find("qualified type"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// serve/Server end-to-end
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs one request stream through a fresh server; returns the response
+/// bytes (and asserts the exit code).
+std::string serveStream(const std::string &Requests, ServerConfig Config = {},
+                  int ExpectExit = 0) {
+  Server S(Config);
+  std::istringstream In(Requests);
+  std::ostringstream Out;
+  EXPECT_EQ(S.run(In, Out), ExpectExit);
+  return Out.str();
+}
+
+} // namespace
+
+TEST(Server, WarmResponseIsByteIdenticalToCold) {
+  std::string Req = "{\"id\":1,\"method\":\"analyze\",\"params\":"
+                    "{\"source\":\"int f(int *p) { return *p; }\","
+                    "\"name\":\"t.c\"}}\n";
+  ServerConfig Config;
+  Server S(Config);
+  std::istringstream In1(Req), In2(Req);
+  std::ostringstream Out1, Out2;
+  EXPECT_EQ(S.run(In1, Out1), 0);
+  EXPECT_EQ(S.run(In2, Out2), 0); // Second stream hits the warm cache.
+  EXPECT_EQ(Out1.str(), Out2.str());
+  EXPECT_EQ(S.cache().stats().Hits, 1u);
+  EXPECT_EQ(S.cache().stats().Misses, 1u);
+}
+
+TEST(Server, ResponsesStayInRequestOrderAtEveryWorkerCount) {
+  // Distinct sources so nothing is answered from cache; the -j4 stream
+  // must still equal the -j1 stream byte for byte.
+  std::string Req;
+  for (int I = 0; I != 24; ++I)
+    Req += "{\"id\":" + std::to_string(I) +
+           ",\"method\":\"analyze\",\"params\":{\"source\":"
+           "\"int v" + std::to_string(I) + ";\",\"name\":\"t.c\"}}\n";
+  ServerConfig C1, C4;
+  C1.Jobs = 1;
+  C4.Jobs = 4;
+  std::string R1 = serveStream(Req, C1), R4 = serveStream(Req, C4);
+  EXPECT_EQ(R1, R4);
+  // Sanity: ids appear in order in the response stream.
+  size_t Pos = 0;
+  for (int I = 0; I != 24; ++I) {
+    size_t At = R1.find("{\"id\":" + std::to_string(I) + ",", Pos);
+    ASSERT_NE(At, std::string::npos) << "id " << I;
+    Pos = At;
+  }
+}
+
+TEST(Server, MalformedLinesGetErrorResponsesAndServiceContinues) {
+  std::string Out = serveStream("this is not json\n"
+                          "{\"id\":2,\"method\":\"nope\"}\n"
+                          "\n" // Blank keep-alive line: no response.
+                          "{\"id\":3,\"method\":\"stats\"}\n");
+  EXPECT_NE(Out.find("{\"id\":null,\"ok\":false"), std::string::npos);
+  EXPECT_NE(Out.find("{\"id\":2,\"ok\":false"), std::string::npos);
+  EXPECT_NE(Out.find("{\"id\":3,\"ok\":true"), std::string::npos);
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 3);
+}
+
+TEST(Server, OverLongLineIsConsumedNotFatal) {
+  ServerConfig Config;
+  Config.ProtoLim.MaxRequestBytes = 128;
+  std::string Long(1024, 'x');
+  std::string Out = serveStream(Long + "\n{\"id\":2,\"method\":\"stats\"}\n",
+                          Config);
+  EXPECT_NE(Out.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(Out.find("{\"id\":2,\"ok\":true"), std::string::npos);
+}
+
+TEST(Server, AnalyzeReadsFilesAndReportsMissingOnes) {
+  TempDir T;
+  std::string Path = (T.Dir / "prog.c").string();
+  {
+    std::ofstream F(Path, std::ios::binary);
+    F << "int g(int *p) { return *p; }\n";
+  }
+  std::string Out = serveStream(
+      "{\"id\":1,\"method\":\"analyze\",\"params\":{\"path\":\"" + Path +
+      "\"}}\n"
+      "{\"id\":2,\"method\":\"analyze\",\"params\":{\"path\":\"" + Path +
+      ".missing\"}}\n");
+  EXPECT_NE(Out.find("{\"id\":1,\"ok\":true,\"exit\":0"),
+            std::string::npos);
+  EXPECT_NE(Out.find("{\"id\":2,\"ok\":false"), std::string::npos);
+  EXPECT_NE(Out.find("cannot read"), std::string::npos);
+}
+
+TEST(Server, InvalidateByHashDropsAllConfigsOfThatSource) {
+  ServerConfig Config;
+  Server S(Config);
+  // Analyze the same bytes under two configs, then invalidate by the hash
+  // the response reported.
+  std::string Src = "int h(int *p) { return *p; }";
+  char HashHex[32];
+  std::snprintf(HashHex, sizeof(HashHex), "%016llx",
+                static_cast<unsigned long long>(hashString(Src)));
+  std::istringstream In(
+      "{\"id\":1,\"method\":\"analyze\",\"params\":{\"source\":\"" + Src +
+      "\",\"name\":\"a.c\"}}\n"
+      "{\"id\":2,\"method\":\"analyze\",\"params\":{\"source\":\"" + Src +
+      "\",\"name\":\"a.c\",\"mono\":true}}\n"
+      "{\"id\":3,\"method\":\"invalidate\",\"params\":{\"hash\":\"" +
+      std::string(HashHex) + "\"}}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(S.run(In, Out), 0);
+  EXPECT_NE(Out.str().find("\"hash\":\"" + std::string(HashHex) + "\""),
+            std::string::npos);
+  EXPECT_NE(Out.str().find("{\"id\":3,\"ok\":true,\"dropped\":2}"),
+            std::string::npos);
+  EXPECT_EQ(S.cache().stats().Entries, 0u);
+}
+
+TEST(Server, ShutdownAnswersThenStops) {
+  std::string Out = serveStream("{\"id\":1,\"method\":\"shutdown\"}\n"
+                          "{\"id\":2,\"method\":\"stats\"}\n");
+  EXPECT_EQ(Out, "{\"id\":1,\"ok\":true}\n"); // Nothing after shutdown.
+}
+
+TEST(Server, MakeErrorResponseShapes) {
+  EXPECT_EQ(makeErrorResponse(true, 5, "boom"),
+            "{\"id\":5,\"ok\":false,\"error\":\"boom\"}\n");
+  EXPECT_EQ(makeErrorResponse(false, 0, "x\"y"),
+            "{\"id\":null,\"ok\":false,\"error\":\"x\\\"y\"}\n");
+}

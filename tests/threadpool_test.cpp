@@ -76,6 +76,48 @@ TEST(ThreadPool, DestructorDrainsRemainingQueue) {
   EXPECT_EQ(Ran.load(), 64);
 }
 
+TEST(ThreadPool, DestructorRunsTasksEnqueuedDuringShutdown) {
+  // The shutdown race the server relies on: a still-running task enqueues a
+  // follow-up while the destructor has already set Stop and other workers
+  // have exited on an empty queue. enqueue() promises the follow-up runs;
+  // the destructor drains such stragglers inline after joining.
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 16; ++I)
+      Pool.enqueue([&Pool, &Ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        Ran.fetch_add(1);
+        Pool.enqueue([&Pool, &Ran] {
+          Ran.fetch_add(1);
+          // Third link: enqueued by a task that may itself already be
+          // running on the destructor's inline drain loop.
+          Pool.enqueue([&Ran] { Ran.fetch_add(1); });
+        });
+      });
+    // No wait(): destruction races the chain on purpose.
+  }
+  EXPECT_EQ(Ran.load(), 48);
+}
+
+TEST(ThreadPool, ParallelForEachEmptyRangeWithBusyPool) {
+  // An empty range must return immediately without enqueuing pump tasks,
+  // even while unrelated tasks keep the workers busy (the server calls
+  // parallelForEach-style helpers with request-derived counts, which can
+  // legitimately be zero).
+  ThreadPool Pool(2);
+  std::atomic<int> Background{0};
+  for (int I = 0; I != 32; ++I)
+    Pool.enqueue([&Background] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      Background.fetch_add(1);
+    });
+  for (int I = 0; I != 8; ++I)
+    Pool.parallelForEach(0, [](size_t) { FAIL() << "no indices exist"; });
+  Pool.wait();
+  EXPECT_EQ(Background.load(), 32);
+}
+
 TEST(ThreadPool, WaitIsReusableBetweenBatches) {
   std::atomic<int> Ran{0};
   ThreadPool Pool(3);

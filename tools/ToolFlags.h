@@ -1,0 +1,178 @@
+//===- tools/ToolFlags.h - Shared CLI plumbing for all tools ----*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flag plumbing shared by qualcc, qualcheck, qualgen, and qualsd --
+/// previously duplicated across each tool's main(): the observability
+/// session (ObsFlags.h), the resource budgets (LimitFlags.h), the jobs
+/// flag (BatchDriver.h parsing), and consistent --help/--version output.
+///
+/// Each tool constructs one ToolFlags with its name and usage text, feeds
+/// every argv element through parseCommon() first, and handles only its
+/// own flags. parseCommon() recognizes:
+///
+///   -jN, -j N, --jobs=N, --jobs N    worker count (docs/PARALLEL.md)
+///   --trace-out=<file>               Chrome trace of the pipeline phases
+///   --metrics[=table|json]           per-phase metrics on exit
+///   --limit-errors=N --limit-depth=N --limit-constraints=N
+///   --limit-arena-mb=N               resource budgets (docs/ROBUSTNESS.md)
+///   --help                           usage to stdout, exit 0
+///   --version                        "<tool> (libquals) <version>", exit 0
+///
+/// After parsing, exitNow() says whether --help/--version/a malformed value
+/// asked the tool to stop, and activate() arms the observability sinks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_TOOLS_TOOLFLAGS_H
+#define QUALS_TOOLS_TOOLFLAGS_H
+
+#include "BatchDriver.h"
+#include "LimitFlags.h"
+#include "ObsFlags.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace quals {
+
+/// The project version reported by every tool's --version. One constant so
+/// the four tools can never drift apart.
+#define QUALS_VERSION_STRING "0.5.0"
+
+/// Shared flag state for one tool invocation; see the file comment.
+class ToolFlags {
+public:
+  /// \p Tool is the binary name for messages; \p Operands names the
+  /// positional arguments for the usage line (e.g. "file.c...
+  /// [@response-file]"); \p OptionsHelp is the tool-specific options block
+  /// printed by --help (one "  --flag  description" line each, newline
+  /// terminated; may be empty).
+  ToolFlags(const char *Tool, const char *Operands, const char *OptionsHelp)
+      : Tool(Tool), Operands(Operands), OptionsHelp(OptionsHelp) {}
+
+  /// Feeds one argv element through every shared parser. Returns true when
+  /// the argument was consumed (advance and check exitNow()); false means
+  /// the tool should try its own flags next.
+  bool parseCommon(int argc, char **argv, int &I) {
+    const char *Arg = argv[I];
+    std::string Error;
+    bool ConsumedNext = false;
+    if (!std::strcmp(Arg, "--help")) {
+      printHelp(stdout);
+      Exit = true;
+      return true;
+    }
+    if (!std::strcmp(Arg, "--version")) {
+      std::fprintf(stdout, "%s (libquals) %s\n", Tool,
+                   QUALS_VERSION_STRING);
+      Exit = true;
+      return true;
+    }
+    if (batch::parseJobsFlag(Arg, I + 1 < argc ? argv[I + 1] : nullptr,
+                             JobsValue, ConsumedNext, Error)) {
+      if (!Error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", Tool, Error.c_str());
+        Exit = true;
+        Status = 1;
+        return true;
+      }
+      I += ConsumedNext;
+      JobsFlagSeen = true;
+      return true;
+    }
+    if (Obs.parseFlag(Arg)) {
+      if (Obs.badFlag()) {
+        Exit = true;
+        Status = 1;
+      }
+      return true;
+    }
+    if (LimitsCli.parseFlag(Arg)) {
+      if (LimitsCli.badFlag()) {
+        Exit = true;
+        Status = 1;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Prints "unknown/invalid argument" usage to stderr; returns exit code 1
+  /// for the tool to return.
+  int usageError(const char *BadArg) {
+    std::fprintf(stderr, "%s: unrecognized argument '%s'\n", Tool, BadArg);
+    printUsageLine(stderr);
+    std::fprintf(stderr, "run '%s --help' for the full option list\n", Tool);
+    return 1;
+  }
+
+  /// Prints an arbitrary error plus the usage line; returns exit code 1.
+  int fail(const std::string &Message) {
+    std::fprintf(stderr, "%s: %s\n", Tool, Message.c_str());
+    return 1;
+  }
+
+  /// True when --help/--version/a malformed shared flag ends the run;
+  /// return exitStatus() from main() immediately.
+  bool exitNow() const { return Exit; }
+  int exitStatus() const { return Status; }
+
+  /// The -j/--jobs value (1 when never given) and whether it was given.
+  unsigned jobs() const { return JobsValue; }
+  bool jobsSeen() const { return JobsFlagSeen; }
+
+  /// The --limit-* budgets for every analysis context.
+  const Limits &limits() const { return LimitsCli.limits(); }
+
+  /// Arms the observability sinks; call once after flag parsing. The
+  /// ObsSession member flushes them on every main() exit path.
+  void activate() { Obs.activate(); }
+
+private:
+  void printUsageLine(std::FILE *To) {
+    std::fprintf(To, "usage: %s [options] %s\n", Tool, Operands);
+  }
+
+  void printHelp(std::FILE *To) {
+    printUsageLine(To);
+    if (OptionsHelp && *OptionsHelp)
+      std::fprintf(To, "\n%s options:\n%s", Tool, OptionsHelp);
+    std::fprintf(To,
+                 "\ncommon options:\n"
+                 "  -jN, --jobs N           run on N pool workers "
+                 "(docs/PARALLEL.md)\n"
+                 "  --trace-out=<file>      write a Chrome trace of the "
+                 "pipeline phases\n"
+                 "  --metrics[=table|json]  print collected metrics on "
+                 "exit\n"
+                 "  --limit-errors=N        errors before bailout "
+                 "(docs/ROBUSTNESS.md)\n"
+                 "  --limit-depth=N         parser/type recursion depth\n"
+                 "  --limit-constraints=N   qualifier constraints per "
+                 "system\n"
+                 "  --limit-arena-mb=N      arena megabytes per analysis "
+                 "context\n"
+                 "  --help                  this list\n"
+                 "  --version               print the tool version\n");
+  }
+
+  const char *Tool;
+  const char *Operands;
+  const char *OptionsHelp;
+  ObsSession Obs;
+  LimitFlags LimitsCli;
+  unsigned JobsValue = 1;
+  bool JobsFlagSeen = false;
+  bool Exit = false;
+  int Status = 0;
+};
+
+} // namespace quals
+
+#endif // QUALS_TOOLS_TOOLFLAGS_H

@@ -39,8 +39,7 @@
 #include "support/Timer.h"
 
 #include "BatchDriver.h"
-#include "LimitFlags.h"
-#include "ObsFlags.h"
+#include "ToolFlags.h"
 
 #include <cstdio>
 #include <cstring>
@@ -191,18 +190,30 @@ static void analyzeUnit(const std::vector<std::string> &Paths,
   }
 }
 
+static const char *kOptionsHelp =
+    "  --mono          monomorphic inference (default: polymorphic)\n"
+    "  --protos        print annotated prototypes (const where allowed)\n"
+    "  --positions     print the per-position classification\n"
+    "  --nonnull       also run the flow-insensitive nonnull checker\n"
+    "  --flow-nonnull  also run the flow-sensitive (Section 6) checker\n"
+    "  --stats         print a solver statistics table\n"
+    "  --no-collapse   disable solver cycle collapsing (ablation)\n"
+    "  --batch         analyze each file as its own translation unit\n"
+    "                  (implied by -jN; parallelism is per unit)\n"
+    "  --quiet         counts only\n";
+
 int main(int argc, char **argv) {
   QualccOptions Opts;
   bool Batch = false;
-  unsigned Jobs = 1;
   std::vector<std::string> Files;
-  ObsSession Obs;
-  LimitFlags LimitsCli;
+  ToolFlags Common("qualcc", "file.c... [@response-file]", kOptionsHelp);
 
   for (int I = 1; I != argc; ++I) {
     std::string Error;
-    bool ConsumedNext = false;
-    if (!std::strcmp(argv[I], "--mono"))
+    if (Common.parseCommon(argc, argv, I)) {
+      if (Common.exitNow())
+        return Common.exitStatus();
+    } else if (!std::strcmp(argv[I], "--mono"))
       Opts.Polymorphic = false;
     else if (!std::strcmp(argv[I], "--protos"))
       Opts.PrintProtos = true;
@@ -220,41 +231,17 @@ int main(int argc, char **argv) {
       Batch = true;
     else if (!std::strcmp(argv[I], "--quiet"))
       Opts.Quiet = true;
-    else if (batch::parseJobsFlag(argv[I], I + 1 < argc ? argv[I + 1] : nullptr,
-                                  Jobs, ConsumedNext, Error)) {
-      if (!Error.empty()) {
-        std::fprintf(stderr, "qualcc: %s\n", Error.c_str());
-        return 1;
-      }
-      I += ConsumedNext;
-      Batch = true; // Parallelism is per translation unit.
-    } else if (Obs.parseFlag(argv[I])) {
-      if (Obs.badFlag())
-        return 1;
-    } else if (LimitsCli.parseFlag(argv[I])) {
-      if (LimitsCli.badFlag())
-        return 1;
-    } else if (!std::strcmp(argv[I], "--help") || argv[I][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: qualcc [--mono] [--protos] [--positions] "
-                   "[--nonnull] [--flow-nonnull] [--stats] [--no-collapse] "
-                   "[--batch] [-jN] [--trace-out=file] "
-                   "[--metrics[=table|json]] "
-                   "[--limit-errors=N] [--limit-depth=N] "
-                   "[--limit-constraints=N] [--limit-arena-mb=N] "
-                   "[--quiet] file.c... [@response-file]\n");
-      return argv[I][1] == 'h' ? 0 : 1;
-    } else if (!batch::expandArg(argv[I], Files, Error)) {
-      std::fprintf(stderr, "qualcc: %s\n", Error.c_str());
-      return 1;
-    }
+    else if (argv[I][0] == '-')
+      return Common.usageError(argv[I]);
+    else if (!batch::expandArg(argv[I], Files, Error))
+      return Common.fail(Error);
   }
-  if (Files.empty()) {
-    std::fprintf(stderr, "qualcc: no input files\n");
-    return 1;
-  }
-  Opts.Lim = LimitsCli.limits();
-  Obs.activate();
+  if (Files.empty())
+    return Common.fail("no input files");
+  Batch |= Common.jobsSeen(); // Parallelism is per translation unit.
+  unsigned Jobs = Common.jobs();
+  Opts.Lim = Common.limits();
+  Common.activate();
 
   if (!Batch) {
     // Whole-program mode (the paper's setup): every file is one linked

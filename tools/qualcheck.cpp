@@ -33,8 +33,7 @@
 #include "lambda/QualInfer.h"
 
 #include "BatchDriver.h"
-#include "LimitFlags.h"
-#include "ObsFlags.h"
+#include "ToolFlags.h"
 
 #include <cstdio>
 #include <cstring>
@@ -171,17 +170,26 @@ static void checkOneFile(const std::string &Path, const CheckOptions &Opts,
   }
 }
 
+static const char *kOptionsHelp =
+    "  --mono        monomorphic qualifier inference (default: "
+    "polymorphic)\n"
+    "  --run         evaluate under the Figure 5 semantics after checking\n"
+    "  --trace       with --run, print every reduction step\n"
+    "  --stats       print a solver statistics table after the check\n"
+    "  --quals spec  comma-separated qualifier spec, name[:neg]\n"
+    "                (default: \"const,nonzero:neg,dynamic,tainted\")\n";
+
 int main(int argc, char **argv) {
   CheckOptions Opts;
-  unsigned Jobs = 1;
   std::vector<std::string> Files;
-  ObsSession Obs;
-  LimitFlags LimitsCli;
+  ToolFlags Common("qualcheck", "file.q... [@response-file]", kOptionsHelp);
 
   for (int I = 1; I != argc; ++I) {
     std::string Error;
-    bool ConsumedNext = false;
-    if (!std::strcmp(argv[I], "--mono"))
+    if (Common.parseCommon(argc, argv, I)) {
+      if (Common.exitNow())
+        return Common.exitStatus();
+    } else if (!std::strcmp(argv[I], "--mono"))
       Opts.Polymorphic = false;
     else if (!std::strcmp(argv[I], "--run"))
       Opts.Run = true;
@@ -191,38 +199,16 @@ int main(int argc, char **argv) {
       Opts.PrintStats = true;
     else if (!std::strcmp(argv[I], "--quals") && I + 1 < argc)
       Opts.QualSpec = argv[++I];
-    else if (batch::parseJobsFlag(argv[I], I + 1 < argc ? argv[I + 1] : nullptr,
-                                  Jobs, ConsumedNext, Error)) {
-      if (!Error.empty()) {
-        std::fprintf(stderr, "qualcheck: %s\n", Error.c_str());
-        return 1;
-      }
-      I += ConsumedNext;
-    } else if (Obs.parseFlag(argv[I])) {
-      if (Obs.badFlag())
-        return 1;
-    } else if (LimitsCli.parseFlag(argv[I])) {
-      if (LimitsCli.badFlag())
-        return 1;
-    } else if (argv[I][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: qualcheck [--mono] [--run] [--trace] [--stats] "
-                   "[-jN] [--trace-out=file] [--metrics[=table|json]] "
-                   "[--limit-errors=N] [--limit-depth=N] "
-                   "[--limit-constraints=N] [--limit-arena-mb=N] "
-                   "[--quals spec] file.q... [@response-file]\n");
-      return std::strcmp(argv[I], "--help") ? 1 : 0;
-    } else if (!batch::expandArg(argv[I], Files, Error)) {
-      std::fprintf(stderr, "qualcheck: %s\n", Error.c_str());
-      return 1;
-    }
+    else if (argv[I][0] == '-')
+      return Common.usageError(argv[I]);
+    else if (!batch::expandArg(argv[I], Files, Error))
+      return Common.fail(Error);
   }
-  if (Files.empty()) {
-    std::fprintf(stderr, "qualcheck: no input file\n");
-    return 1;
-  }
-  Opts.Lim = LimitsCli.limits();
-  Obs.activate();
+  if (Files.empty())
+    return Common.fail("no input file");
+  unsigned Jobs = Common.jobs();
+  Opts.Lim = Common.limits();
+  Common.activate();
 
   batch::BatchConfig Config;
   Config.Jobs = Jobs;

@@ -36,8 +36,7 @@
 #include "gen/SynthGen.h"
 
 #include "BatchDriver.h"
-#include "LimitFlags.h"
-#include "ObsFlags.h"
+#include "ToolFlags.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +67,14 @@ static void generateOneFile(const std::string &Path, unsigned Index,
   }
 }
 
+static const char *kOptionsHelp =
+    "  --lines N        approximate program size in lines (default 2000)\n"
+    "  --seed S         PRNG seed; every output is a pure function of it\n"
+    "  --const-rate R   fraction of declarations spelled const\n"
+    "  --writer-rate R  fraction of functions that write through pointers\n"
+    "  --corpus N       emit N programs corpus_0000.c.. into --out-dir\n"
+    "  --out-dir DIR    corpus destination directory (default \".\")\n";
+
 int main(int argc, char **argv) {
   unsigned Lines = 2000;
   uint64_t Seed = 1;
@@ -75,17 +82,16 @@ int main(int argc, char **argv) {
   unsigned Corpus = 0;
   std::string OutDir = ".";
   bool HaveOutDir = false;
-  unsigned Jobs = 1;
   std::vector<std::string> OutFiles;
-  ObsSession Obs;
-  // The generator parses no input, so the budgets are never consulted; the
-  // flags are still accepted so scripted pipelines can pass one --limit-*
-  // set to every tool uniformly.
-  LimitFlags LimitsCli;
+  // The generator parses no input, so the --limit-* budgets are never
+  // consulted; the flags are still accepted so scripted pipelines can pass
+  // one --limit-* set to every tool uniformly.
+  ToolFlags Common("qualgen", "[out.c...]", kOptionsHelp);
   for (int I = 1; I != argc; ++I) {
-    std::string Error;
-    bool ConsumedNext = false;
-    if (!std::strcmp(argv[I], "--lines") && I + 1 < argc)
+    if (Common.parseCommon(argc, argv, I)) {
+      if (Common.exitNow())
+        return Common.exitStatus();
+    } else if (!std::strcmp(argv[I], "--lines") && I + 1 < argc)
       Lines = std::strtoul(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
       Seed = std::strtoull(argv[++I], nullptr, 10);
@@ -98,45 +104,18 @@ int main(int argc, char **argv) {
     else if (!std::strcmp(argv[I], "--out-dir") && I + 1 < argc) {
       OutDir = argv[++I];
       HaveOutDir = true;
-    } else if (batch::parseJobsFlag(argv[I],
-                                    I + 1 < argc ? argv[I + 1] : nullptr,
-                                    Jobs, ConsumedNext, Error)) {
-      if (!Error.empty()) {
-        std::fprintf(stderr, "qualgen: %s\n", Error.c_str());
-        return 1;
-      }
-      I += ConsumedNext;
-    } else if (Obs.parseFlag(argv[I])) {
-      if (Obs.badFlag())
-        return 1;
-    } else if (LimitsCli.parseFlag(argv[I])) {
-      if (LimitsCli.badFlag())
-        return 1;
-    } else if (argv[I][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: qualgen [--lines N] [--seed S] "
-                   "[--const-rate R] [--writer-rate R] "
-                   "[--corpus N [--out-dir DIR]] [-jN] "
-                   "[--trace-out=file] [--metrics[=table|json]] "
-                   "[--limit-errors=N] [--limit-depth=N] "
-                   "[--limit-constraints=N] [--limit-arena-mb=N] "
-                   "[out.c...]\n");
-      return std::strcmp(argv[I], "--help") ? 1 : 0;
-    } else {
+    } else if (argv[I][0] == '-')
+      return Common.usageError(argv[I]);
+    else
       OutFiles.push_back(argv[I]);
-    }
   }
-  if (Corpus && !OutFiles.empty()) {
-    std::fprintf(stderr,
-                 "qualgen: --corpus and positional output files are "
-                 "mutually exclusive\n");
-    return 1;
-  }
-  if (HaveOutDir && !Corpus) {
-    std::fprintf(stderr, "qualgen: --out-dir requires --corpus\n");
-    return 1;
-  }
-  Obs.activate();
+  unsigned Jobs = Common.jobs();
+  if (Corpus && !OutFiles.empty())
+    return Common.fail(
+        "--corpus and positional output files are mutually exclusive");
+  if (HaveOutDir && !Corpus)
+    return Common.fail("--out-dir requires --corpus");
+  Common.activate();
 
   if (Corpus) {
     std::error_code Ec;

@@ -1,0 +1,79 @@
+//===- tools/qualsd.cpp - Persistent analysis daemon -----------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving-layer artifact of the ROADMAP's north star: where qualcc
+// re-pays the full analysis price on every invocation, qualsd stays
+// resident, accepts newline-delimited JSON requests on stdin, and answers
+// on stdout from a content-addressed result cache -- repeated analysis of
+// unchanged inputs costs a hash and a lookup instead of a pipeline run.
+//
+//   qualsd [options] < requests.ndjson
+//
+//   --cache-mb=N    in-memory result-cache budget in MiB (default 64;
+//                   0 disables caching entirely)
+//   --cache-dir=D   spill results to D so warm state survives restarts
+//   -jN, --jobs N   analyze requests on N pool workers; responses stay in
+//                   request order for every N (docs/PARALLEL.md)
+//
+// plus the shared observability/limit flags (tools/ToolFlags.h). The
+// protocol -- analyze / invalidate / stats / shutdown -- cache keying, and
+// eviction policy are specified in docs/SERVER.md.
+//
+// Exit status: 0 on clean shutdown or end of input; 1 on bad arguments.
+// Per-request analysis failures are reported in responses, never as
+// process exit (a hostile request must not take the daemon down).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "ToolFlags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace quals;
+using namespace quals::serve;
+
+static const char *kOptionsHelp =
+    "  --cache-mb=N   in-memory result-cache budget in MiB (default 64;\n"
+    "                 0 disables caching)\n"
+    "  --cache-dir=D  spill cached results to directory D (restart-warm)\n";
+
+int main(int argc, char **argv) {
+  ServerConfig Config;
+  ToolFlags Common("qualsd", "< requests.ndjson", kOptionsHelp);
+
+  for (int I = 1; I != argc; ++I) {
+    if (Common.parseCommon(argc, argv, I)) {
+      if (Common.exitNow())
+        return Common.exitStatus();
+    } else if (!std::strncmp(argv[I], "--cache-mb=", 11)) {
+      const char *Digits = argv[I] + 11;
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Digits, &End, 10);
+      if (*Digits == '\0' || *End != '\0' || N > (1ull << 20))
+        return Common.fail(std::string("bad --cache-mb value '") + Digits +
+                           "' (want MiB in [0, 1048576])");
+      Config.CacheMaxBytes = static_cast<uint64_t>(N) << 20;
+    } else if (!std::strncmp(argv[I], "--cache-dir=", 12)) {
+      Config.SpillDir = argv[I] + 12;
+      if (Config.SpillDir.empty())
+        return Common.fail("--cache-dir= requires a directory");
+    } else {
+      return Common.usageError(argv[I]);
+    }
+  }
+  Config.Jobs = Common.jobs();
+  Config.Lim = Common.limits();
+  Common.activate();
+
+  Server S(Config);
+  return S.run(std::cin, std::cout);
+}

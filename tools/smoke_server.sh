@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# smoke_server.sh - end-to-end exercise of the qualsd analysis server.
+#
+#   smoke_server.sh <qualsd-binary> <qualcc-binary> <programs-dir>
+#
+# Asserts the serving guarantees (docs/SERVER.md) over the real binary:
+# (a) warm answers are byte-identical to cold ones -- within one process
+# (in-memory cache), across a restart (--cache-dir spill), and at every
+# worker count; (b) the cache is genuinely hit, visible both in the `stats`
+# response and in --metrics=json counters (JSON validation skipped without
+# python3); (c) a `shutdown` request stops the daemon with exit 0 and
+# nothing after its response; (d) a served analyze matches what qualcc
+# prints for the same file. Wired into ctest as cli.smoke_server by
+# tools/CMakeLists.txt.
+
+set -euo pipefail
+
+if [ $# -ne 3 ]; then
+    echo "usage: $0 <qualsd> <qualcc> <programs-dir>" >&2
+    exit 2
+fi
+
+QUALSD=$1
+QUALCC=$2
+PROGRAMS=$3
+FAILED=0
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# --- request stream over the example corpus ------------------------------
+REQS="$WORKDIR/requests.ndjson"
+: >"$REQS"
+ID=0
+NREQ=0
+for F in "$PROGRAMS"/*.c "$PROGRAMS"/*.q; do
+    [ -e "$F" ] || continue
+    case "$F" in
+        *.q) LANG_FIELD=',"language":"lambda"' ;;
+        *)   LANG_FIELD='' ;;
+    esac
+    ID=$((ID + 1))
+    printf '{"id":%d,"method":"analyze","params":{"path":"%s"%s}}\n' \
+        "$ID" "$F" "$LANG_FIELD" >>"$REQS"
+    NREQ=$((NREQ + 1))
+done
+if [ "$NREQ" -lt 3 ]; then
+    echo "FAIL: need at least three example programs in $PROGRAMS" >&2
+    exit 2
+fi
+
+# --- (a1) in-process warm hits: same stream twice, one daemon ------------
+cat "$REQS" "$REQS" >"$WORKDIR/doubled.ndjson"
+STATUS=0
+"$QUALSD" <"$WORKDIR/doubled.ndjson" >"$WORKDIR/doubled.out" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: qualsd exited $STATUS on end of input" >&2
+    FAILED=1
+fi
+head -n "$NREQ" "$WORKDIR/doubled.out" >"$WORKDIR/cold.out"
+tail -n "$NREQ" "$WORKDIR/doubled.out" >"$WORKDIR/warm.out"
+if ! cmp -s "$WORKDIR/cold.out" "$WORKDIR/warm.out"; then
+    echo "FAIL: warm responses differ from cold (in-memory cache)" >&2
+    diff "$WORKDIR/cold.out" "$WORKDIR/warm.out" | head >&2 || true
+    FAILED=1
+fi
+
+# --- (a2) restart-warm via --cache-dir spill -----------------------------
+"$QUALSD" --cache-dir="$WORKDIR/spill" <"$REQS" >"$WORKDIR/run1.out"
+"$QUALSD" --cache-dir="$WORKDIR/spill" <"$REQS" >"$WORKDIR/run2.out"
+if ! cmp -s "$WORKDIR/run1.out" "$WORKDIR/run2.out"; then
+    echo "FAIL: responses differ across a --cache-dir restart" >&2
+    FAILED=1
+fi
+if ! ls "$WORKDIR/spill"/*.qres >/dev/null 2>&1; then
+    echo "FAIL: --cache-dir produced no spill entries" >&2
+    FAILED=1
+fi
+
+# --- (a3) worker-count determinism (fresh caches) ------------------------
+"$QUALSD" -j4 <"$REQS" >"$WORKDIR/j4.out"
+if ! cmp -s "$WORKDIR/run1.out" "$WORKDIR/j4.out"; then
+    echo "FAIL: -j4 responses differ from -j1" >&2
+    FAILED=1
+fi
+
+# --- (b) cache hits visible in stats and metrics -------------------------
+{
+    cat "$WORKDIR/doubled.ndjson"
+    STATS_ID=$((2 * NREQ + 1))
+    printf '{"id":%d,"method":"stats"}\n' "$STATS_ID"
+    printf '{"id":%d,"method":"shutdown"}\n' "$((STATS_ID + 1))"
+} >"$WORKDIR/metered.ndjson"
+STATUS=0
+"$QUALSD" --metrics=json <"$WORKDIR/metered.ndjson" \
+    >"$WORKDIR/metered.out" 2>"$WORKDIR/metered.err" || STATUS=$?
+# --- (c) clean shutdown exit ---------------------------------------------
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: qualsd exited $STATUS after shutdown request" >&2
+    cat "$WORKDIR/metered.err" >&2
+    FAILED=1
+fi
+RESPONSES=$((2 * NREQ + 2))
+if ! sed -n "${RESPONSES}p" "$WORKDIR/metered.out" \
+        | grep -q '"ok":true'; then
+    echo "FAIL: shutdown request was not acknowledged" >&2
+    FAILED=1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORKDIR/metered.out" "$NREQ" <<'PYEOF' || FAILED=1
+import json, sys
+
+path, nreq = sys.argv[1], int(sys.argv[2])
+lines = open(path).read().splitlines()
+responses = lines[: 2 * nreq + 2]
+# The metrics report follows the last response on stdout.
+metrics = json.loads("\n".join(lines[2 * nreq + 2 :]))
+
+stats = json.loads(responses[2 * nreq])
+assert stats["ok"], stats
+cache = stats["cache"]
+# Second pass over the corpus was answered entirely from cache.
+assert cache["hits"] == nreq, cache
+assert cache["misses"] == nreq, cache
+assert cache["entries"] == nreq, cache
+assert stats["requests"] == 2 * nreq + 1, stats
+
+counters = metrics["counters"]
+assert counters.get("cache.hits") == nreq, counters
+assert counters.get("cache.misses") == nreq, counters
+assert counters.get("server.requests") == 2 * nreq + 2, counters
+assert counters.get("server.errors", 0) == 0, counters
+PYEOF
+else
+    echo "NOTE: python3 unavailable; metrics JSON validation skipped" >&2
+fi
+
+# --- (d) served bytes match the batch tool -------------------------------
+# qualsd omits the timing banner, so compare against qualcc --quiet, whose
+# report is exactly the deterministic remainder.
+CFILE=$(ls "$PROGRAMS"/*.c | head -1)
+"$QUALCC" --quiet "$CFILE" >"$WORKDIR/cc.out" 2>/dev/null || true
+printf '{"id":1,"method":"analyze","params":{"path":"%s"}}\n' "$CFILE" \
+    | "$QUALSD" >"$WORKDIR/sd.out"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORKDIR/sd.out" "$WORKDIR/cc.out" <<'PYEOF' || FAILED=1
+import json, sys
+
+resp = json.loads(open(sys.argv[1]).read())
+expected = open(sys.argv[2]).read()
+assert resp["ok"], resp
+assert resp["stdout"] == expected, (resp["stdout"], expected)
+PYEOF
+fi
+
+exit "$FAILED"
