@@ -1,0 +1,172 @@
+//===- bench/incremental_edit.cpp - Edit-latency benchmark ----------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what analyze-delta buys an editor loop: a unit with many small
+// call clusters is analyzed once to seed a snapshot, then single-function
+// edits are served both cold (full pipeline) and incrementally (restricted
+// re-analysis against the snapshot), and the wall-clock ratio is the
+// headline number. The unit is built here rather than taken from qualgen so
+// the edit is guaranteed to be body-only: the incremental path's structural
+// fallbacks (docs/INCREMENTAL.md) never fire and the benchmark measures the
+// dirty-closure machinery itself.
+//
+//   incremental_edit [--functions N] [--edits K]
+//
+// Output is a JSON document (checked in as BENCH_incremental.json):
+//
+//   {"functions":600,"clusters":150,"edits":20,
+//    "cold_seconds_mean":...,"delta_seconds_mean":...,"speedup":...,
+//    "dirty_sccs_mean":...,"reused_sccs_mean":...,
+//    "responses_identical":true}
+//
+// The run aborts (exit 1) if any delta response is not byte-identical to
+// the cold run of the same edited source, or if any edit falls back to the
+// full pipeline -- a fast answer with different bytes (or a benchmark that
+// silently measured the cold path) would be a bug, not a result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Pipelines.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace quals;
+using namespace quals::serve;
+
+namespace {
+
+/// Functions per call cluster: one shared leaf, three callers. Clusters are
+/// independent, so a body edit dirties one cluster and replays the rest.
+constexpr unsigned kClusterSize = 4;
+
+/// The unit: clusters of kClusterSize functions; members 1..3 of each
+/// cluster call member 0. \p EditedFn >= 0 rewrites that function's body
+/// (a new local write; no call or signature changes).
+std::string buildUnit(unsigned Functions, int EditedFn) {
+  std::string Src;
+  Src.reserve(Functions * 64);
+  char Line[160];
+  for (unsigned I = 0; I != Functions; ++I) {
+    unsigned Leaf = I - (I % kClusterSize);
+    if (I == static_cast<unsigned>(EditedFn)) {
+      std::snprintf(Line, sizeof(Line),
+                    "int f%u(int **p, int *q) { int *a = *p; int x = *a + *q; "
+                    "*q = x; return x + %u; }\n",
+                    I, I);
+    } else if (I == Leaf) {
+      std::snprintf(Line, sizeof(Line),
+                    "int f%u(int **p, int *q) { int *a = *p; int x = *a + *q; "
+                    "return x + %u; }\n",
+                    I, I);
+    } else {
+      std::snprintf(Line, sizeof(Line),
+                    "int f%u(int **p, int *q) { return f%u(p, q) + %u; }\n", I,
+                    Leaf, I);
+    }
+    Src += Line;
+  }
+  return Src;
+}
+
+AnalyzeJob makeJob(std::string Source) {
+  AnalyzeJob Job;
+  Job.Name = "edit.c";
+  Job.Language = "c";
+  Job.Source = std::move(Source);
+  Job.Protos = true;
+  return Job;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Functions = 600;
+  unsigned Edits = 20;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--functions") && I + 1 < argc)
+      Functions = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--edits") && I + 1 < argc)
+      Edits = std::strtoul(argv[++I], nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: incremental_edit [--functions N] [--edits K]\n");
+      return 1;
+    }
+  }
+  Functions -= Functions % kClusterSize; // Whole clusters only.
+  if (Functions == 0 || Edits == 0) {
+    std::fprintf(stderr, "incremental_edit: nothing to measure\n");
+    return 1;
+  }
+  unsigned Clusters = Functions / kClusterSize;
+
+  // Seed the snapshot from the pristine unit (the editor's "file opened"
+  // analysis). Every edit below is one function away from this baseline.
+  CachedResult Baseline;
+  std::shared_ptr<const constinf::UnitSnapshot> Snap;
+  runAnalysis(makeJob(buildUnit(Functions, -1)), Baseline, &Snap);
+  if (Baseline.ExitCode != 0 || !Snap) {
+    std::fprintf(stderr, "incremental_edit: baseline analysis failed\n%s",
+                 Baseline.Err.c_str());
+    return 1;
+  }
+
+  double ColdTotal = 0, DeltaTotal = 0;
+  uint64_t DirtyTotal = 0, ReusedTotal = 0;
+  for (unsigned E = 0; E != Edits; ++E) {
+    // Edit the shared leaf of a stride-walked cluster: the whole cluster is
+    // coupled through the leaf's interface, so 4 SCCs re-solve.
+    unsigned Cluster = (E * 7 + 1) % Clusters;
+    AnalyzeJob Job =
+        makeJob(buildUnit(Functions, static_cast<int>(Cluster * kClusterSize)));
+
+    CachedResult Cold;
+    Timer ColdT;
+    runAnalysis(Job, Cold, nullptr);
+    ColdTotal += ColdT.seconds();
+
+    CachedResult Delta;
+    std::shared_ptr<const constinf::UnitSnapshot> Next;
+    DeltaOutcome Outcome;
+    Timer DeltaT;
+    runAnalysisDelta(Job, *Snap, Delta, Next, Outcome);
+    DeltaTotal += DeltaT.seconds();
+
+    if (Delta.Out != Cold.Out || Delta.Err != Cold.Err ||
+        Delta.ExitCode != Cold.ExitCode) {
+      std::fprintf(stderr,
+                   "incremental_edit: edit %u: delta response differs from "
+                   "cold run\n",
+                   E);
+      return 1;
+    }
+    if (!Outcome.UsedDelta) {
+      std::fprintf(stderr, "incremental_edit: edit %u fell back to full (%s)\n",
+                   E, Outcome.FallbackReason ? Outcome.FallbackReason : "?");
+      return 1;
+    }
+    DirtyTotal += Outcome.DirtySccs;
+    ReusedTotal += Outcome.ReusedSccs;
+  }
+
+  double ColdMean = ColdTotal / Edits, DeltaMean = DeltaTotal / Edits;
+  std::printf("{\"functions\":%u,\"clusters\":%u,\"edits\":%u,\n"
+              " \"cold_seconds_mean\":%.6f,\"delta_seconds_mean\":%.6f,"
+              "\"speedup\":%.2f,\n"
+              " \"dirty_sccs_mean\":%.1f,\"reused_sccs_mean\":%.1f,\n"
+              " \"responses_identical\":true}\n",
+              Functions, Clusters, Edits, ColdMean, DeltaMean,
+              DeltaMean > 0 ? ColdMean / DeltaMean : 0.0,
+              static_cast<double>(DirtyTotal) / Edits,
+              static_cast<double>(ReusedTotal) / Edits);
+  return 0;
+}

@@ -1,0 +1,357 @@
+//===- cfront/AstHash.cpp - Structural hashing of C ASTs -------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/AstHash.h"
+
+#include "support/Casting.h"
+#include "support/Hash.h"
+
+namespace quals {
+namespace cfront {
+
+namespace {
+
+// Fixed tags keep "absent child" distinguishable from any real subtree and
+// from an absent child of a different slot.
+constexpr uint64_t kNullExpr = 0xD1u;
+constexpr uint64_t kNullStmt = 0xD2u;
+constexpr uint64_t kNullType = 0xD3u;
+
+uint64_t tag(unsigned Kind, uint64_t Salt) {
+  return hashCombine(Salt, Kind + 1);
+}
+
+} // namespace
+
+uint64_t hashType(CQualType T) {
+  if (T.isNull())
+    return kNullType;
+  HashBuilder B;
+  B.add(static_cast<uint64_t>(T.getQuals()));
+  const CType *Ty = T.getType();
+  B.add(static_cast<uint64_t>(Ty->getKind()));
+  switch (Ty->getKind()) {
+  case CType::Kind::Builtin:
+    B.add(static_cast<uint64_t>(cast<BuiltinType>(Ty)->getId()));
+    break;
+  case CType::Kind::Pointer:
+    B.add(hashType(cast<PointerType>(Ty)->getPointee()));
+    break;
+  case CType::Kind::Array: {
+    const auto *AT = cast<ArrayType>(Ty);
+    B.add(hashType(AT->getElement()));
+    B.add(static_cast<uint64_t>(AT->getSize()));
+    break;
+  }
+  case CType::Kind::Function: {
+    const auto *FT = cast<FunctionType>(Ty);
+    B.add(hashType(FT->getReturn()));
+    B.add(static_cast<uint64_t>(FT->getParams().size()));
+    for (CQualType P : FT->getParams())
+      B.add(hashType(P));
+    B.add(FT->isVariadic());
+    B.add(FT->hasNoPrototype());
+    break;
+  }
+  case CType::Kind::Record: {
+    // By name only; field structure is the decl region's business. This
+    // keeps recursive records (struct S { struct S *next; }) terminating.
+    const RecordDecl *RD = cast<RecordType>(Ty)->getDecl();
+    B.add(RD->getName());
+    B.add(RD->isUnion());
+    break;
+  }
+  case CType::Kind::Enum:
+    B.add(cast<EnumType>(Ty)->getDecl()->getName());
+    break;
+  }
+  return B.digest();
+}
+
+uint64_t hashExpr(const CExpr *E) {
+  if (!E)
+    return kNullExpr;
+  uint64_t H = tag(static_cast<unsigned>(E->getKind()), 0xE0);
+  switch (E->getKind()) {
+  case CExpr::Kind::IntLit:
+    H = hashCombine(H, static_cast<uint64_t>(cast<CIntLit>(E)->getValue()));
+    break;
+  case CExpr::Kind::FloatLit: {
+    double V = cast<CFloatLit>(E)->getValue();
+    H = hashCombine(H, hashBytes(&V, sizeof V));
+    break;
+  }
+  case CExpr::Kind::StringLit:
+    H = hashCombine(H, hashString(cast<CStringLit>(E)->getText()));
+    break;
+  case CExpr::Kind::DeclRef: {
+    const auto *DR = cast<CDeclRef>(E);
+    H = hashCombine(H, hashString(DR->getName()));
+    // Discriminate what the name resolved to: a local `x` shadowing a
+    // global `x` must not hash like the global (the reference pattern
+    // differs for the analysis).
+    uint64_t RefKind = 0;
+    if (const CDecl *D = DR->getDecl()) {
+      RefKind = static_cast<uint64_t>(D->getKind()) + 1;
+      if (const auto *VD = dyn_cast<VarDecl>(D))
+        RefKind = hashCombine(RefKind, VD->isGlobal() ? 2u : 1u);
+    }
+    H = hashCombine(H, RefKind);
+    break;
+  }
+  case CExpr::Kind::Unary: {
+    const auto *U = cast<CUnary>(E);
+    H = hashCombine(H, static_cast<uint64_t>(U->getOp()));
+    H = hashCombine(H, hashExpr(U->getOperand()));
+    break;
+  }
+  case CExpr::Kind::Binary: {
+    const auto *B = cast<CBinary>(E);
+    H = hashCombine(H, static_cast<uint64_t>(B->getOp()));
+    H = hashCombine(H, hashExpr(B->getLhs()));
+    H = hashCombine(H, hashExpr(B->getRhs()));
+    break;
+  }
+  case CExpr::Kind::Conditional: {
+    const auto *C = cast<CConditional>(E);
+    H = hashCombine(H, hashExpr(C->getCond()));
+    H = hashCombine(H, hashExpr(C->getThen()));
+    H = hashCombine(H, hashExpr(C->getElse()));
+    break;
+  }
+  case CExpr::Kind::Call: {
+    const auto *C = cast<CCall>(E);
+    H = hashCombine(H, hashExpr(C->getCallee()));
+    H = hashCombine(H, C->getArgs().size());
+    for (const CExpr *A : C->getArgs())
+      H = hashCombine(H, hashExpr(A));
+    break;
+  }
+  case CExpr::Kind::Member: {
+    const auto *M = cast<CMember>(E);
+    H = hashCombine(H, hashExpr(M->getBase()));
+    H = hashCombine(H, hashString(M->getFieldName()));
+    H = hashCombine(H, M->isArrow() ? 2u : 1u);
+    break;
+  }
+  case CExpr::Kind::Subscript: {
+    const auto *S = cast<CSubscript>(E);
+    H = hashCombine(H, hashExpr(S->getBase()));
+    H = hashCombine(H, hashExpr(S->getIndex()));
+    break;
+  }
+  case CExpr::Kind::Cast: {
+    const auto *C = cast<CCast>(E);
+    H = hashCombine(H, hashType(C->getTargetType()));
+    H = hashCombine(H, hashExpr(C->getOperand()));
+    break;
+  }
+  case CExpr::Kind::SizeOf: {
+    const auto *S = cast<CSizeOf>(E);
+    H = hashCombine(H, hashType(S->getArgType()));
+    H = hashCombine(H, hashExpr(S->getArgExpr()));
+    break;
+  }
+  case CExpr::Kind::Comma: {
+    const auto *C = cast<CComma>(E);
+    H = hashCombine(H, hashExpr(C->getLhs()));
+    H = hashCombine(H, hashExpr(C->getRhs()));
+    break;
+  }
+  case CExpr::Kind::InitList: {
+    const auto *IL = cast<CInitList>(E);
+    H = hashCombine(H, IL->getInits().size());
+    for (const CExpr *I : IL->getInits())
+      H = hashCombine(H, hashExpr(I));
+    break;
+  }
+  }
+  return H ? H : 1;
+}
+
+namespace {
+
+uint64_t hashLocalVar(const VarDecl *VD) {
+  HashBuilder B;
+  B.add(VD->getName());
+  B.add(hashType(VD->getType()));
+  B.add(static_cast<uint64_t>(VD->getStorageClass()));
+  B.add(hashExpr(VD->getInit()));
+  return B.digest();
+}
+
+} // namespace
+
+uint64_t hashStmt(const CStmt *S) {
+  if (!S)
+    return kNullStmt;
+  uint64_t H = tag(static_cast<unsigned>(S->getKind()), 0x50);
+  switch (S->getKind()) {
+  case CStmt::Kind::Compound: {
+    const auto *C = cast<CCompoundStmt>(S);
+    H = hashCombine(H, C->getBody().size());
+    for (const CStmt *Sub : C->getBody())
+      H = hashCombine(H, hashStmt(Sub));
+    break;
+  }
+  case CStmt::Kind::Expr:
+    H = hashCombine(H, hashExpr(cast<CExprStmt>(S)->getExpr()));
+    break;
+  case CStmt::Kind::Decl: {
+    const auto *D = cast<CDeclStmt>(S);
+    H = hashCombine(H, D->getDecls().size());
+    for (const VarDecl *VD : D->getDecls())
+      H = hashCombine(H, hashLocalVar(VD));
+    break;
+  }
+  case CStmt::Kind::If: {
+    const auto *I = cast<CIfStmt>(S);
+    H = hashCombine(H, hashExpr(I->getCond()));
+    H = hashCombine(H, hashStmt(I->getThen()));
+    H = hashCombine(H, hashStmt(I->getElse()));
+    break;
+  }
+  case CStmt::Kind::While: {
+    const auto *W = cast<CWhileStmt>(S);
+    H = hashCombine(H, hashExpr(W->getCond()));
+    H = hashCombine(H, hashStmt(W->getBody()));
+    break;
+  }
+  case CStmt::Kind::DoWhile: {
+    const auto *D = cast<CDoWhileStmt>(S);
+    H = hashCombine(H, hashStmt(D->getBody()));
+    H = hashCombine(H, hashExpr(D->getCond()));
+    break;
+  }
+  case CStmt::Kind::For: {
+    const auto *F = cast<CForStmt>(S);
+    H = hashCombine(H, hashStmt(F->getInit()));
+    H = hashCombine(H, hashExpr(F->getCond()));
+    H = hashCombine(H, hashExpr(F->getStep()));
+    H = hashCombine(H, hashStmt(F->getBody()));
+    break;
+  }
+  case CStmt::Kind::Return:
+    H = hashCombine(H, hashExpr(cast<CReturnStmt>(S)->getValue()));
+    break;
+  case CStmt::Kind::Break:
+  case CStmt::Kind::Continue:
+  case CStmt::Kind::Null:
+    break;
+  case CStmt::Kind::Switch: {
+    const auto *Sw = cast<CSwitchStmt>(S);
+    H = hashCombine(H, hashExpr(Sw->getCond()));
+    H = hashCombine(H, hashStmt(Sw->getBody()));
+    break;
+  }
+  case CStmt::Kind::Case: {
+    const auto *C = cast<CCaseStmt>(S);
+    H = hashCombine(H, hashExpr(C->getValue()));
+    H = hashCombine(H, hashStmt(C->getSub()));
+    break;
+  }
+  case CStmt::Kind::Default:
+    H = hashCombine(H, hashStmt(cast<CDefaultStmt>(S)->getSub()));
+    break;
+  case CStmt::Kind::Goto:
+    H = hashCombine(H, hashString(cast<CGotoStmt>(S)->getLabel()));
+    break;
+  case CStmt::Kind::Label: {
+    const auto *L = cast<CLabelStmt>(S);
+    H = hashCombine(H, hashString(L->getLabel()));
+    H = hashCombine(H, hashStmt(L->getSub()));
+    break;
+  }
+  }
+  return H ? H : 1;
+}
+
+uint64_t hashFunctionBody(const FunctionDecl *FD) {
+  if (!FD->isDefined())
+    return 0;
+  uint64_t H = hashStmt(FD->getBody());
+  return H ? H : 1;
+}
+
+uint64_t hashFunctionSignature(const FunctionDecl *FD) {
+  HashBuilder B;
+  B.add(FD->getName());
+  B.add(hashType(CQualType(FD->getType())));
+  B.add(static_cast<uint64_t>(FD->getParams().size()));
+  for (const VarDecl *P : FD->getParams()) {
+    B.add(P->getName());
+    B.add(hashType(P->getType()));
+  }
+  B.add(static_cast<uint64_t>(FD->getStorageClass()));
+  B.add(FD->isDefined());
+  B.add(FD->isImplicit());
+  return B.digest();
+}
+
+uint64_t hashDeclRegion(const TranslationUnit &TU) {
+  HashBuilder B;
+  B.add(static_cast<uint64_t>(TU.Decls.size()));
+  for (const CDecl *D : TU.Decls) {
+    B.add(static_cast<uint64_t>(D->getKind()));
+    switch (D->getKind()) {
+    case CDecl::Kind::Var: {
+      const auto *VD = cast<VarDecl>(D);
+      B.add(VD->getName());
+      B.add(hashType(VD->getType()));
+      B.add(static_cast<uint64_t>(VD->getStorageClass()));
+      B.add(hashExpr(VD->getInit()));
+      break;
+    }
+    case CDecl::Kind::Function:
+      B.add(hashFunctionSignature(cast<FunctionDecl>(D)));
+      break;
+    case CDecl::Kind::Record: {
+      const auto *RD = cast<RecordDecl>(D);
+      B.add(RD->getName());
+      B.add(RD->isUnion());
+      B.add(RD->isComplete());
+      B.add(static_cast<uint64_t>(RD->getFields().size()));
+      for (const FieldDecl *F : RD->getFields()) {
+        B.add(F->getName());
+        B.add(hashType(F->getType()));
+      }
+      break;
+    }
+    case CDecl::Kind::Enum: {
+      const auto *ED = cast<EnumDecl>(D);
+      B.add(ED->getName());
+      B.add(static_cast<uint64_t>(ED->getEnumerators().size()));
+      for (const EnumDecl::Enumerator &E : ED->getEnumerators()) {
+        B.add(E.Name);
+        B.add(static_cast<uint64_t>(E.Value));
+      }
+      break;
+    }
+    case CDecl::Kind::Typedef: {
+      const auto *TD = cast<TypedefDecl>(D);
+      B.add(TD->getName());
+      B.add(hashType(TD->getUnderlying()));
+      break;
+    }
+    case CDecl::Kind::Field:
+      // Fields appear under their record, not at the top level; hash the
+      // name defensively if one ever does.
+      B.add(D->getName());
+      break;
+    }
+  }
+  // Implicit library functions never appear in Decls but do shape the
+  // analysis (Section 4.2's conservative rule creates interface variables
+  // for them).
+  for (const FunctionDecl *F : TU.Functions)
+    if (F->isImplicit())
+      B.add(hashFunctionSignature(F));
+  return B.digest();
+}
+
+} // namespace cfront
+} // namespace quals

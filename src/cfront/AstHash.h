@@ -1,0 +1,75 @@
+//===- cfront/AstHash.h - Structural hashing of C ASTs ----------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable structural fingerprints of C declarations, used by the incremental
+/// re-analysis layer (constinf/Summary.h, docs/INCREMENTAL.md) to decide
+/// which functions an edit actually touched.
+///
+/// The hashes walk the *AST*, not the source bytes: kinds, operators,
+/// literal values, referenced names, and every type annotation fold into a
+/// support/Hash.h digest, while comments, whitespace, and formatting do not.
+/// A formatting-only edit therefore hashes identically and invalidates
+/// nothing, which is exactly the granularity an editor loop wants.
+///
+/// Two digests matter:
+///
+/// \li hashFunctionBody() covers one defined function's body (statements,
+///     expressions, local declarations and their types). Changing a body
+///     changes this hash; changing an unrelated function does not.
+/// \li hashDeclRegion() covers everything *except* function bodies: function
+///     signatures (name, type, parameter names, storage), global variables
+///     (type and initializer), record/enum/typedef declarations, and their
+///     order. Any change here restructures interfaces or shared qualifier
+///     state, so the incremental layer falls back to a full analysis.
+///
+/// These are content fingerprints with the same non-cryptographic threat
+/// model as support/Hash.h: collisions are astronomically unlikely by
+/// accident but constructible on purpose, acceptable for a cache that only
+/// serves the requester's own analysis results (docs/SERVER.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_CFRONT_ASTHASH_H
+#define QUALS_CFRONT_ASTHASH_H
+
+#include "cfront/CAst.h"
+
+#include <cstdint>
+
+namespace quals {
+namespace cfront {
+
+/// Structural hash of \p T (qualifier bits included). Record and enum types
+/// hash by *name* only -- their field/enumerator structure belongs to the
+/// declaration region digest, keeping type hashing cycle-free.
+uint64_t hashType(CQualType T);
+
+/// Structural hash of expression \p E (null hashes to a fixed tag).
+/// Referenced declarations hash by name plus a global/local discriminator.
+uint64_t hashExpr(const CExpr *E);
+
+/// Structural hash of statement \p S (null hashes to a fixed tag).
+uint64_t hashStmt(const CStmt *S);
+
+/// Structural hash of \p FD's body; 0 for undefined (library) functions --
+/// the support/Hash.h "no hash" sentinel, so callers can tell "no body"
+/// from every real digest.
+uint64_t hashFunctionBody(const FunctionDecl *FD);
+
+/// Structural hash of \p FD's interface: name, type (including source const
+/// annotations), parameter names, storage class, and defined-ness.
+uint64_t hashFunctionSignature(const FunctionDecl *FD);
+
+/// Structural hash of everything in \p TU except function bodies; see the
+/// file comment for what that covers and why bodies are excluded.
+uint64_t hashDeclRegion(const TranslationUnit &TU);
+
+} // namespace cfront
+} // namespace quals
+
+#endif // QUALS_CFRONT_ASTHASH_H

@@ -63,22 +63,39 @@ bool ConstInference::run() {
   // ablation mode, which starves the polymorphic instantiation).
   // buildFdg records its own "fdg" phase; everything from here to the solve
   // is the "constraint-gen" phase.
-  Fdg Graph = buildFdg(TU);
+  Graph = buildFdg(TU);
   {
     PhaseScope GenPhase("constraint-gen", "constinf");
-    std::vector<const std::vector<unsigned> *> Order;
+    std::vector<unsigned> Order;
     Order.reserve(Graph.Sccs.Components.size());
-    for (const std::vector<unsigned> &Component : Graph.Sccs.Components)
-      Order.push_back(&Component);
+    for (unsigned I = 0; I != Graph.Sccs.Components.size(); ++I)
+      Order.push_back(I);
     if (!Opts.CalleesFirst)
       std::reverse(Order.begin(), Order.end());
-    for (const std::vector<unsigned> *ComponentPtr : Order) {
-      const std::vector<unsigned> &Component = *ComponentPtr;
+    SccPosRanges.assign(Graph.Sccs.Components.size(), {0u, 0u});
+    for (unsigned ComponentIdx : Order) {
+      const std::vector<unsigned> &Component =
+          Graph.Sccs.Components[ComponentIdx];
+      // Incremental mode: SCCs with no selected function are someone else's
+      // summaries -- skip them entirely so they contribute no variables, no
+      // constraints, and no interesting positions.
+      if (Opts.OnlyFunctions) {
+        bool Selected = false;
+        for (unsigned Node : Component)
+          if (Opts.OnlyFunctions->count(Graph.Functions[Node])) {
+            Selected = true;
+            break;
+          }
+        if (!Selected)
+          continue;
+      }
       // Resource checkpoint once per SCC: stop generating as soon as the
       // constraint budget, arena budget, or error cap fired.
       if (Sys->hitConstraintLimit() || Diags.shouldBail() ||
           !Diags.checkResources(Graph.Functions[Component.front()]->getLoc()))
         break;
+      unsigned FirstPos =
+          static_cast<unsigned>(Translator->interestingPositions().size());
       Watermark Mark = takeWatermark(*Sys);
       // Interfaces for the whole SCC first (mutual recursion uses them
       // monomorphically within the component, as in the paper).
@@ -89,6 +106,9 @@ bool ConstInference::run() {
         if (F->isDefined())
           Gen.genFunction(F, Translator->functionInterfaceType(F));
       }
+      SccPosRanges[ComponentIdx] = {
+          FirstPos,
+          static_cast<unsigned>(Translator->interestingPositions().size())};
       if (!Opts.Polymorphic)
         continue;
       for (unsigned Node : Component) {
@@ -102,10 +122,12 @@ bool ConstInference::run() {
     }
 
     // 4. Global variable definitions are analyzed after the FDG traversal.
-    for (VarDecl *G : TU.Globals) {
-      if (Sys->hitConstraintLimit() || Diags.shouldBail())
-        break;
-      Gen.genGlobalInit(G);
+    if (Opts.GenGlobalInits) {
+      for (VarDecl *G : TU.Globals) {
+        if (Sys->hitConstraintLimit() || Diags.shouldBail())
+          break;
+        Gen.genGlobalInit(G);
+      }
     }
   }
 
@@ -143,23 +165,16 @@ PosClass ConstInference::classify(const InterestingPos &Pos) const {
   return PosClass::Either;
 }
 
+std::vector<ClassifiedPos> ConstInference::classifiedPositions() const {
+  std::vector<ClassifiedPos> Out;
+  Out.reserve(positions().size());
+  for (const InterestingPos &Pos : positions())
+    Out.push_back({Pos, classify(Pos)});
+  return Out;
+}
+
 ConstCounts ConstInference::counts() const {
-  ConstCounts C;
-  for (const InterestingPos &Pos : positions()) {
-    ++C.Total;
-    if (Pos.DeclaredConst)
-      ++C.Declared;
-    switch (classify(Pos)) {
-    case PosClass::MustNonConst:
-      ++C.MustNonConst;
-      break;
-    case PosClass::MustConst:
-    case PosClass::Either:
-      ++C.PossibleConst;
-      break;
-    }
-  }
-  return C;
+  return countPositions(classifiedPositions());
 }
 
 const QualScheme *
@@ -175,23 +190,48 @@ unsigned ConstInference::numConstraints() const {
 SolverStats ConstInference::solverStats() const { return Sys->getStats(); }
 
 std::string ConstInference::renderAnnotatedPrototypes() const {
+  return constinf::renderAnnotatedPrototypes(classifiedPositions());
+}
+
+namespace quals {
+namespace constinf {
+
+ConstCounts countPositions(const std::vector<ClassifiedPos> &Positions) {
+  ConstCounts C;
+  for (const ClassifiedPos &CP : Positions) {
+    ++C.Total;
+    if (CP.Pos.DeclaredConst)
+      ++C.Declared;
+    switch (CP.Class) {
+    case PosClass::MustNonConst:
+      ++C.MustNonConst;
+      break;
+    case PosClass::MustConst:
+    case PosClass::Either:
+      ++C.PossibleConst;
+      break;
+    }
+  }
+  return C;
+}
+
+std::string renderAnnotatedPrototypes(const std::vector<ClassifiedPos> &Positions) {
   // Group positions by function, then rebuild each prototype with const
   // inserted at every may-be-const pointer level.
-  std::unordered_map<const FunctionDecl *,
-                     std::vector<const InterestingPos *>>
+  std::unordered_map<const FunctionDecl *, std::vector<const ClassifiedPos *>>
       ByFn;
   std::vector<const FunctionDecl *> Order;
-  for (const InterestingPos &Pos : positions()) {
-    if (!ByFn.count(Pos.Fn))
-      Order.push_back(Pos.Fn);
-    ByFn[Pos.Fn].push_back(&Pos);
+  for (const ClassifiedPos &CP : Positions) {
+    if (!ByFn.count(CP.Pos.Fn))
+      Order.push_back(CP.Pos.Fn);
+    ByFn[CP.Pos.Fn].push_back(&CP);
   }
 
   auto constAt = [&](const FunctionDecl *FD, int ParamIndex,
                      unsigned Depth) {
-    for (const InterestingPos *P : ByFn[FD])
-      if (P->ParamIndex == ParamIndex && P->Depth == Depth)
-        return classify(*P) != PosClass::MustNonConst;
+    for (const ClassifiedPos *P : ByFn[FD])
+      if (P->Pos.ParamIndex == ParamIndex && P->Pos.Depth == Depth)
+        return P->Class != PosClass::MustNonConst;
     return false;
   };
 
@@ -248,3 +288,6 @@ std::string ConstInference::renderAnnotatedPrototypes() const {
   }
   return Out;
 }
+
+} // namespace constinf
+} // namespace quals

@@ -33,6 +33,8 @@
 #include "qual/TypeScheme.h"
 
 #include <memory>
+#include <unordered_set>
+#include <utility>
 
 namespace quals {
 namespace constinf {
@@ -51,6 +53,25 @@ struct ConstCounts {
   unsigned Total = 0;        ///< All interesting positions (Total possible).
   unsigned MustNonConst = 0; ///< Positions pinned non-const by some write.
 };
+
+/// An interesting position together with its inferred classification -- the
+/// analysis result in portable form. The incremental layer (Summary.h)
+/// persists lists of these per SCC and replays them without re-solving;
+/// countPositions() and renderAnnotatedPrototypes() below consume them so
+/// cold and replayed results share one byte-producing path.
+struct ClassifiedPos {
+  InterestingPos Pos;
+  PosClass Class = PosClass::Either;
+};
+
+/// Table 2 counts over an explicit classification list; the cold-path
+/// ConstInference::counts() delegates here.
+ConstCounts countPositions(const std::vector<ClassifiedPos> &Positions);
+
+/// Renders annotated prototypes from an explicit classification list (see
+/// ConstInference::renderAnnotatedPrototypes). Positions must carry valid
+/// Fn pointers into the current AST; Var fields are not consulted.
+std::string renderAnnotatedPrototypes(const std::vector<ClassifiedPos> &Positions);
 
 /// Whole-program const inference over an analyzed TranslationUnit.
 class ConstInference {
@@ -90,6 +111,24 @@ public:
     /// solve; bench/scaling_ablation uses that to surface the collapse
     /// counters on workloads the default policy leaves on the cheap tier.
     unsigned CollapsePressureFactor = 2;
+
+    // Incremental re-analysis hooks (serve/Pipelines' analyze-delta path;
+    // docs/INCREMENTAL.md). Not ablations: with OnlyFunctions set the run
+    // covers a sub-program and its results are only meaningful for the
+    // selected functions.
+
+    /// When non-null, only SCCs containing at least one of these functions
+    /// are analyzed; every other SCC is skipped outright (no interfaces, no
+    /// constraints, no positions). The caller must pass a closure that is
+    /// self-contained -- no selected function may reference an unselected
+    /// defined function, shared global, or shared record (Summary.cpp's
+    /// coupling closure guarantees this).
+    const std::unordered_set<const cfront::FunctionDecl *> *OnlyFunctions =
+        nullptr;
+    /// When false, global initializers are not analyzed (the incremental
+    /// path skips them when no selected SCC touches a global with an
+    /// initializer).
+    bool GenGlobalInits = true;
   };
 
   ConstInference(cfront::TranslationUnit &TU, DiagnosticEngine &Diags,
@@ -103,6 +142,9 @@ public:
   /// All interesting positions of defined functions (valid after run()).
   const std::vector<InterestingPos> &positions() const;
 
+  /// positions() paired with their classifications (valid after run()).
+  std::vector<ClassifiedPos> classifiedPositions() const;
+
   /// Classification of one position (valid after run()).
   PosClass classify(const InterestingPos &Pos) const;
 
@@ -112,6 +154,19 @@ public:
   /// The scheme inferred for \p FD (null in monomorphic mode or for
   /// undefined functions).
   const QualScheme *schemeFor(const cfront::FunctionDecl *FD) const;
+
+  /// The function dependence graph the traversal used (valid after run()).
+  const Fdg &fdg() const { return Graph; }
+
+  /// Half-open range [First, Last) into positions() holding the interesting
+  /// positions registered while SCC \p Component was analyzed (valid after
+  /// run(); empty for skipped or undefined-only components). Positions are
+  /// registered exactly once, during the owning SCC's analysis, so these
+  /// ranges partition positions().
+  std::pair<unsigned, unsigned> sccPositionRange(unsigned Component) const {
+    return Component < SccPosRanges.size() ? SccPosRanges[Component]
+                                           : std::make_pair(0u, 0u);
+  }
 
   /// Renders the defined functions' prototypes with every may-be-const
   /// position annotated const -- "the text of the original C program with
@@ -139,6 +194,8 @@ private:
   ConstCtors Ctors;
   std::unique_ptr<RefTranslator> Translator;
   std::unordered_map<const cfront::FunctionDecl *, QualScheme> Schemes;
+  Fdg Graph;
+  std::vector<std::pair<unsigned, unsigned>> SccPosRanges;
 
   QualType functionUse(const cfront::FunctionDecl *FD);
 };

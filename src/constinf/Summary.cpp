@@ -1,0 +1,517 @@
+//===- constinf/Summary.cpp - Per-SCC summaries for incremental runs --------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "constinf/Summary.h"
+
+#include "cfront/AstHash.h"
+#include "support/Casting.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace quals;
+using namespace quals::constinf;
+using namespace quals::cfront;
+
+//===----------------------------------------------------------------------===//
+// Entity collection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects the names of everything a function's constraints can share with
+/// another function's: referenced functions (dirtiness must couple both
+/// directions -- a caller edit reaches into a callee through deep-pointer
+/// equality constraints, and vice versa), referenced globals, and every
+/// record type reachable from any type the function mentions (struct fields
+/// share their qualifier variables program-wide, Section 4.2).
+class EntityCollector {
+public:
+  void addType(CQualType T) {
+    if (T.isNull())
+      return;
+    const CType *Ty = T.getType();
+    if (!SeenTypes.insert(Ty).second)
+      return;
+    switch (Ty->getKind()) {
+    case CType::Kind::Builtin:
+    case CType::Kind::Enum:
+      // Enums carry no qualifier structure; values are plain integers.
+      break;
+    case CType::Kind::Pointer:
+      addType(cast<PointerType>(Ty)->getPointee());
+      break;
+    case CType::Kind::Array:
+      addType(cast<ArrayType>(Ty)->getElement());
+      break;
+    case CType::Kind::Function: {
+      const auto *FT = cast<FunctionType>(Ty);
+      addType(FT->getReturn());
+      for (CQualType P : FT->getParams())
+        addType(P);
+      break;
+    }
+    case CType::Kind::Record:
+      addRecord(cast<RecordType>(Ty)->getDecl());
+      break;
+    }
+  }
+
+  void addRecord(const RecordDecl *RD) {
+    if (!RD || !SeenRecords.insert(RD).second)
+      return;
+    Out.insert("r:" + std::string(RD->getName()));
+    for (const FieldDecl *F : RD->getFields())
+      addType(F->getType());
+  }
+
+  void addDeclRef(const CDeclRef *DR) {
+    const CDecl *D = DR->getDecl();
+    if (!D)
+      return; // Enumerator constant: plain integer, no shared state.
+    if (const auto *FD = dyn_cast<FunctionDecl>(D)) {
+      Out.insert("f:" + std::string(FD->getName()));
+      addType(CQualType(FD->getType()));
+    } else if (const auto *VD = dyn_cast<VarDecl>(D)) {
+      if (VD->isGlobal())
+        Out.insert("g:" + std::string(VD->getName()));
+      addType(VD->getType());
+    }
+  }
+
+  void walkExpr(const CExpr *E) {
+    if (!E)
+      return;
+    // Every expression's sema-computed type can pull a record into the
+    // function's constraint footprint (e.g. p->next->next chains).
+    addType(E->getType());
+    switch (E->getKind()) {
+    case CExpr::Kind::IntLit:
+    case CExpr::Kind::FloatLit:
+    case CExpr::Kind::StringLit:
+      break;
+    case CExpr::Kind::DeclRef:
+      addDeclRef(cast<CDeclRef>(E));
+      break;
+    case CExpr::Kind::Unary:
+      walkExpr(cast<CUnary>(E)->getOperand());
+      break;
+    case CExpr::Kind::Binary:
+      walkExpr(cast<CBinary>(E)->getLhs());
+      walkExpr(cast<CBinary>(E)->getRhs());
+      break;
+    case CExpr::Kind::Conditional:
+      walkExpr(cast<CConditional>(E)->getCond());
+      walkExpr(cast<CConditional>(E)->getThen());
+      walkExpr(cast<CConditional>(E)->getElse());
+      break;
+    case CExpr::Kind::Call:
+      walkExpr(cast<CCall>(E)->getCallee());
+      for (const CExpr *A : cast<CCall>(E)->getArgs())
+        walkExpr(A);
+      break;
+    case CExpr::Kind::Member:
+      walkExpr(cast<CMember>(E)->getBase());
+      break;
+    case CExpr::Kind::Subscript:
+      walkExpr(cast<CSubscript>(E)->getBase());
+      walkExpr(cast<CSubscript>(E)->getIndex());
+      break;
+    case CExpr::Kind::Cast:
+      addType(cast<CCast>(E)->getTargetType());
+      walkExpr(cast<CCast>(E)->getOperand());
+      break;
+    case CExpr::Kind::SizeOf:
+      addType(cast<CSizeOf>(E)->getArgType());
+      walkExpr(cast<CSizeOf>(E)->getArgExpr());
+      break;
+    case CExpr::Kind::Comma:
+      walkExpr(cast<CComma>(E)->getLhs());
+      walkExpr(cast<CComma>(E)->getRhs());
+      break;
+    case CExpr::Kind::InitList:
+      for (const CExpr *I : cast<CInitList>(E)->getInits())
+        walkExpr(I);
+      break;
+    }
+  }
+
+  void walkStmt(const CStmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case CStmt::Kind::Compound:
+      for (const CStmt *Sub : cast<CCompoundStmt>(S)->getBody())
+        walkStmt(Sub);
+      break;
+    case CStmt::Kind::Expr:
+      walkExpr(cast<CExprStmt>(S)->getExpr());
+      break;
+    case CStmt::Kind::Decl:
+      for (const VarDecl *VD : cast<CDeclStmt>(S)->getDecls()) {
+        addType(VD->getType());
+        walkExpr(VD->getInit());
+      }
+      break;
+    case CStmt::Kind::If:
+      walkExpr(cast<CIfStmt>(S)->getCond());
+      walkStmt(cast<CIfStmt>(S)->getThen());
+      walkStmt(cast<CIfStmt>(S)->getElse());
+      break;
+    case CStmt::Kind::While:
+      walkExpr(cast<CWhileStmt>(S)->getCond());
+      walkStmt(cast<CWhileStmt>(S)->getBody());
+      break;
+    case CStmt::Kind::DoWhile:
+      walkStmt(cast<CDoWhileStmt>(S)->getBody());
+      walkExpr(cast<CDoWhileStmt>(S)->getCond());
+      break;
+    case CStmt::Kind::For:
+      walkStmt(cast<CForStmt>(S)->getInit());
+      walkExpr(cast<CForStmt>(S)->getCond());
+      walkExpr(cast<CForStmt>(S)->getStep());
+      walkStmt(cast<CForStmt>(S)->getBody());
+      break;
+    case CStmt::Kind::Return:
+      walkExpr(cast<CReturnStmt>(S)->getValue());
+      break;
+    case CStmt::Kind::Break:
+    case CStmt::Kind::Continue:
+    case CStmt::Kind::Null:
+    case CStmt::Kind::Goto:
+      break;
+    case CStmt::Kind::Switch:
+      walkExpr(cast<CSwitchStmt>(S)->getCond());
+      walkStmt(cast<CSwitchStmt>(S)->getBody());
+      break;
+    case CStmt::Kind::Case:
+      walkExpr(cast<CCaseStmt>(S)->getValue());
+      walkStmt(cast<CCaseStmt>(S)->getSub());
+      break;
+    case CStmt::Kind::Default:
+      walkStmt(cast<CDefaultStmt>(S)->getSub());
+      break;
+    case CStmt::Kind::Label:
+      walkStmt(cast<CLabelStmt>(S)->getSub());
+      break;
+    }
+  }
+
+  std::vector<std::string> take() {
+    return std::vector<std::string>(Out.begin(), Out.end());
+  }
+
+private:
+  std::set<std::string> Out;
+  std::unordered_set<const CType *> SeenTypes;
+  std::unordered_set<const RecordDecl *> SeenRecords;
+};
+
+std::vector<std::string> collectFunctionEntities(const FunctionDecl *FD) {
+  EntityCollector C;
+  // A function couples with everything that names it, so its own name is
+  // part of its footprint (this also makes FDG call edges redundant with
+  // entity sharing: caller holds "f:callee", callee holds it too).
+  C.addType(CQualType(FD->getType()));
+  for (const VarDecl *P : FD->getParams())
+    C.addType(P->getType());
+  C.walkStmt(FD->getBody());
+  std::vector<std::string> Entities = C.take();
+  std::string Self = "f:" + std::string(FD->getName());
+  auto It = std::lower_bound(Entities.begin(), Entities.end(), Self);
+  if (It == Entities.end() || *It != Self)
+    Entities.insert(It, Self);
+  return Entities;
+}
+
+std::vector<std::string> collectInitEntities(const TranslationUnit &TU) {
+  EntityCollector C;
+  std::set<std::string> Extra;
+  for (const VarDecl *G : TU.Globals) {
+    if (!G->getInit())
+      continue;
+    Extra.insert("g:" + std::string(G->getName()));
+    C.addType(G->getType());
+    C.walkExpr(G->getInit());
+  }
+  std::vector<std::string> Entities = C.take();
+  for (const std::string &E : Extra)
+    Entities.push_back(E);
+  std::sort(Entities.begin(), Entities.end());
+  Entities.erase(std::unique(Entities.begin(), Entities.end()),
+                 Entities.end());
+  return Entities;
+}
+
+std::vector<std::pair<unsigned, unsigned>> snapshotEdges(const Fdg &Graph) {
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  for (unsigned N = 0; N != Graph.Graph.getNumNodes(); ++N)
+    for (unsigned Succ : Graph.Graph.successors(N))
+      Edges.emplace_back(N, Succ);
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  return Edges;
+}
+
+/// Fresh per-function classified positions of the components \p Inf
+/// analyzed, grouped by function name.
+std::unordered_map<std::string, std::vector<PosSummary>>
+freshSummaries(const ConstInference &Inf,
+               const std::vector<bool> *OnlyDirty) {
+  std::unordered_map<std::string, std::vector<PosSummary>> ByFn;
+  const Fdg &Graph = Inf.fdg();
+  const std::vector<InterestingPos> &Positions = Inf.positions();
+  for (unsigned C = 0; C != Graph.Sccs.Components.size(); ++C) {
+    if (OnlyDirty && !(*OnlyDirty)[C])
+      continue;
+    // Every defined member gets an entry, even when it contributes no
+    // positions: assembly treats a missing entry as corruption.
+    for (unsigned Node : Graph.Sccs.Components[C])
+      if (Graph.Functions[Node]->isDefined())
+        ByFn[std::string(Graph.Functions[Node]->getName())];
+    auto Range = Inf.sccPositionRange(C);
+    for (unsigned I = Range.first; I != Range.second; ++I) {
+      const InterestingPos &Pos = Positions[I];
+      ByFn[std::string(Pos.Fn->getName())].push_back(
+          {Pos.ParamIndex, Pos.Depth, Pos.DeclaredConst, Inf.classify(Pos)});
+    }
+  }
+  return ByFn;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// UnitSnapshot
+//===----------------------------------------------------------------------===//
+
+size_t UnitSnapshot::approxBytes() const {
+  size_t Bytes = sizeof(UnitSnapshot);
+  Bytes += Functions.size() * (sizeof(FuncInfo) + 16);
+  Bytes += Edges.size() * sizeof(Edges[0]);
+  for (const auto &KV : FunctionSummaries)
+    Bytes += KV.first.size() + 32 + KV.second.size() * sizeof(PosSummary);
+  for (const auto &KV : FunctionEntities) {
+    Bytes += KV.first.size() + 32;
+    for (const std::string &E : KV.second)
+      Bytes += E.size() + 24;
+  }
+  for (const std::string &E : InitEntities)
+    Bytes += E.size() + 24;
+  return Bytes;
+}
+
+std::shared_ptr<const UnitSnapshot>
+quals::constinf::captureSnapshot(const TranslationUnit &TU,
+                                 const ConstInference &Inf) {
+  auto Snap = std::make_shared<UnitSnapshot>();
+  Snap->DeclRegionHash = hashDeclRegion(TU);
+
+  const Fdg &Graph = Inf.fdg();
+  std::unordered_set<std::string_view> Names;
+  Snap->Functions.reserve(Graph.Functions.size());
+  for (const FunctionDecl *F : Graph.Functions) {
+    if (F->getName().empty() || !Names.insert(F->getName()).second)
+      return nullptr; // Name-keyed replay needs unique, non-empty names.
+    Snap->Functions.push_back(
+        {std::string(F->getName()), hashFunctionBody(F)});
+  }
+  Snap->Edges = snapshotEdges(Graph);
+  Snap->FunctionSummaries = freshSummaries(Inf, nullptr);
+  for (const FunctionDecl *F : Graph.Functions)
+    if (F->isDefined())
+      Snap->FunctionEntities.emplace(std::string(F->getName()),
+                                     collectFunctionEntities(F));
+  Snap->InitEntities = collectInitEntities(TU);
+  return Snap;
+}
+
+//===----------------------------------------------------------------------===//
+// Delta planning
+//===----------------------------------------------------------------------===//
+
+DeltaPlan quals::constinf::planDelta(const TranslationUnit &TU,
+                                     const Fdg &Graph,
+                                     const UnitSnapshot &Prev) {
+  DeltaPlan Plan;
+
+  if (hashDeclRegion(TU) != Prev.DeclRegionHash) {
+    Plan.FallbackReason = "decl-region";
+    return Plan;
+  }
+
+  // Node lists must agree exactly: same functions, same order, same
+  // defined-ness (body hash 0 means undefined on both sides).
+  if (Graph.Functions.size() != Prev.Functions.size()) {
+    Plan.FallbackReason = "function-set";
+    return Plan;
+  }
+  std::vector<uint64_t> FreshBodyHash(Graph.Functions.size());
+  for (unsigned I = 0; I != Graph.Functions.size(); ++I) {
+    const FunctionDecl *F = Graph.Functions[I];
+    FreshBodyHash[I] = hashFunctionBody(F);
+    if (F->getName() != Prev.Functions[I].Name ||
+        (FreshBodyHash[I] == 0) != (Prev.Functions[I].BodyHash == 0)) {
+      Plan.FallbackReason = "function-set";
+      return Plan;
+    }
+  }
+  if (snapshotEdges(Graph) != Prev.Edges) {
+    Plan.FallbackReason = "call-graph";
+    return Plan;
+  }
+
+  const unsigned NumComps =
+      static_cast<unsigned>(Graph.Sccs.Components.size());
+  const unsigned InitNode = NumComps; // global-initializer pseudo-node
+  Plan.SccDirty.assign(NumComps, false);
+
+  // Seed dirtiness from body-hash changes.
+  std::vector<bool> BodyChanged(Graph.Functions.size(), false);
+  for (unsigned I = 0; I != Graph.Functions.size(); ++I)
+    if (FreshBodyHash[I] != Prev.Functions[I].BodyHash) {
+      BodyChanged[I] = true;
+      Plan.SccDirty[Graph.Sccs.ComponentOf[I]] = true;
+    }
+
+  // Close over shared entities: components (plus the initializer
+  // pseudo-node) that name a common function/global/record form one
+  // coupling class; a class with any dirty member re-analyzes entirely.
+  UnionFind UF;
+  for (unsigned I = 0; I != NumComps + 1; ++I)
+    UF.makeSet();
+  std::unordered_map<std::string, unsigned> FirstHolder;
+  auto couple = [&](unsigned Node, const std::vector<std::string> &Entities) {
+    for (const std::string &E : Entities) {
+      auto It = FirstHolder.emplace(E, Node);
+      if (!It.second)
+        UF.unite(Node, It.first->second);
+    }
+  };
+  // Entities of unchanged functions replay from the snapshot; changed
+  // bodies are re-collected from the fresh AST.
+  std::vector<std::vector<std::string>> FreshEntities(Graph.Functions.size());
+  for (unsigned I = 0; I != Graph.Functions.size(); ++I) {
+    const FunctionDecl *F = Graph.Functions[I];
+    if (!F->isDefined())
+      continue;
+    unsigned Comp = Graph.Sccs.ComponentOf[I];
+    if (!BodyChanged[I]) {
+      auto It = Prev.FunctionEntities.find(std::string(F->getName()));
+      if (It != Prev.FunctionEntities.end()) {
+        couple(Comp, It->second);
+        continue;
+      }
+    }
+    FreshEntities[I] = collectFunctionEntities(F);
+    couple(Comp, FreshEntities[I]);
+  }
+  couple(InitNode, Prev.InitEntities);
+
+  // Propagate: every component whose class root has a dirty member.
+  std::vector<bool> RootDirty(NumComps + 1, false);
+  for (unsigned C = 0; C != NumComps; ++C)
+    if (Plan.SccDirty[C])
+      RootDirty[UF.find(C)] = true;
+  for (unsigned C = 0; C != NumComps; ++C)
+    Plan.SccDirty[C] = RootDirty[UF.find(C)];
+  Plan.InitsDirty = RootDirty[UF.find(InitNode)];
+
+  for (unsigned C = 0; C != NumComps; ++C) {
+    bool AnyDefined = false;
+    for (unsigned Node : Graph.Sccs.Components[C]) {
+      if (!Graph.Functions[Node]->isDefined())
+        continue;
+      AnyDefined = true;
+      if (Plan.SccDirty[C])
+        Plan.DirtyFunctions.insert(Graph.Functions[Node]);
+    }
+    if (!AnyDefined)
+      continue;
+    if (Plan.SccDirty[C])
+      ++Plan.NumDirtySccs;
+    else
+      ++Plan.NumReusedSccs;
+  }
+  Plan.Compatible = true;
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Assembly and re-capture after a restricted run
+//===----------------------------------------------------------------------===//
+
+std::vector<ClassifiedPos>
+quals::constinf::assemblePositions(const ConstInference &Inf,
+                                   const DeltaPlan &Plan,
+                                   const UnitSnapshot &Prev, bool &Ok) {
+  Ok = true;
+  std::vector<ClassifiedPos> Out;
+  const Fdg &Graph = Inf.fdg();
+  const std::vector<InterestingPos> &Positions = Inf.positions();
+  for (unsigned C = 0; C != Graph.Sccs.Components.size(); ++C) {
+    if (C < Plan.SccDirty.size() && Plan.SccDirty[C]) {
+      auto Range = Inf.sccPositionRange(C);
+      for (unsigned I = Range.first; I != Range.second; ++I)
+        Out.push_back({Positions[I], Inf.classify(Positions[I])});
+      continue;
+    }
+    // Clean component: replay per-function summaries in this (fresh)
+    // component's node order -- which is the order a cold run would have
+    // registered them.
+    for (unsigned Node : Graph.Sccs.Components[C]) {
+      const FunctionDecl *FD = Graph.Functions[Node];
+      if (!FD->isDefined())
+        continue;
+      auto It = Prev.FunctionSummaries.find(std::string(FD->getName()));
+      if (It == Prev.FunctionSummaries.end()) {
+        Ok = false;
+        return Out;
+      }
+      for (const PosSummary &PS : It->second) {
+        InterestingPos Pos;
+        Pos.Fn = FD;
+        Pos.ParamIndex = PS.ParamIndex;
+        Pos.Depth = PS.Depth;
+        Pos.DeclaredConst = PS.DeclaredConst;
+        Out.push_back({Pos, PS.Class});
+      }
+    }
+  }
+  return Out;
+}
+
+std::shared_ptr<const UnitSnapshot>
+quals::constinf::captureDeltaSnapshot(const TranslationUnit &TU,
+                                      const ConstInference &Inf,
+                                      const DeltaPlan &Plan,
+                                      const UnitSnapshot &Prev) {
+  (void)TU;
+  auto Snap = std::make_shared<UnitSnapshot>();
+  Snap->DeclRegionHash = Prev.DeclRegionHash;
+  Snap->Edges = Prev.Edges;
+  Snap->InitEntities = Prev.InitEntities;
+  Snap->FunctionSummaries = Prev.FunctionSummaries;
+  Snap->FunctionEntities = Prev.FunctionEntities;
+
+  const Fdg &Graph = Inf.fdg();
+  Snap->Functions.reserve(Graph.Functions.size());
+  for (const FunctionDecl *F : Graph.Functions)
+    Snap->Functions.push_back(
+        {std::string(F->getName()), hashFunctionBody(F)});
+
+  // Dirty components overwrite their members' summaries and entities with
+  // freshly computed ones; clean components keep Prev's.
+  auto Fresh = freshSummaries(Inf, &Plan.SccDirty);
+  for (auto &KV : Fresh)
+    Snap->FunctionSummaries[KV.first] = std::move(KV.second);
+  for (const FunctionDecl *F : Plan.DirtyFunctions)
+    Snap->FunctionEntities[std::string(F->getName())] =
+        collectFunctionEntities(F);
+  return Snap;
+}

@@ -1,0 +1,158 @@
+//===- constinf/Summary.h - Per-SCC summaries for incremental runs -*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis-side half of qualsd's incremental re-analysis
+/// (docs/INCREMENTAL.md; serve/Pipelines.h drives it, serve/SummaryStore.h
+/// retains it). A UnitSnapshot remembers, for one successfully analyzed C
+/// translation unit, everything needed to re-answer an edited version of the
+/// same unit without re-solving the parts the edit did not touch:
+///
+///  \li structural hashes of the declaration region and of every function
+///      body (cfront/AstHash.h), to detect what changed;
+///  \li the function dependence graph's shape (node list + edge set), to
+///      detect call-graph restructuring (SCC merge/split), which forces a
+///      full re-analysis;
+///  \li per-function result summaries -- the classified interesting
+///      positions (Section 4.4's trichotomy) of each defined function --
+///      which replay verbatim for functions the edit cannot have affected;
+///  \li per-function *entity* sets naming everything a function's
+///      constraints can share with another function's (called/referenced
+///      functions including library ones, global variables, record types
+///      reachable from any type it mentions).
+///
+/// Dirtiness is computed at SCC granularity and then closed over the entity
+/// sets: two SCCs that share any named entity land in one coupling class,
+/// and a class with any hash-dirty SCC is re-analyzed wholesale. This is
+/// deliberately coarser than the FDG's caller->callee reachability: const
+/// inference couples functions through shared globals, shared struct-field
+/// qualifiers, library interfaces, and the deep-pointer equality constraints
+/// of Section 4.1, none of which follow call edges only. The closure makes
+/// the dirty set self-contained, so the restricted re-run's constraint
+/// system is an exact sub-system of the full one and its least solution
+/// agrees position-for-position -- which is what lets qualsd promise
+/// byte-identical responses (the determinism contract in docs/SERVER.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_CONSTINF_SUMMARY_H
+#define QUALS_CONSTINF_SUMMARY_H
+
+#include "constinf/ConstInfer.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace quals {
+namespace constinf {
+
+/// One interesting position of one function, in portable (pointer-free)
+/// form. The owning function is the map key in UnitSnapshot.
+struct PosSummary {
+  int ParamIndex = -1;   ///< -1 for the result position.
+  unsigned Depth = 0;    ///< Pointer depth (InterestingPos::Depth).
+  bool DeclaredConst = false;
+  PosClass Class = PosClass::Either;
+};
+
+/// Everything retained about one successfully analyzed translation unit.
+/// Immutable once captured; the serve layer shares it across threads via
+/// shared_ptr<const UnitSnapshot>.
+struct UnitSnapshot {
+  /// cfront::hashDeclRegion of the captured unit. Any mismatch on the next
+  /// version forces a full re-analysis (interfaces or shared state moved).
+  uint64_t DeclRegionHash = 0;
+
+  struct FuncInfo {
+    std::string Name;
+    uint64_t BodyHash = 0; ///< 0 for undefined (library) functions.
+  };
+  /// TU.Functions in order; position and name must match the next version
+  /// exactly or the FDG node numbering is incomparable (full fallback).
+  std::vector<FuncInfo> Functions;
+
+  /// The FDG's edge set over indices into Functions, deduplicated and
+  /// sorted. Set inequality means the call graph restructured.
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+
+  /// Classified positions per defined function, in the deterministic order
+  /// RefTranslator registers them for that function's interface.
+  std::unordered_map<std::string, std::vector<PosSummary>> FunctionSummaries;
+
+  /// Coupling entities per function: "f:<name>" (functions, including
+  /// library ones and the function itself), "g:<name>" (globals),
+  /// "r:<tag>" (records reachable from any mentioned type). Sorted, unique.
+  std::unordered_map<std::string, std::vector<std::string>> FunctionEntities;
+
+  /// Entities of the global-initializer pseudo-node: every initialized
+  /// global, plus everything its initializer expressions reference.
+  std::vector<std::string> InitEntities;
+
+  /// Rough retained size, for the SummaryStore's accounting.
+  size_t approxBytes() const;
+};
+
+/// The planned shape of an incremental re-run of an edited unit against a
+/// prior snapshot.
+struct DeltaPlan {
+  /// False when the snapshot cannot be reused at all (see FallbackReason);
+  /// the caller must run a full analysis.
+  bool Compatible = false;
+  /// Why Compatible is false: "decl-region", "function-set", "call-graph".
+  const char *FallbackReason = nullptr;
+
+  /// Per fresh-FDG component: must it be re-analyzed?
+  std::vector<bool> SccDirty;
+  /// The defined functions inside dirty components -- the OnlyFunctions set
+  /// for the restricted ConstInference run.
+  std::unordered_set<const cfront::FunctionDecl *> DirtyFunctions;
+  /// True when the global-initializer pseudo-node is coupled with a dirty
+  /// component (restricted run must include genGlobalInit).
+  bool InitsDirty = false;
+
+  unsigned NumDirtySccs = 0;  ///< Components re-analyzed.
+  unsigned NumReusedSccs = 0; ///< Components replayed from the snapshot.
+};
+
+/// Captures a snapshot of \p TU after a successful *full* analysis \p Inf
+/// (run() returned true with no diagnostics). Returns null if the unit has
+/// a shape the incremental layer does not support (e.g. duplicate function
+/// names), in which case the caller simply serves full analyses.
+std::shared_ptr<const UnitSnapshot>
+captureSnapshot(const cfront::TranslationUnit &TU, const ConstInference &Inf);
+
+/// Plans an incremental run of the freshly parsed+analyzed \p TU (with FDG
+/// \p Graph, built by buildFdg) against \p Prev.
+DeltaPlan planDelta(const cfront::TranslationUnit &TU, const Fdg &Graph,
+                    const UnitSnapshot &Prev);
+
+/// Assembles the full classified-position list for \p TU after a successful
+/// restricted run \p Inf executed per \p Plan: dirty components contribute
+/// their freshly inferred positions, clean components replay \p Prev's
+/// per-function summaries, in exactly the order a cold run would have
+/// produced. Returns false (via \p Ok) if the snapshot is missing a summary
+/// it should have -- the caller falls back to a full analysis.
+std::vector<ClassifiedPos>
+assemblePositions(const ConstInference &Inf, const DeltaPlan &Plan,
+                  const UnitSnapshot &Prev, bool &Ok);
+
+/// Builds the successor snapshot after a successful restricted run: fresh
+/// hashes/summaries/entities for dirty functions, \p Prev's for clean ones.
+std::shared_ptr<const UnitSnapshot>
+captureDeltaSnapshot(const cfront::TranslationUnit &TU,
+                     const ConstInference &Inf, const DeltaPlan &Plan,
+                     const UnitSnapshot &Prev);
+
+} // namespace constinf
+} // namespace quals
+
+#endif // QUALS_CONSTINF_SUMMARY_H

@@ -396,6 +396,8 @@ bool quals::serve::parseRequest(std::string_view Line,
   const std::string &M = MethodV->asString();
   if (M == "analyze")
     Out.M = Method::Analyze;
+  else if (M == "analyze-delta")
+    Out.M = Method::AnalyzeDelta;
   else if (M == "invalidate")
     Out.M = Method::Invalidate;
   else if (M == "stats")
@@ -413,7 +415,7 @@ bool quals::serve::parseRequest(std::string_view Line,
     return false;
   }
 
-  if (Out.M == Method::Analyze) {
+  if (Out.M == Method::Analyze || Out.M == Method::AnalyzeDelta) {
     if (!Params) {
       Error = "analyze requires params";
       return false;

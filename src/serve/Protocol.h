@@ -12,9 +12,15 @@
 ///
 ///   {"id":1,"method":"analyze","params":{"path":"foo.c"}}
 ///   {"id":2,"method":"analyze","params":{"source":"int f();","name":"b.c"}}
-///   {"id":3,"method":"invalidate"}
-///   {"id":4,"method":"stats"}
-///   {"id":5,"method":"shutdown"}
+///   {"id":3,"method":"analyze-delta","params":{"path":"foo.c"}}
+///   {"id":4,"method":"invalidate"}
+///   {"id":5,"method":"stats"}
+///   {"id":6,"method":"shutdown"}
+///
+/// analyze-delta takes exactly analyze's params and returns a response with
+/// exactly analyze's schema and bytes; the only difference is how the
+/// answer is computed (incremental re-analysis against the server's last
+/// snapshot for that name+config, docs/INCREMENTAL.md).
 ///
 /// The parser is hand-rolled (no new dependencies) and hardened in the
 /// sense of docs/ROBUSTNESS.md: it is fed by the same untrusted peer the
@@ -87,8 +93,9 @@ public:
 bool parseJson(std::string_view Text, const ProtocolLimits &Lim,
                JsonValue &Out, std::string &Error);
 
-/// The request methods qualsd understands.
-enum class Method { Analyze, Invalidate, Stats, Shutdown };
+/// The request methods qualsd understands. AnalyzeDelta shares Analyze's
+/// params and response schema; it differs only in the computation strategy.
+enum class Method { Analyze, AnalyzeDelta, Invalidate, Stats, Shutdown };
 
 /// One parsed request line.
 struct Request {

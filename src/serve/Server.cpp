@@ -94,7 +94,8 @@ std::string quals::serve::makeErrorResponse(bool HasId, int64_t Id,
 }
 
 Server::Server(const ServerConfig &Config)
-    : Config(Config), Cache(Config.CacheMaxBytes, Config.SpillDir) {}
+    : Config(Config), Cache(Config.CacheMaxBytes, Config.SpillDir),
+      Snapshots(Config.MaxSnapshots) {}
 
 std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
   TraceScope Span("req:" + std::to_string(Seq), "serve");
@@ -121,10 +122,57 @@ std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
   Key.ContentHash = hashString(Job.Source);
   Key.ConfigHash = configHash(Job);
 
+  bool IsDelta = Req.M == Method::AnalyzeDelta;
+  if (IsDelta) {
+    ++DeltaRequests;
+    if (MetricsRegistry::collecting())
+      MetricsRegistry::global().counter("server.delta.requests").add();
+  }
+
   CachedResult Res;
   bool Hit = Cache.lookup(Key, Res);
   if (!Hit) {
-    runAnalysis(Job, Res);
+    // A miss computes the result and, for the C pipeline, captures a
+    // snapshot so a later analyze-delta for the same name+config has a
+    // basis. analyze-delta plans a restricted run against the stored
+    // snapshot when one exists, falling back to the full pipeline
+    // otherwise; either way the bytes are identical to a cold run
+    // (docs/INCREMENTAL.md states the contract, tests enforce it).
+    std::shared_ptr<const constinf::UnitSnapshot> Next;
+    if (IsDelta) {
+      auto Prev = Snapshots.lookup(Job.Name, Key.ConfigHash);
+      if (MetricsRegistry::collecting())
+        MetricsRegistry::global()
+            .counter(Prev ? "server.delta.snapshot_hits"
+                          : "server.delta.snapshot_misses")
+            .add();
+      DeltaOutcome Outcome;
+      if (Prev)
+        runAnalysisDelta(Job, *Prev, Res, Next, Outcome);
+      else
+        runAnalysis(Job, Res, &Next);
+      if (Outcome.UsedDelta) {
+        ++DeltaIncremental;
+        DeltaDirtySccs += Outcome.DirtySccs;
+        DeltaReused += Outcome.ReusedSccs;
+        if (MetricsRegistry::collecting()) {
+          MetricsRegistry::global().counter("server.delta.incremental").add();
+          MetricsRegistry::global()
+              .counter("server.delta.dirty_sccs")
+              .add(Outcome.DirtySccs);
+          MetricsRegistry::global()
+              .counter("server.delta.reused")
+              .add(Outcome.ReusedSccs);
+        }
+      } else {
+        ++DeltaFull;
+        if (MetricsRegistry::collecting())
+          MetricsRegistry::global().counter("server.delta.full").add();
+      }
+    } else {
+      runAnalysis(Job, Res, &Next);
+    }
+    Snapshots.store(Job.Name, Key.ConfigHash, std::move(Next));
     Cache.insert(Key, Res);
   }
   if (Tracer::isEnabled())
@@ -149,11 +197,17 @@ std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
 
 std::string Server::handleInvalidate(const Request &Req) {
   uint64_t Dropped;
-  if (!Req.ContentHashHex.empty())
+  if (!Req.ContentHashHex.empty()) {
     Dropped = Cache.invalidateContent(
         std::strtoull(Req.ContentHashHex.c_str(), nullptr, 16));
-  else
+  } else {
     Dropped = Cache.invalidateAll();
+    // Snapshots derive from previously served content just like cached
+    // results; a full invalidate drops both. (Content-hash invalidation
+    // does not map onto identity-keyed snapshots and leaves them alone;
+    // a stale snapshot is always safe -- it only seeds planning.)
+    Snapshots.clear();
+  }
   std::string R;
   appendIdField(R, Req.HasId, Req.Id);
   R += ",\"ok\":true,\"dropped\":" + std::to_string(Dropped) + "}\n";
@@ -173,6 +227,17 @@ std::string Server::handleStats(const Request &Req) {
   R += ",\"inserts\":" + std::to_string(S.Inserts);
   R += ",\"spill_loads\":" + std::to_string(S.SpillLoads);
   R += ",\"spill_writes\":" + std::to_string(S.SpillWrites);
+  R += "}";
+  SummaryStore::Stats SS = Snapshots.stats();
+  R += ",\"delta\":{\"snapshots\":" + std::to_string(SS.Entries);
+  R += ",\"snapshot_bytes\":" + std::to_string(SS.Bytes);
+  R += ",\"snapshot_hits\":" + std::to_string(SS.Hits);
+  R += ",\"snapshot_misses\":" + std::to_string(SS.Misses);
+  R += ",\"requests\":" + std::to_string(DeltaRequests.load());
+  R += ",\"incremental\":" + std::to_string(DeltaIncremental.load());
+  R += ",\"full\":" + std::to_string(DeltaFull.load());
+  R += ",\"dirty_sccs\":" + std::to_string(DeltaDirtySccs.load());
+  R += ",\"reused\":" + std::to_string(DeltaReused.load());
   R += "}}\n";
   return R;
 }
@@ -269,6 +334,10 @@ int Server::run(std::istream &In, std::ostream &Out) {
 
     switch (Req.M) {
     case Method::Analyze:
+    case Method::AnalyzeDelta:
+      // analyze-delta rides the same ordered-slot path as analyze: same
+      // pool, same backpressure, same response schema. handleAnalyze picks
+      // the computation strategy off Req.M.
       if (Pool) {
         WaitBacklog();
         Slot *S2;

@@ -37,8 +37,10 @@
 
 #include "serve/Protocol.h"
 #include "serve/ResultCache.h"
+#include "serve/SummaryStore.h"
 #include "support/Limits.h"
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -59,6 +61,10 @@ struct ServerConfig {
   Limits Lim;
   /// Budgets for the request parser itself.
   ProtocolLimits ProtoLim;
+  /// Retained analysis snapshots for analyze-delta (entry count per
+  /// (name, config) identity; 0 disables incremental re-analysis and every
+  /// analyze-delta request is served by a full run).
+  unsigned MaxSnapshots = 64;
 };
 
 /// The persistent analysis server; see the file comment.
@@ -76,13 +82,24 @@ public:
   /// The cache, for stats assertions in tests/bench.
   const ResultCache &cache() const { return Cache; }
 
+  /// The snapshot store backing analyze-delta, for tests/bench.
+  const SummaryStore &snapshots() const { return Snapshots; }
+
   /// Requests read so far (all methods, including malformed lines).
   uint64_t requestsServed() const { return Requests; }
 
 private:
   ServerConfig Config;
   ResultCache Cache;
+  SummaryStore Snapshots;
   uint64_t Requests = 0;
+
+  // analyze-delta accounting (atomic: analyzes run on pool workers).
+  std::atomic<uint64_t> DeltaRequests{0};    ///< analyze-delta lines seen.
+  std::atomic<uint64_t> DeltaIncremental{0}; ///< Served by a restricted run.
+  std::atomic<uint64_t> DeltaFull{0};        ///< Fell back to a full run.
+  std::atomic<uint64_t> DeltaDirtySccs{0};   ///< SCCs re-solved, summed.
+  std::atomic<uint64_t> DeltaReused{0};      ///< SCC summaries replayed, summed.
 
   /// Builds the response line (including trailing newline) for one
   /// analyze request; runs on a pool worker when Jobs > 1.

@@ -1,0 +1,146 @@
+//===- serve/SummaryStore.h - Retained snapshots for analyze-delta -*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-side home of constinf::UnitSnapshot (docs/INCREMENTAL.md).
+/// Where the ResultCache is keyed by *content* (any source bytes, any
+/// alias), the SummaryStore is keyed by *identity*: (name, config hash),
+/// i.e. "the latest successfully analyzed version of this path under these
+/// settings". An analyze-delta request for that identity plans its
+/// incremental run against the stored snapshot and, on success, replaces it
+/// -- the editor-loop progression the ROADMAP's incremental item asks for.
+///
+/// Snapshots share ResultCache's config discipline: the key folds the same
+/// configHash (including ResultCache::FormatVersion), so a flag or format
+/// change can never replay a stale summary. Entries are immutable
+/// shared_ptrs -- concurrent analyze-delta requests for one identity plan
+/// against whichever snapshot they observed and publish last-writer-wins,
+/// which is safe because every snapshot is self-consistent and the response
+/// bytes are identical either way.
+///
+/// Capacity is entry-counted (ServerConfig::MaxSnapshots) with LRU
+/// eviction; an editor loop touches few identities, so a small cap holds
+/// the working set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SERVE_SUMMARYSTORE_H
+#define QUALS_SERVE_SUMMARYSTORE_H
+
+#include "constinf/Summary.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace quals {
+namespace serve {
+
+/// Thread-safe LRU map from (unit name, config hash) to the latest
+/// snapshot of that unit. All methods are safe to call concurrently.
+class SummaryStore {
+public:
+  struct Stats {
+    uint64_t Hits = 0;      ///< lookup() found a snapshot.
+    uint64_t Misses = 0;    ///< lookup() found nothing.
+    uint64_t Inserts = 0;   ///< store() calls (insert or replace).
+    uint64_t Evictions = 0; ///< Entries dropped by the LRU cap.
+    uint64_t Entries = 0;   ///< Current entry count.
+    uint64_t Bytes = 0;     ///< Approximate retained bytes.
+  };
+
+  /// \p MaxEntries of 0 disables the store entirely (lookup always misses,
+  /// store is a no-op) -- qualsd --snapshots=0.
+  explicit SummaryStore(unsigned MaxEntries) : MaxEntries(MaxEntries) {}
+
+  std::shared_ptr<const constinf::UnitSnapshot>
+  lookup(const std::string &Name, uint64_t ConfigHash) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(key(Name, ConfigHash));
+    if (It == Map.end() || MaxEntries == 0) {
+      ++TheStats.Misses;
+      return nullptr;
+    }
+    ++TheStats.Hits;
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return It->second.Snap;
+  }
+
+  void store(const std::string &Name, uint64_t ConfigHash,
+             std::shared_ptr<const constinf::UnitSnapshot> Snap) {
+    if (!Snap || MaxEntries == 0)
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    ++TheStats.Inserts;
+    std::string K = key(Name, ConfigHash);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      TheStats.Bytes -= It->second.Snap->approxBytes();
+      TheStats.Bytes += Snap->approxBytes();
+      It->second.Snap = std::move(Snap);
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+      return;
+    }
+    Lru.push_front(K);
+    Entry E;
+    E.Snap = std::move(Snap);
+    E.LruIt = Lru.begin();
+    TheStats.Bytes += E.Snap->approxBytes();
+    Map.emplace(std::move(K), std::move(E));
+    while (Map.size() > MaxEntries) {
+      auto Victim = Map.find(Lru.back());
+      TheStats.Bytes -= Victim->second.Snap->approxBytes();
+      Map.erase(Victim);
+      Lru.pop_back();
+      ++TheStats.Evictions;
+    }
+  }
+
+  /// Drops every snapshot (the `invalidate` request clears summaries along
+  /// with cached results: both derive from previously served content).
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Map.clear();
+    Lru.clear();
+    TheStats.Bytes = 0;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> Lock(M);
+    Stats S = TheStats;
+    S.Entries = Map.size();
+    return S;
+  }
+
+private:
+  struct Entry {
+    std::shared_ptr<const constinf::UnitSnapshot> Snap;
+    std::list<std::string>::iterator LruIt;
+  };
+
+  static std::string key(const std::string &Name, uint64_t ConfigHash) {
+    char Buf[17];
+    std::snprintf(Buf, sizeof(Buf), "%016llx",
+                  static_cast<unsigned long long>(ConfigHash));
+    return Name + '\0' + Buf;
+  }
+
+  const unsigned MaxEntries;
+  mutable std::mutex M;
+  std::unordered_map<std::string, Entry> Map;
+  std::list<std::string> Lru; ///< Front = most recent; values are map keys.
+  Stats TheStats;
+};
+
+} // namespace serve
+} // namespace quals
+
+#endif // QUALS_SERVE_SUMMARYSTORE_H

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# check_docs.sh - documentation hygiene, wired into ctest as cli.check_docs.
+#
+#   check_docs.sh <repo-root>
+#
+# Asserts two invariants that keep the doc set navigable as it grows:
+# (1) every file under docs/ is referenced from README.md (the doc index in
+# its "Documentation map" section), so no page is orphaned; (2) every
+# relative markdown link in README.md and docs/*.md resolves to an existing
+# file (anchors stripped; http(s)/mailto links skipped), so renames and
+# deletions cannot silently strand readers.
+
+set -u
+
+ROOT=${1:?usage: check_docs.sh <repo-root>}
+FAILED=0
+
+# --- (1) every docs/ page is indexed from README.md ----------------------
+for DOC in "$ROOT"/docs/*.md; do
+    [ -e "$DOC" ] || continue
+    NAME="docs/$(basename "$DOC")"
+    if ! grep -q "$NAME" "$ROOT/README.md"; then
+        echo "FAIL: $NAME is not referenced from README.md" >&2
+        FAILED=1
+    fi
+done
+
+# --- (2) relative markdown links resolve ---------------------------------
+for MD in "$ROOT"/README.md "$ROOT"/docs/*.md; do
+    [ -e "$MD" ] || continue
+    DIR=$(dirname "$MD")
+    # Markdown link targets: the (...) of ](...), one per line. Links in
+    # these docs never contain spaces or nested parens.
+    TARGETS=$(grep -o '](\([^)]*\))' "$MD" | sed 's/^](//; s/)$//') || true
+    for T in $TARGETS; do
+        T=${T%%#*}                      # Strip the anchor.
+        [ -n "$T" ] || continue         # Pure-anchor link.
+        case "$T" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        if [ ! -e "$DIR/$T" ]; then
+            echo "FAIL: ${MD#"$ROOT"/}: broken link '$T'" >&2
+            FAILED=1
+        fi
+    done
+done
+
+exit "$FAILED"

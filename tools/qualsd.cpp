@@ -16,12 +16,15 @@
 //   --cache-mb=N    in-memory result-cache budget in MiB (default 64;
 //                   0 disables caching entirely)
 //   --cache-dir=D   spill results to D so warm state survives restarts
+//   --snapshots=N   retained analysis snapshots for analyze-delta
+//                   (default 64; 0 disables incremental re-analysis)
 //   -jN, --jobs N   analyze requests on N pool workers; responses stay in
 //                   request order for every N (docs/PARALLEL.md)
 //
 // plus the shared observability/limit flags (tools/ToolFlags.h). The
-// protocol -- analyze / invalidate / stats / shutdown -- cache keying, and
-// eviction policy are specified in docs/SERVER.md.
+// protocol -- analyze / analyze-delta / invalidate / stats / shutdown --
+// cache keying, and eviction policy are specified in docs/SERVER.md;
+// incremental re-analysis in docs/INCREMENTAL.md.
 //
 // Exit status: 0 on clean shutdown or end of input; 1 on bad arguments.
 // Per-request analysis failures are reported in responses, never as
@@ -44,7 +47,9 @@ using namespace quals::serve;
 static const char *kOptionsHelp =
     "  --cache-mb=N   in-memory result-cache budget in MiB (default 64;\n"
     "                 0 disables caching)\n"
-    "  --cache-dir=D  spill cached results to directory D (restart-warm)\n";
+    "  --cache-dir=D  spill cached results to directory D (restart-warm)\n"
+    "  --snapshots=N  retained analysis snapshots for analyze-delta\n"
+    "                 (default 64; 0 disables incremental re-analysis)\n";
 
 int main(int argc, char **argv) {
   ServerConfig Config;
@@ -66,6 +71,14 @@ int main(int argc, char **argv) {
       Config.SpillDir = argv[I] + 12;
       if (Config.SpillDir.empty())
         return Common.fail("--cache-dir= requires a directory");
+    } else if (!std::strncmp(argv[I], "--snapshots=", 12)) {
+      const char *Digits = argv[I] + 12;
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Digits, &End, 10);
+      if (*Digits == '\0' || *End != '\0' || N > (1u << 20))
+        return Common.fail(std::string("bad --snapshots value '") + Digits +
+                           "' (want a count in [0, 1048576])");
+      Config.MaxSnapshots = static_cast<unsigned>(N);
     } else {
       return Common.usageError(argv[I]);
     }

@@ -10,8 +10,11 @@
 # response and in --metrics=json counters (JSON validation skipped without
 # python3); (c) a `shutdown` request stops the daemon with exit 0 and
 # nothing after its response; (d) a served analyze matches what qualcc
-# prints for the same file. Wired into ctest as cli.smoke_server by
-# tools/CMakeLists.txt.
+# prints for the same file; (e) the editor loop: analyze a buffer, edit one
+# function, analyze-delta the edit -- the response is byte-identical to a
+# cold analyze of the edited buffer on a fresh daemon, and the stats/metrics
+# prove summaries were actually replayed (docs/INCREMENTAL.md). Wired into
+# ctest as cli.smoke_server by tools/CMakeLists.txt.
 
 set -euo pipefail
 
@@ -151,6 +154,59 @@ resp = json.loads(open(sys.argv[1]).read())
 expected = open(sys.argv[2]).read()
 assert resp["ok"], resp
 assert resp["stdout"] == expected, (resp["stdout"], expected)
+PYEOF
+fi
+
+# --- (e) edit loop: analyze, edit one function, analyze-delta ------------
+# Inline sources, as an editor integration would send buffers. V2 edits one
+# function body (leaf gains a write); everything else is unchanged.
+V1='int id(int *p) { return *p; }\nint use(int *q) { return id(q); }\nint leaf(int *r) { return *r; }\n'
+V2='int id(int *p) { return *p; }\nint use(int *q) { return id(q); }\nint leaf(int *r) { *r = 1; return *r; }\n'
+{
+    printf '{"id":1,"method":"analyze","params":{"name":"edit.c","source":"%s"}}\n' "$V1"
+    printf '{"id":2,"method":"analyze-delta","params":{"name":"edit.c","source":"%s"}}\n' "$V2"
+    printf '{"id":3,"method":"stats"}\n'
+    printf '{"id":4,"method":"shutdown"}\n'
+} >"$WORKDIR/editloop.ndjson"
+STATUS=0
+"$QUALSD" --metrics=json <"$WORKDIR/editloop.ndjson" \
+    >"$WORKDIR/editloop.out" 2>/dev/null || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: qualsd exited $STATUS on the edit-loop stream" >&2
+    FAILED=1
+fi
+# Cold reference: a fresh daemon analyzes the edited buffer under the same
+# request id, so the whole response line must match byte for byte.
+{
+    printf '{"id":2,"method":"analyze","params":{"name":"edit.c","source":"%s"}}\n' "$V2"
+    printf '{"id":3,"method":"shutdown"}\n'
+} >"$WORKDIR/editcold.ndjson"
+"$QUALSD" <"$WORKDIR/editcold.ndjson" >"$WORKDIR/editcold.out"
+sed -n '2p' "$WORKDIR/editloop.out" >"$WORKDIR/delta_line.out"
+sed -n '1p' "$WORKDIR/editcold.out" >"$WORKDIR/cold_line.out"
+if ! cmp -s "$WORKDIR/delta_line.out" "$WORKDIR/cold_line.out"; then
+    echo "FAIL: analyze-delta response differs from cold analyze" >&2
+    diff "$WORKDIR/delta_line.out" "$WORKDIR/cold_line.out" >&2 || true
+    FAILED=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORKDIR/editloop.out" <<'PYEOF' || FAILED=1
+import json, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+stats = json.loads(lines[2])
+delta = stats["delta"]
+# The edit was served incrementally: the snapshot from request 1 was found
+# and clean summaries were genuinely replayed, not recomputed.
+assert delta["snapshot_hits"] == 1, delta
+assert delta["incremental"] == 1, delta
+assert delta["full"] == 0, delta
+assert delta["reused"] > 0, delta
+metrics = json.loads("\n".join(lines[4:]))
+counters = metrics["counters"]
+assert counters.get("server.delta.requests") == 1, counters
+assert counters.get("server.delta.incremental") == 1, counters
+assert counters.get("server.delta.reused", 0) > 0, counters
 PYEOF
 fi
 
