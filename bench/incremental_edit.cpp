@@ -18,10 +18,10 @@
 //
 // Output is a JSON document (checked in as BENCH_incremental.json):
 //
-//   {"functions":600,"clusters":150,"edits":20,
+//   {"functions":600,"clusters":150,"edits":20,"hardware_threads":8,
 //    "cold_seconds_mean":...,"delta_seconds_mean":...,"speedup":...,
 //    "dirty_sccs_mean":...,"reused_sccs_mean":...,
-//    "responses_identical":true}
+//    "wall_seconds":...,"responses_identical":true}
 //
 // The run aborts (exit 1) if any delta response is not byte-identical to
 // the cold run of the same edited source, or if any edit falls back to the
@@ -31,6 +31,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "serve/Pipelines.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -109,6 +110,7 @@ int main(int argc, char **argv) {
   }
   unsigned Clusters = Functions / kClusterSize;
 
+  Timer Wall;
   // Seed the snapshot from the pristine unit (the editor's "file opened"
   // analysis). Every edit below is one function away from this baseline.
   CachedResult Baseline;
@@ -159,14 +161,18 @@ int main(int argc, char **argv) {
   }
 
   double ColdMean = ColdTotal / Edits, DeltaMean = DeltaTotal / Edits;
-  std::printf("{\"functions\":%u,\"clusters\":%u,\"edits\":%u,\n"
+  // hardware_threads and wall_seconds keep the numbers honest across
+  // runners, matching BENCH_batch.json.
+  std::printf("{\"functions\":%u,\"clusters\":%u,\"edits\":%u,"
+              "\"hardware_threads\":%u,\n"
               " \"cold_seconds_mean\":%.6f,\"delta_seconds_mean\":%.6f,"
               "\"speedup\":%.2f,\n"
               " \"dirty_sccs_mean\":%.1f,\"reused_sccs_mean\":%.1f,\n"
-              " \"responses_identical\":true}\n",
-              Functions, Clusters, Edits, ColdMean, DeltaMean,
+              " \"wall_seconds\":%.4f,\"responses_identical\":true}\n",
+              Functions, Clusters, Edits, ThreadPool::defaultWorkers(),
+              ColdMean, DeltaMean,
               DeltaMean > 0 ? ColdMean / DeltaMean : 0.0,
               static_cast<double>(DirtyTotal) / Edits,
-              static_cast<double>(ReusedTotal) / Edits);
+              static_cast<double>(ReusedTotal) / Edits, Wall.seconds());
   return 0;
 }

@@ -16,8 +16,9 @@
 //
 // Output is a JSON document (checked in as BENCH_server.json):
 //
-//   {"files":50,"lines_per_file":400,"cold_seconds":...,
-//    "warm_seconds":...,"speedup":...,
+//   {"files":50,"lines_per_file":400,"hardware_threads":8,
+//    "cold_seconds":...,"warm_seconds":...,"speedup":...,
+//    "wall_seconds":...,
 //    "cache":{"hits":50,"misses":50},"responses_identical":true}
 //
 // The run aborts (exit 1) if the two response streams are not
@@ -30,6 +31,7 @@
 #include "gen/SynthGen.h"
 #include "serve/Protocol.h"
 #include "serve/Server.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -90,8 +92,10 @@ int main(int argc, char **argv) {
   };
 
   std::string ColdResponses, WarmResponses;
+  Timer Wall;
   double ColdSeconds = pass(ColdResponses);
   double WarmSeconds = pass(WarmResponses);
+  double WallSeconds = Wall.seconds();
 
   CacheStats Stats = S.cache().stats();
   bool Identical = ColdResponses == WarmResponses;
@@ -104,14 +108,17 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // hardware_threads and wall_seconds keep the numbers honest across
+  // runners (a 1-thread container's timings mean something different).
   std::printf("{\"files\":%u,\"lines_per_file\":%u,"
+              "\"hardware_threads\":%u,"
               "\"cold_seconds\":%.4f,\"warm_seconds\":%.4f,"
-              "\"speedup\":%.1f,\n"
+              "\"speedup\":%.1f,\"wall_seconds\":%.4f,\n"
               " \"cache\":{\"hits\":%llu,\"misses\":%llu},"
               "\"responses_identical\":true}\n",
-              Files, Lines, ColdSeconds, WarmSeconds,
-              WarmSeconds > 0 ? ColdSeconds / WarmSeconds : 0.0,
-              static_cast<unsigned long long>(Stats.Hits),
+              Files, Lines, ThreadPool::defaultWorkers(), ColdSeconds,
+              WarmSeconds, WarmSeconds > 0 ? ColdSeconds / WarmSeconds : 0.0,
+              WallSeconds, static_cast<unsigned long long>(Stats.Hits),
               static_cast<unsigned long long>(Stats.Misses));
   return 0;
 }

@@ -336,6 +336,27 @@ void BM_SolveObservability(benchmark::State &State) {
 }
 BENCHMARK(BM_SolveObservability)->Arg(0)->Arg(1);
 
+void BM_HistogramRecord(benchmark::State &State) {
+  // The per-request cost of qualsd's always-on latency telemetry: arg 0
+  // measures the gated-off path (the latency-for lookup resolving to null,
+  // i.e. --no-telemetry), arg 1 a live Histogram::record(). The delta is
+  // what every served request pays for its p50/p99 visibility --
+  // bench/server_latency measures the same ablation end to end.
+  Histogram H;
+  bool Enabled = State.range(0);
+  Histogram *Target = Enabled ? &H : nullptr;
+  uint64_t Value = 1;
+  for (auto _ : State) {
+    if (Target)
+      Target->record(Value);
+    benchmark::DoNotOptimize(Target);
+    Value = (Value * 2862933555777941757ull + 3037000493ull) >> 32;
+  }
+  benchmark::DoNotOptimize(H.count());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_HistogramRecord)->Arg(0)->Arg(1);
+
 void BM_SchemeGeneralizeInstantiate(benchmark::State &State) {
   // Generalize a body-sized subgraph down to interface summaries, then
   // instantiate repeatedly -- the poly inference inner loop.

@@ -402,6 +402,8 @@ bool quals::serve::parseRequest(std::string_view Line,
     Out.M = Method::Invalidate;
   else if (M == "stats")
     Out.M = Method::Stats;
+  else if (M == "metrics")
+    Out.M = Method::Metrics;
   else if (M == "shutdown")
     Out.M = Method::Shutdown;
   else {

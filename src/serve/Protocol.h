@@ -95,7 +95,14 @@ bool parseJson(std::string_view Text, const ProtocolLimits &Lim,
 
 /// The request methods qualsd understands. AnalyzeDelta shares Analyze's
 /// params and response schema; it differs only in the computation strategy.
-enum class Method { Analyze, AnalyzeDelta, Invalidate, Stats, Shutdown };
+enum class Method {
+  Analyze,
+  AnalyzeDelta,
+  Invalidate,
+  Stats,
+  Metrics,
+  Shutdown
+};
 
 /// One parsed request line.
 struct Request {

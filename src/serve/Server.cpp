@@ -13,6 +13,7 @@
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +22,7 @@
 #include <istream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -81,6 +83,25 @@ struct Slot {
   bool Done = false;
 };
 
+/// The wire name of a method, for histogram keys and request-log events.
+const char *methodName(Method M) {
+  switch (M) {
+  case Method::Analyze:
+    return "analyze";
+  case Method::AnalyzeDelta:
+    return "analyze-delta";
+  case Method::Invalidate:
+    return "invalidate";
+  case Method::Stats:
+    return "stats";
+  case Method::Metrics:
+    return "metrics";
+  case Method::Shutdown:
+    return "shutdown";
+  }
+  return "invalid";
+}
+
 } // namespace
 
 std::string quals::serve::makeErrorResponse(bool HasId, int64_t Id,
@@ -95,9 +116,65 @@ std::string quals::serve::makeErrorResponse(bool HasId, int64_t Id,
 
 Server::Server(const ServerConfig &Config)
     : Config(Config), Cache(Config.CacheMaxBytes, Config.SpillDir),
-      Snapshots(Config.MaxSnapshots) {}
+      Snapshots(Config.MaxSnapshots),
+      Log(Config.RequestLogStream, Config.SlowMicros) {
+  if (Config.Telemetry) {
+    MetricsRegistry &R = MetricsRegistry::global();
+    LatAnalyze = &R.histogram("server.latency.analyze");
+    LatDelta = &R.histogram("server.latency.analyze-delta");
+    LatInvalidate = &R.histogram("server.latency.invalidate");
+    LatStats = &R.histogram("server.latency.stats");
+    LatMetrics = &R.histogram("server.latency.metrics");
+    QueueWait = &R.histogram("server.queue_wait");
+    QueueDepth = &R.gauge("server.queue_depth");
+  }
+}
 
-std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
+Histogram *Server::latencyFor(Method M) const {
+  switch (M) {
+  case Method::Analyze:
+    return LatAnalyze;
+  case Method::AnalyzeDelta:
+    return LatDelta;
+  case Method::Invalidate:
+    return LatInvalidate;
+  case Method::Stats:
+    return LatStats;
+  case Method::Metrics:
+    return LatMetrics;
+  case Method::Shutdown:
+    return nullptr;
+  }
+  return nullptr;
+}
+
+void Server::finishAnalyze(const Request &Req, uint64_t Seq, uint64_t T0,
+                           uint64_t QueueUs, uint64_t BytesIn,
+                           RequestLogEvent *Ev,
+                           const std::string &Response) {
+  Histogram *Lat = latencyFor(Req.M);
+  if (!Lat && !Ev)
+    return;
+  uint64_t End = Tracer::nowMicros();
+  if (Lat) {
+    Lat->record(End - T0);
+    QueueWait->record(QueueUs);
+  }
+  if (Ev) {
+    Ev->Seq = Seq;
+    Ev->HasId = Req.HasId;
+    Ev->Id = Req.Id;
+    Ev->Method = methodName(Req.M);
+    Ev->BytesIn = BytesIn;
+    Ev->BytesOut = Response.size();
+    Ev->QueueUs = QueueUs;
+    Ev->ServiceUs = End - T0;
+    Log.write(*Ev);
+  }
+}
+
+std::string Server::handleAnalyze(const Request &Req, uint64_t Seq,
+                                  RequestLogEvent *Ev) {
   TraceScope Span("req:" + std::to_string(Seq), "serve");
 
   AnalyzeJob Job;
@@ -138,9 +215,14 @@ std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
     // snapshot when one exists, falling back to the full pipeline
     // otherwise; either way the bytes are identical to a cold run
     // (docs/INCREMENTAL.md states the contract, tests enforce it).
+    std::optional<PhaseCapture> Capture;
+    if (Ev)
+      Capture.emplace(); // Per-request phase breakdown for the log event.
     std::shared_ptr<const constinf::UnitSnapshot> Next;
     if (IsDelta) {
       auto Prev = Snapshots.lookup(Job.Name, Key.ConfigHash);
+      if (Ev)
+        Ev->Snapshot = Prev ? "hit" : "miss";
       if (MetricsRegistry::collecting())
         MetricsRegistry::global()
             .counter(Prev ? "server.delta.snapshot_hits"
@@ -151,6 +233,8 @@ std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
         runAnalysisDelta(Job, *Prev, Res, Next, Outcome);
       else
         runAnalysis(Job, Res, &Next);
+      if (Ev)
+        Ev->Delta = Outcome.UsedDelta ? "incremental" : "full";
       if (Outcome.UsedDelta) {
         ++DeltaIncremental;
         DeltaDirtySccs += Outcome.DirtySccs;
@@ -174,6 +258,26 @@ std::string Server::handleAnalyze(const Request &Req, uint64_t Seq) {
     }
     Snapshots.store(Job.Name, Key.ConfigHash, std::move(Next));
     Cache.insert(Key, Res);
+    if (Ev) {
+      // Aggregate the capture by phase name (a phase can close many times
+      // per request), keeping first-completion order for stable output.
+      for (const PhaseCapture::Sample &Sample : Capture->samples()) {
+        auto It = std::find_if(
+            Ev->PhasesUs.begin(), Ev->PhasesUs.end(),
+            [&](const auto &KV) { return KV.first == Sample.Name; });
+        if (It != Ev->PhasesUs.end())
+          It->second += Sample.Micros;
+        else
+          Ev->PhasesUs.emplace_back(Sample.Name, Sample.Micros);
+      }
+    }
+  }
+  if (Ev) {
+    Ev->Ok = true;
+    Ev->HasExit = true;
+    Ev->Exit = Res.ExitCode;
+    Ev->HashPrefix = hashHex(Key.ContentHash).substr(0, 8);
+    Ev->Cache = Hit ? "hit" : "miss";
   }
   if (Tracer::isEnabled())
     Span.setArgs("\"cached\":" + std::string(Hit ? "true" : "false") +
@@ -238,7 +342,47 @@ std::string Server::handleStats(const Request &Req) {
   R += ",\"full\":" + std::to_string(DeltaFull.load());
   R += ",\"dirty_sccs\":" + std::to_string(DeltaDirtySccs.load());
   R += ",\"reused\":" + std::to_string(DeltaReused.load());
-  R += "}}\n";
+  R += "}";
+  if (Config.Telemetry) {
+    // Live per-method latency distributions; values are exact at this
+    // point because control requests barrier on all in-flight analyzes.
+    auto AppendHist = [&R](const char *Name, const Histogram &H) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.3f", H.mean());
+      R += "\"" + std::string(Name) +
+           "\":{\"count\":" + std::to_string(H.count()) +
+           ",\"mean_us\":" + Buf +
+           ",\"p50_us\":" + std::to_string(H.quantile(0.50)) +
+           ",\"p90_us\":" + std::to_string(H.quantile(0.90)) +
+           ",\"p99_us\":" + std::to_string(H.quantile(0.99)) + "}";
+    };
+    R += ",\"latency\":{";
+    AppendHist("analyze", *LatAnalyze);
+    R += ",";
+    AppendHist("analyze-delta", *LatDelta);
+    R += ",";
+    AppendHist("invalidate", *LatInvalidate);
+    R += ",";
+    AppendHist("stats", *LatStats);
+    R += ",";
+    AppendHist("metrics", *LatMetrics);
+    R += ",";
+    AppendHist("queue_wait", *QueueWait);
+    R += "}";
+  }
+  R += "}\n";
+  return R;
+}
+
+std::string Server::handleMetrics(const Request &Req) {
+  // The full registry snapshot -- the server's histograms plus whatever
+  // counters/timers the rest of the process has published -- compactly
+  // rendered so the response stays one NDJSON line.
+  std::string R;
+  appendIdField(R, Req.HasId, Req.Id);
+  R += ",\"ok\":true,\"metrics\":";
+  R += MetricsRegistry::global().renderJson(/*Compact=*/true);
+  R += "}\n";
   return R;
 }
 
@@ -260,6 +404,8 @@ int Server::run(std::istream &In, std::ostream &Out) {
       Out << Pending.front().Response;
       Pending.pop_front();
     }
+    if (QueueDepth)
+      QueueDepth->set(static_cast<int64_t>(Pending.size()));
     Out.flush();
   };
   // Blocks until every in-flight request has completed and flushed; the
@@ -275,6 +421,8 @@ int Server::run(std::istream &In, std::ostream &Out) {
         break;
       DoneCv.wait(Lock, [&] { return Pending.front().Done; });
     }
+    if (QueueDepth)
+      QueueDepth->set(0);
     Out.flush();
   };
   // Backpressure: a peer that streams analyze requests faster than the
@@ -290,6 +438,8 @@ int Server::run(std::istream &In, std::ostream &Out) {
         Out << Pending.front().Response;
         Pending.pop_front();
       }
+      if (QueueDepth)
+        QueueDepth->set(static_cast<int64_t>(Pending.size()));
       Out.flush();
     }
   };
@@ -308,6 +458,48 @@ int Server::run(std::istream &In, std::ostream &Out) {
         MetricsRegistry::global().counter("server.errors").add();
     }
   };
+  // Request-level instrumentation is fully off (no clock reads) unless a
+  // histogram or the request log wants the numbers.
+  const bool Instrument = Config.Telemetry || static_cast<bool>(Log);
+  // Logs a request that never reached a handler (over-long or unparseable
+  // line): no method, no exit, just the shape and the timings.
+  auto LogInvalid = [&](bool HasId, int64_t Id, uint64_t T0,
+                        uint64_t BytesIn, const std::string &Response) {
+    if (!Log)
+      return;
+    RequestLogEvent Ev;
+    Ev.Seq = Requests;
+    Ev.HasId = HasId;
+    Ev.Id = Id;
+    Ev.Method = "invalid";
+    Ev.BytesIn = BytesIn;
+    Ev.BytesOut = Response.size();
+    Ev.ServiceUs = Tracer::nowMicros() - T0;
+    Log.write(Ev);
+  };
+  // Telemetry + log for a control request (invalidate/stats/metrics/
+  // shutdown); the barrier wait is part of its service time.
+  auto FinishControl = [&](const Request &Req, uint64_t T0, uint64_t BytesIn,
+                           const std::string &Response) {
+    Histogram *Lat = latencyFor(Req.M);
+    if (!Lat && !Log)
+      return;
+    uint64_t End = Tracer::nowMicros();
+    if (Lat)
+      Lat->record(End - T0);
+    if (Log) {
+      RequestLogEvent Ev;
+      Ev.Seq = Requests;
+      Ev.HasId = Req.HasId;
+      Ev.Id = Req.Id;
+      Ev.Method = methodName(Req.M);
+      Ev.Ok = true;
+      Ev.BytesIn = BytesIn;
+      Ev.BytesOut = Response.size();
+      Ev.ServiceUs = End - T0;
+      Log.write(Ev);
+    }
+  };
 
   std::string Line;
   for (;;) {
@@ -317,16 +509,22 @@ int Server::run(std::istream &In, std::ostream &Out) {
       break;
     if (Line.find_first_not_of(" \t") == std::string::npos)
       continue; // Blank lines are keep-alives, not requests.
+    const uint64_t T0 = Instrument ? Tracer::nowMicros() : 0;
+    const uint64_t BytesIn = Line.size();
     if (S == ReadStatus::TooLong) {
       CountRequest(/*IsError=*/true);
-      EmitDone(makeErrorResponse(false, 0, "request exceeds byte limit"));
+      std::string R = makeErrorResponse(false, 0, "request exceeds byte limit");
+      LogInvalid(false, 0, T0, BytesIn, R);
+      EmitDone(std::move(R));
       continue;
     }
     Request Req;
     std::string Error;
     if (!parseRequest(Line, Config.ProtoLim, Req, Error)) {
       CountRequest(/*IsError=*/true);
-      EmitDone(makeErrorResponse(Req.HasId, Req.Id, Error));
+      std::string R = makeErrorResponse(Req.HasId, Req.Id, Error);
+      LogInvalid(Req.HasId, Req.Id, T0, BytesIn, R);
+      EmitDone(std::move(R));
       continue;
     }
     CountRequest(/*IsError=*/false);
@@ -345,10 +543,18 @@ int Server::run(std::istream &In, std::ostream &Out) {
           std::lock_guard<std::mutex> Lock(Mutex);
           Pending.emplace_back();
           S2 = &Pending.back();
+          if (QueueDepth)
+            QueueDepth->set(static_cast<int64_t>(Pending.size()));
         }
-        Pool->enqueue([this, S2, &Mutex, &DoneCv, Req = std::move(Req),
-                       Seq] {
-          std::string Response = handleAnalyze(Req, Seq);
+        const uint64_t EnqueueUs = Instrument ? Tracer::nowMicros() : 0;
+        Pool->enqueue([this, S2, &Mutex, &DoneCv, Req = std::move(Req), Seq,
+                       T0, BytesIn, EnqueueUs] {
+          const uint64_t QueueUs =
+              EnqueueUs ? Tracer::nowMicros() - EnqueueUs : 0;
+          RequestLogEvent Ev;
+          RequestLogEvent *EvPtr = Log ? &Ev : nullptr;
+          std::string Response = handleAnalyze(Req, Seq, EvPtr);
+          finishAnalyze(Req, Seq, T0, QueueUs, BytesIn, EvPtr, Response);
           std::lock_guard<std::mutex> Lock(Mutex);
           S2->Response = std::move(Response);
           S2->Done = true;
@@ -356,22 +562,40 @@ int Server::run(std::istream &In, std::ostream &Out) {
         });
         FlushReady();
       } else {
-        EmitDone(handleAnalyze(Req, Seq));
+        RequestLogEvent Ev;
+        RequestLogEvent *EvPtr = Log ? &Ev : nullptr;
+        std::string Response = handleAnalyze(Req, Seq, EvPtr);
+        finishAnalyze(Req, Seq, T0, /*QueueUs=*/0, BytesIn, EvPtr, Response);
+        EmitDone(std::move(Response));
       }
       break;
-    case Method::Invalidate:
+    case Method::Invalidate: {
       Barrier();
-      EmitDone(handleInvalidate(Req));
+      std::string R = handleInvalidate(Req);
+      FinishControl(Req, T0, BytesIn, R);
+      EmitDone(std::move(R));
       break;
-    case Method::Stats:
+    }
+    case Method::Stats: {
       Barrier();
-      EmitDone(handleStats(Req));
+      std::string R = handleStats(Req);
+      FinishControl(Req, T0, BytesIn, R);
+      EmitDone(std::move(R));
       break;
+    }
+    case Method::Metrics: {
+      Barrier();
+      std::string R = handleMetrics(Req);
+      FinishControl(Req, T0, BytesIn, R);
+      EmitDone(std::move(R));
+      break;
+    }
     case Method::Shutdown: {
       Barrier();
       std::string R;
       appendIdField(R, Req.HasId, Req.Id);
       R += ",\"ok\":true}\n";
+      FinishControl(Req, T0, BytesIn, R);
       EmitDone(std::move(R));
       return 0;
     }

@@ -27,8 +27,15 @@
 ///
 /// Observability: each request runs under a "req:<n>" trace span in
 /// category "serve", and the loop publishes server.requests /
-/// server.errors counters next to the cache.* metrics (docs/SERVER.md,
-/// docs/OBSERVABILITY.md).
+/// server.errors counters next to the cache.* metrics. Request-level
+/// telemetry (on by default, ServerConfig::Telemetry) additionally records
+/// every request's queue wait and end-to-end service time into
+/// server.latency.<method> / server.queue_wait histograms, readable live
+/// through the `metrics` request and the `stats` latency block; an
+/// optional structured request log (serve/RequestLog.h) emits one NDJSON
+/// event per request. None of it ever touches response bytes: the response
+/// stream stays byte-identical at any -jN, telemetry on or off
+/// (docs/SERVER.md, docs/OBSERVABILITY.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,9 +43,11 @@
 #define QUALS_SERVE_SERVER_H
 
 #include "serve/Protocol.h"
+#include "serve/RequestLog.h"
 #include "serve/ResultCache.h"
 #include "serve/SummaryStore.h"
 #include "support/Limits.h"
+#include "support/Metrics.h"
 
 #include <atomic>
 #include <cstdint>
@@ -65,6 +74,19 @@ struct ServerConfig {
   /// (name, config) identity; 0 disables incremental re-analysis and every
   /// analyze-delta request is served by a full run).
   unsigned MaxSnapshots = 64;
+  /// Request-level telemetry: per-method latency histograms plus queue
+  /// instrumentation, registered in MetricsRegistry::global() and exposed
+  /// through the `metrics` request and the `stats` latency block. On by
+  /// default (independent of --metrics collection); off makes the serving
+  /// loop metric-free. Response bytes are identical either way.
+  bool Telemetry = true;
+  /// Structured request-log sink (one NDJSON event per request, completion
+  /// order; serve/RequestLog.h); null disables. Not owned; must outlive
+  /// the server.
+  std::ostream *RequestLogStream = nullptr;
+  /// Request-log events with end-to-end service time at or above this many
+  /// microseconds are tagged "slow":true; 0 disables tagging.
+  uint64_t SlowMicros = 0;
 };
 
 /// The persistent analysis server; see the file comment.
@@ -101,12 +123,41 @@ private:
   std::atomic<uint64_t> DeltaDirtySccs{0};   ///< SCCs re-solved, summed.
   std::atomic<uint64_t> DeltaReused{0};      ///< SCC summaries replayed, summed.
 
+  // Request-level telemetry: per-method latency histograms plus queue
+  // instrumentation, owned by MetricsRegistry::global() (stable refs) so
+  // the `metrics` request and --metrics reports see them; all null when
+  // Config.Telemetry is off, which is the only gate the serving loop
+  // checks.
+  Histogram *LatAnalyze = nullptr;
+  Histogram *LatDelta = nullptr;
+  Histogram *LatInvalidate = nullptr;
+  Histogram *LatStats = nullptr;
+  Histogram *LatMetrics = nullptr;
+  Histogram *QueueWait = nullptr;
+  Gauge *QueueDepth = nullptr;
+  RequestLog Log;
+
+  /// The latency histogram for \p M; null for shutdown or with telemetry
+  /// off.
+  Histogram *latencyFor(Method M) const;
+
   /// Builds the response line (including trailing newline) for one
-  /// analyze request; runs on a pool worker when Jobs > 1.
-  std::string handleAnalyze(const Request &Req, uint64_t Seq);
+  /// analyze request; runs on a pool worker when Jobs > 1. With \p Ev set
+  /// (request logging on), fills the event's analysis facts: ok/exit,
+  /// content-hash prefix, cache and snapshot outcomes, and the per-phase
+  /// breakdown captured while computing a miss.
+  std::string handleAnalyze(const Request &Req, uint64_t Seq,
+                            RequestLogEvent *Ev);
+
+  /// Records latency/queue telemetry for a finished analyze-family request
+  /// and, when \p Ev is set, completes and writes its log event.
+  void finishAnalyze(const Request &Req, uint64_t Seq, uint64_t T0,
+                     uint64_t QueueUs, uint64_t BytesIn, RequestLogEvent *Ev,
+                     const std::string &Response);
 
   std::string handleInvalidate(const Request &Req);
   std::string handleStats(const Request &Req);
+  std::string handleMetrics(const Request &Req);
 };
 
 /// Serializes an error response: {"id":<id|null>,"ok":false,"error":"..."}.

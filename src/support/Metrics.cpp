@@ -11,12 +11,43 @@
 #include "support/TextTable.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 using namespace quals;
 
 std::atomic<bool> MetricsRegistry::Collecting{false};
+
+uint64_t Histogram::quantile(double P) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  if (P < 0.0)
+    P = 0.0;
+  if (P > 1.0)
+    P = 1.0;
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(P * static_cast<double>(Total)));
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Cumulative = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Cumulative += bucketCount(I);
+    if (Cumulative >= Rank) {
+      uint64_t Lo = bucketLo(I);
+      uint64_t Hi = bucketHi(I);
+      // Exact buckets (width 1) return the value itself; log buckets the
+      // midpoint, clamped into the recorded range.
+      uint64_t Estimate = Lo + (Hi - 1 - Lo) / 2;
+      return std::min(Estimate, max());
+    }
+  }
+  // Buckets momentarily trail the total under concurrent recording.
+  return max();
+}
 
 MetricsRegistry &MetricsRegistry::global() {
   static MetricsRegistry R;
@@ -47,9 +78,18 @@ TimerMetric &MetricsRegistry::timer(const std::string &Name) {
   return *Slot;
 }
 
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
 bool MetricsRegistry::empty() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Counters.empty() && Gauges.empty() && Timers.empty();
+  return Counters.empty() && Gauges.empty() && Histograms.empty() &&
+         Timers.empty();
 }
 
 void MetricsRegistry::resetValues() {
@@ -57,6 +97,8 @@ void MetricsRegistry::resetValues() {
   for (auto &KV : Counters)
     KV.second->reset();
   for (auto &KV : Gauges)
+    KV.second->reset();
+  for (auto &KV : Histograms)
     KV.second->reset();
   for (auto &KV : Timers)
     KV.second->reset();
@@ -77,6 +119,18 @@ std::string MetricsRegistry::renderTable() const {
     for (const auto &KV : Gauges)
       Rows.push_back({KV.first, "gauge",
                       std::to_string(KV.second->value())});
+    for (const auto &KV : Histograms) {
+      const Histogram &H = *KV.second;
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf),
+                    "p50=%llu p90=%llu p99=%llu max=%llu (n=%llu)",
+                    static_cast<unsigned long long>(H.quantile(0.50)),
+                    static_cast<unsigned long long>(H.quantile(0.90)),
+                    static_cast<unsigned long long>(H.quantile(0.99)),
+                    static_cast<unsigned long long>(H.max()),
+                    static_cast<unsigned long long>(H.count()));
+      Rows.push_back({KV.first, "histogram", Buf});
+    }
     for (const auto &KV : Timers) {
       char Buf[64];
       std::snprintf(Buf, sizeof(Buf), "%.3f ms (x%llu)",
@@ -96,7 +150,36 @@ std::string MetricsRegistry::renderTable() const {
   return T.render();
 }
 
-std::string MetricsRegistry::renderJson() const {
+static void appendHistogramJson(std::string &Out, const Histogram &H) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", H.mean());
+  Out += "{\"count\":" + std::to_string(H.count()) +
+         ",\"sum\":" + std::to_string(H.sum()) +
+         ",\"min\":" + std::to_string(H.min()) +
+         ",\"max\":" + std::to_string(H.max()) + ",\"mean\":" + Buf +
+         ",\"p50\":" + std::to_string(H.quantile(0.50)) +
+         ",\"p90\":" + std::to_string(H.quantile(0.90)) +
+         ",\"p99\":" + std::to_string(H.quantile(0.99)) + ",\"buckets\":[";
+  bool First = true;
+  for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
+    uint64_t C = H.bucketCount(I);
+    if (!C)
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '[' + std::to_string(Histogram::bucketLo(I)) + ',' +
+           std::to_string(Histogram::bucketHi(I)) + ',' + std::to_string(C) +
+           ']';
+  }
+  Out += "]}";
+}
+
+std::string MetricsRegistry::renderJson(bool Compact) const {
+  // Compact mode collapses the document to one newline-free line so it can
+  // be embedded in an NDJSON response; the section order and every value
+  // byte are identical either way.
+  const char *Entry = Compact ? "" : "\n  ";
   std::lock_guard<std::mutex> Lock(Mutex);
   std::string Out = "{\"counters\":{";
   bool First = true;
@@ -104,19 +187,31 @@ std::string MetricsRegistry::renderJson() const {
     if (!First)
       Out += ',';
     First = false;
-    Out += "\n  \"" + jsonEscape(KV.first) +
+    Out += Entry;
+    Out += '"' + jsonEscape(KV.first) +
            "\":" + std::to_string(KV.second->value());
   }
-  Out += "},\n\"gauges\":{";
+  Out += Compact ? "},\"gauges\":{" : "},\n\"gauges\":{";
   First = true;
   for (const auto &KV : Gauges) {
     if (!First)
       Out += ',';
     First = false;
-    Out += "\n  \"" + jsonEscape(KV.first) +
+    Out += Entry;
+    Out += '"' + jsonEscape(KV.first) +
            "\":" + std::to_string(KV.second->value());
   }
-  Out += "},\n\"timers\":{";
+  Out += Compact ? "},\"histograms\":{" : "},\n\"histograms\":{";
+  First = true;
+  for (const auto &KV : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += Entry;
+    Out += '"' + jsonEscape(KV.first) + "\":";
+    appendHistogramJson(Out, *KV.second);
+  }
+  Out += Compact ? "},\"timers\":{" : "},\n\"timers\":{";
   First = true;
   for (const auto &KV : Timers) {
     char Buf[64];
@@ -124,18 +219,28 @@ std::string MetricsRegistry::renderJson() const {
     if (!First)
       Out += ',';
     First = false;
-    Out += "\n  \"" + jsonEscape(KV.first) + "\":{\"seconds\":" + Buf +
+    Out += Entry;
+    Out += '"' + jsonEscape(KV.first) + "\":{\"seconds\":" + Buf +
            ",\"count\":" + std::to_string(KV.second->count()) + "}";
   }
-  Out += "}}\n";
+  Out += Compact ? "}}" : "}}\n";
   return Out;
 }
 
+static thread_local PhaseCapture *CurrentCapture = nullptr;
+
+PhaseCapture::PhaseCapture() : Prev(CurrentCapture) { CurrentCapture = this; }
+
+PhaseCapture::~PhaseCapture() { CurrentCapture = Prev; }
+
+PhaseCapture *PhaseCapture::current() { return CurrentCapture; }
+
 PhaseScope::PhaseScope(const char *Name, const char *Category)
     : Span(Name, Category), Name(Name),
-      Collect(MetricsRegistry::collecting()) {
-  if (Collect) {
+      Collect(MetricsRegistry::collecting()), Capture(PhaseCapture::current()) {
+  if (Collect || Capture)
     StartUs = Tracer::nowMicros();
+  if (Collect) {
     // Thread-local, not process-wide: a concurrent batch worker's
     // allocations must not be billed to this thread's open phase.
     StartArenaBytes = BumpPtrAllocator::threadBytesAllocated();
@@ -143,6 +248,8 @@ PhaseScope::PhaseScope(const char *Name, const char *Category)
 }
 
 PhaseScope::~PhaseScope() {
+  if (Capture)
+    Capture->add(Name, Tracer::nowMicros() - StartUs);
   if (!Collect)
     return;
   MetricsRegistry &R = MetricsRegistry::global();

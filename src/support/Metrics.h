@@ -17,6 +17,9 @@
 ///     graph sizes).
 /// \li **TimerMetric** -- accumulated wall seconds plus a sample count
 ///     (per-phase time; "phase.<name>" by convention).
+/// \li **Histogram** -- a fixed log-spaced distribution of uint64 samples
+///     with lock-free recording and deterministic p50/p90/p99 estimation
+///     (request latency; "server.latency.<method>" by convention).
 ///
 /// Registration is idempotent: asking for an existing name returns the same
 /// metric object, so independent pipeline stages may "register" the same
@@ -46,11 +49,13 @@
 #include "support/Trace.h"
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace quals {
 
@@ -104,6 +109,101 @@ private:
   std::atomic<uint64_t> Count{0};
 };
 
+/// A fixed-layout distribution of uint64 samples (latencies in
+/// microseconds, sizes in bytes -- the histogram itself is unit-agnostic).
+///
+/// Bucket layout: 256 buckets covering the full uint64 range. Values 0..15
+/// get one exact bucket each; every larger power-of-two octave is split
+/// into 4 log-spaced sub-buckets, bounding the relative width of any
+/// bucket (and therefore any quantile estimate) at ~12.5%. The layout is a
+/// compile-time constant -- no configuration, no allocation, and two
+/// histograms always have comparable buckets.
+///
+/// record() is wait-free: three relaxed fetch_adds plus two bounded CAS
+/// loops for min/max. Readers see a consistent-enough snapshot (totals can
+/// momentarily lead bucket sums under concurrent writes); quiesce writers
+/// for exact numbers, as the server's control-request barrier does.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 256;
+
+  /// Adds one sample.
+  void record(uint64_t Value) {
+    Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    uint64_t Seen = Min.load(std::memory_order_relaxed);
+    while (Value < Seen &&
+           !Min.compare_exchange_weak(Seen, Value, std::memory_order_relaxed))
+      ;
+    Seen = Max.load(std::memory_order_relaxed);
+    while (Value > Seen &&
+           !Max.compare_exchange_weak(Seen, Value, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded sample; 0 when empty.
+  uint64_t min() const {
+    uint64_t V = Min.load(std::memory_order_relaxed);
+    return V == UINT64_MAX ? 0 : V;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t N = count();
+    return N ? static_cast<double>(sum()) / static_cast<double>(N) : 0.0;
+  }
+  uint64_t bucketCount(unsigned Index) const {
+    return Buckets[Index].load(std::memory_order_relaxed);
+  }
+
+  /// The sample at rank ceil(P * count), estimated from the bucket layout:
+  /// exact for values < 16, a bucket midpoint (<= ~12.5% relative error)
+  /// above. Deterministic for a quiesced histogram. 0 when empty.
+  uint64_t quantile(double P) const;
+
+  void reset() {
+    for (std::atomic<uint64_t> &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Min.store(UINT64_MAX, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+  /// The bucket a value lands in: the value itself below 16, then
+  /// 4 sub-buckets per octave keyed off the top three significant bits.
+  static unsigned bucketIndex(uint64_t Value) {
+    if (Value < 16)
+      return static_cast<unsigned>(Value);
+    unsigned Octave = 63 - static_cast<unsigned>(std::countl_zero(Value));
+    unsigned Sub = static_cast<unsigned>((Value >> (Octave - 2)) & 3);
+    return 16 + (Octave - 4) * 4 + Sub;
+  }
+  /// Inclusive lower bound of a bucket's value range.
+  static uint64_t bucketLo(unsigned Index) {
+    if (Index < 16)
+      return Index;
+    unsigned Octave = 4 + (Index - 16) / 4;
+    unsigned Sub = (Index - 16) % 4;
+    return static_cast<uint64_t>(4 + Sub) << (Octave - 2);
+  }
+  /// Exclusive upper bound; UINT64_MAX sentinel for the last bucket.
+  static uint64_t bucketHi(unsigned Index) {
+    if (Index + 1 >= NumBuckets)
+      return UINT64_MAX;
+    return bucketLo(Index + 1);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
 /// A registry of named metrics; see the file comment.
 class MetricsRegistry {
 public:
@@ -128,6 +228,7 @@ public:
   Counter &counter(const std::string &Name);
   Gauge &gauge(const std::string &Name);
   TimerMetric &timer(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
 
   /// True if nothing has been registered.
   bool empty() const;
@@ -140,11 +241,14 @@ public:
   std::string renderTable() const;
 
   /// Renders all metrics as a stable JSON document:
-  ///   {"counters":{...},"gauges":{...},
+  ///   {"counters":{...},"gauges":{...},"histograms":{...},
   ///    "timers":{"phase.parse":{"seconds":0.0123,"count":2},...}}
-  /// Keys sort lexicographically, timer seconds print with fixed
-  /// precision, so two runs diff cleanly.
-  std::string renderJson() const;
+  /// A histogram renders its totals, p50/p90/p99, and every non-empty
+  /// bucket as [lo, hi, count] triples. Keys sort lexicographically, timer
+  /// seconds print with fixed precision, so two runs diff cleanly.
+  /// \p Compact drops all newlines (one line, no trailing newline) so the
+  /// document can be embedded in a line-oriented protocol response.
+  std::string renderJson(bool Compact = false) const;
 
 private:
   static std::atomic<bool> Collecting;
@@ -153,6 +257,7 @@ private:
   // std::map: stable references plus lexicographic iteration for free.
   std::map<std::string, std::unique_ptr<Counter>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
   std::map<std::string, std::unique_ptr<TimerMetric>> Timers;
 };
 
@@ -163,13 +268,51 @@ inline bool observabilityActive() {
   return Tracer::isEnabled() || MetricsRegistry::collecting();
 }
 
+/// A per-thread sink collecting the (name, duration) of every PhaseScope
+/// that closes while it is installed -- the per-request phase breakdown
+/// behind qualsd's request log, independent of the process-global registry
+/// and of whether --metrics collection is on. RAII: construction installs
+/// the capture on the current thread (stacking over any previous one),
+/// destruction restores the previous sink. Works because one request's
+/// pipeline runs entirely on one worker thread; the disabled path costs
+/// PhaseScope one extra thread-local load.
+class PhaseCapture {
+public:
+  struct Sample {
+    const char *Name;
+    uint64_t Micros;
+  };
+
+  PhaseCapture();
+  ~PhaseCapture();
+  PhaseCapture(const PhaseCapture &) = delete;
+  PhaseCapture &operator=(const PhaseCapture &) = delete;
+
+  /// Captured phases in completion order (inner scopes before outer).
+  const std::vector<Sample> &samples() const { return Samples; }
+
+  /// The sink installed on the current thread, or null.
+  static PhaseCapture *current();
+
+private:
+  friend class PhaseScope;
+  void add(const char *Name, uint64_t Micros) {
+    Samples.push_back({Name, Micros});
+  }
+
+  std::vector<Sample> Samples;
+  PhaseCapture *Prev;
+};
+
 /// RAII phase instrumentation: a Chrome-trace span named \p Name in
 /// category \p Category plus, when metrics collection is on, an
 /// accumulation into the global registry's "phase.<Name>" timer and
 /// "phase.<Name>.arena_bytes" gauge (bump-allocator bytes allocated *on
 /// this thread* while the phase was open; nested phases' bytes count
 /// toward every open phase, and concurrent batch workers' allocations are
-/// never billed to another thread's phase). Inert when both sinks are off.
+/// never billed to another thread's phase). Additionally feeds the current
+/// thread's PhaseCapture, when one is installed. Inert when all sinks are
+/// off.
 class PhaseScope {
 public:
   explicit PhaseScope(const char *Name, const char *Category = "quals");
@@ -186,6 +329,7 @@ private:
   TraceScope Span;
   const char *Name;
   bool Collect;
+  PhaseCapture *Capture;
   uint64_t StartUs = 0;
   uint64_t StartArenaBytes = 0;
 };

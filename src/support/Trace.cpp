@@ -101,16 +101,30 @@ std::string Tracer::toChromeJson() const {
   std::vector<TraceEvent> Sorted = snapshot();
   // Spans close in LIFO order, so recording order is by *end* time; the
   // trace-event format wants non-decreasing "ts" per document for friendly
-  // loading. stable_sort keeps nesting order for equal timestamps (an outer
-  // span that began the same microsecond as its first child sorts first
-  // because it was recorded later... not guaranteed -- so break ties by
-  // longer duration first, which puts parents before their children).
-  std::stable_sort(Sorted.begin(), Sorted.end(),
-                   [](const TraceEvent &A, const TraceEvent &B) {
-                     if (A.StartUs != B.StartUs)
-                       return A.StartUs < B.StartUs;
-                     return A.DurUs > B.DurUs;
-                   });
+  // loading. Sort by start time, breaking ties by longer duration first so
+  // parents precede their children. When both tie (a sub-microsecond parent
+  // and child share a start stamp), fall back to *reverse* recording order:
+  // LIFO close means the parent was recorded after the child, so later
+  // recording sorts first. The index key also makes the sort total, so the
+  // serialization is deterministic for any snapshot.
+  std::vector<size_t> Order(Sorted.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&Sorted](size_t IA, size_t IB) {
+    const TraceEvent &A = Sorted[IA], &B = Sorted[IB];
+    if (A.StartUs != B.StartUs)
+      return A.StartUs < B.StartUs;
+    if (A.DurUs != B.DurUs)
+      return A.DurUs > B.DurUs;
+    return IA > IB;
+  });
+  {
+    std::vector<TraceEvent> Reordered;
+    Reordered.reserve(Sorted.size());
+    for (size_t I : Order)
+      Reordered.push_back(std::move(Sorted[I]));
+    Sorted = std::move(Reordered);
+  }
   std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool First = true;
   for (const TraceEvent &E : Sorted) {

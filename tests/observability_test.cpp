@@ -13,6 +13,7 @@
 
 #include "support/Allocator.h"
 #include "support/Metrics.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -280,4 +281,212 @@ TEST_F(ObservabilityTest, PhaseScopeEmitsTraceSpanWithArgs) {
   ASSERT_EQ(Events.size(), 1u);
   EXPECT_EQ(Events[0].Name, "obs_span");
   EXPECT_EQ(Events[0].Args, "\"items\":3");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, ExactBucketsBelowSixteen) {
+  for (uint64_t V = 0; V != 16; ++V) {
+    EXPECT_EQ(Histogram::bucketIndex(V), V);
+    EXPECT_EQ(Histogram::bucketLo(static_cast<unsigned>(V)), V);
+    EXPECT_EQ(Histogram::bucketHi(static_cast<unsigned>(V)), V + 1);
+  }
+}
+
+TEST(Histogram, LogBucketBoundaries) {
+  // Octave 4 (16..31) splits into 4 sub-buckets of width 4.
+  EXPECT_EQ(Histogram::bucketIndex(16), 16u);
+  EXPECT_EQ(Histogram::bucketIndex(19), 16u);
+  EXPECT_EQ(Histogram::bucketIndex(20), 17u);
+  EXPECT_EQ(Histogram::bucketIndex(24), 18u);
+  EXPECT_EQ(Histogram::bucketIndex(28), 19u);
+  EXPECT_EQ(Histogram::bucketIndex(31), 19u);
+  EXPECT_EQ(Histogram::bucketIndex(32), 20u);
+  // The layout is self-consistent: every bucket's lower bound maps back to
+  // the bucket, buckets tile the range with no gaps, and the largest value
+  // lands in the last bucket.
+  for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketLo(I)), I);
+    if (I + 1 < Histogram::NumBuckets)
+      EXPECT_EQ(Histogram::bucketHi(I), Histogram::bucketLo(I + 1));
+  }
+  EXPECT_EQ(Histogram::bucketIndex(UINT64_MAX), Histogram::NumBuckets - 1);
+  EXPECT_EQ(Histogram::bucketHi(Histogram::NumBuckets - 1), UINT64_MAX);
+}
+
+TEST(Histogram, QuantilesAreExactForSmallValues) {
+  Histogram H;
+  for (uint64_t V = 0; V != 10; ++V)
+    H.record(V);
+  // Rank semantics: quantile(p) is the ceil(p*n)-th smallest sample; small
+  // values live in width-1 buckets, so the answer is exact.
+  EXPECT_EQ(H.quantile(0.10), 0u);
+  EXPECT_EQ(H.quantile(0.50), 4u);
+  EXPECT_EQ(H.quantile(1.00), 9u);
+  EXPECT_EQ(H.quantile(0.00), 0u);
+}
+
+TEST(Histogram, QuantileEstimateStaysWithinBucketWidth) {
+  Histogram H;
+  for (unsigned I = 0; I != 1000; ++I)
+    H.record(500);
+  // 500 lands in log bucket [448, 512); the estimate is the midpoint,
+  // clamped into the recorded range -- within the layout's ~12.5% bound.
+  uint64_t Est = H.quantile(0.50);
+  EXPECT_EQ(Est, 479u);
+  EXPECT_LE(Est, 500u);
+  EXPECT_GE(Est, 448u);
+}
+
+TEST(Histogram, SkewedDistributionPercentiles) {
+  Histogram H;
+  for (unsigned I = 0; I != 90; ++I)
+    H.record(10);
+  for (unsigned I = 0; I != 9; ++I)
+    H.record(1000);
+  H.record(100000);
+  EXPECT_EQ(H.quantile(0.50), 10u);
+  EXPECT_EQ(H.quantile(0.90), 10u);
+  // p99 falls in 1000's bucket [896, 1024): midpoint 959.
+  EXPECT_EQ(H.quantile(0.99), 959u);
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_EQ(H.min(), 10u);
+  EXPECT_EQ(H.max(), 100000u);
+}
+
+TEST(Histogram, SumMeanMinMaxTrack) {
+  Histogram H;
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+  H.record(4);
+  H.record(6);
+  EXPECT_EQ(H.sum(), 10u);
+  EXPECT_EQ(H.mean(), 5.0);
+  EXPECT_EQ(H.min(), 4u);
+  EXPECT_EQ(H.max(), 6u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram H;
+  H.record(3);
+  H.record(70000);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.quantile(0.99), 0u);
+  for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+    EXPECT_EQ(H.bucketCount(I), 0u);
+  // And it keeps recording after a reset.
+  H.record(3);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.quantile(0.5), 3u);
+}
+
+TEST(Histogram, RegistryRenderingIsDeterministic) {
+  // A private registry so the global one stays untouched.
+  MetricsRegistry R;
+  Histogram &H = R.histogram("test.latency");
+  EXPECT_EQ(&H, &R.histogram("test.latency"));
+  H.record(2);
+  H.record(500);
+  std::string Pretty = R.renderJson();
+  EXPECT_EQ(Pretty, R.renderJson());
+  // The histogram section carries totals, percentiles, and only the
+  // non-empty buckets as [lo, hi, count] triples.
+  EXPECT_NE(Pretty.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(Pretty.find("\"test.latency\":{\"count\":2"), std::string::npos);
+  EXPECT_NE(Pretty.find("\"buckets\":[[2,3,1],[448,512,1]]"),
+            std::string::npos);
+  // Compact mode: identical bytes minus the whitespace, a single line.
+  std::string Compact = R.renderJson(/*Compact=*/true);
+  EXPECT_EQ(Compact.find('\n'), std::string::npos);
+  std::string Flattened = Pretty;
+  std::string Cleaned;
+  for (char C : Flattened)
+    if (C != '\n' && C != ' ')
+      Cleaned += C;
+  EXPECT_EQ(Compact, Cleaned);
+  // The table view shows the percentile summary.
+  EXPECT_NE(R.renderTable().find("histogram"), std::string::npos);
+  EXPECT_NE(R.renderTable().find("p50="), std::string::npos);
+}
+
+TEST(Histogram, RegistryResetValuesCoversHistograms) {
+  MetricsRegistry R;
+  R.histogram("h").record(7);
+  EXPECT_FALSE(R.empty());
+  R.resetValues();
+  EXPECT_EQ(R.histogram("h").count(), 0u);
+}
+
+TEST(ObservabilityConcurrency, HistogramRecordingIsLockFreeAndExact) {
+  // Hammer one histogram from every worker; totals and per-bucket counts
+  // must be exact after the pool quiesces (record() is wait-free relaxed
+  // atomics -- this is also the TSan coverage for concurrent recording).
+  Histogram H;
+  constexpr unsigned Tasks = 8;
+  constexpr unsigned PerTask = 20000;
+  ThreadPool Pool(4);
+  Pool.parallelForEach(Tasks, [&H](size_t Task) {
+    for (unsigned I = 0; I != PerTask; ++I)
+      H.record((Task * PerTask + I) % 16);
+  });
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(Tasks) * PerTask);
+  uint64_t BucketTotal = 0;
+  for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+    BucketTotal += H.bucketCount(I);
+  EXPECT_EQ(BucketTotal, H.count());
+  // Values cycle 0..15 uniformly: every exact bucket holds 1/16th.
+  for (unsigned I = 0; I != 16; ++I)
+    EXPECT_EQ(H.bucketCount(I), static_cast<uint64_t>(Tasks) * PerTask / 16);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 15u);
+}
+
+//===----------------------------------------------------------------------===//
+// PhaseCapture
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, PhaseCaptureCollectsWithoutGlobalCollection) {
+  // The per-request capture works with --metrics off: that is its point
+  // (qualsd's request log must see phase breakdowns on un-instrumented
+  // daemons).
+  ASSERT_FALSE(MetricsRegistry::collecting());
+  PhaseCapture Capture;
+  {
+    PhaseScope Outer("cap_outer", "test");
+    { PhaseScope Inner("cap_inner", "test"); }
+  }
+  ASSERT_EQ(Capture.samples().size(), 2u);
+  // Completion order: inner scope closes first.
+  EXPECT_STREQ(Capture.samples()[0].Name, "cap_inner");
+  EXPECT_STREQ(Capture.samples()[1].Name, "cap_outer");
+}
+
+TEST_F(ObservabilityTest, PhaseCaptureStacksAndRestores) {
+  PhaseCapture Outer;
+  {
+    PhaseCapture Inner;
+    EXPECT_EQ(PhaseCapture::current(), &Inner);
+    { PhaseScope P("cap_stacked", "test"); }
+    EXPECT_EQ(Inner.samples().size(), 1u);
+  }
+  EXPECT_EQ(PhaseCapture::current(), &Outer);
+  EXPECT_TRUE(Outer.samples().empty());
+  { PhaseScope P("cap_after", "test"); }
+  ASSERT_EQ(Outer.samples().size(), 1u);
+  EXPECT_STREQ(Outer.samples()[0].Name, "cap_after");
+}
+
+TEST_F(ObservabilityTest, PhaseScopeLatchesCaptureAtConstruction) {
+  // A scope opened before a capture installs must not report into it.
+  PhaseScope *Scope = new PhaseScope("cap_latched", "test");
+  PhaseCapture Capture;
+  delete Scope;
+  EXPECT_TRUE(Capture.samples().empty());
 }

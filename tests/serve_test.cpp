@@ -16,9 +16,11 @@
 
 #include "serve/Pipelines.h"
 #include "serve/Protocol.h"
+#include "serve/RequestLog.h"
 #include "serve/ResultCache.h"
 #include "serve/Server.h"
 #include "support/Hash.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -623,4 +625,231 @@ TEST(Server, MakeErrorResponseShapes) {
             "{\"id\":5,\"ok\":false,\"error\":\"boom\"}\n");
   EXPECT_EQ(makeErrorResponse(false, 0, "x\"y"),
             "{\"id\":null,\"ok\":false,\"error\":\"x\\\"y\"}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// serve/Server telemetry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+const std::string kAnalyzeT =
+    "{\"id\":1,\"method\":\"analyze\",\"params\":"
+    "{\"source\":\"int f(int *p) { return *p; }\",\"name\":\"t.c\"}}\n";
+
+} // namespace
+
+TEST(Server, MetricsRequestReturnsLiveHistograms) {
+  // Histograms live in the process-global registry; start from zero so the
+  // counts below are exact regardless of what ran before in this binary.
+  MetricsRegistry::global().resetValues();
+  std::string Req = kAnalyzeT;
+  Req += "{\"id\":2,\"method\":\"analyze\",\"params\":"
+         "{\"source\":\"int f(int *p) { return *p; }\",\"name\":\"t.c\"}}\n";
+  Req += "{\"id\":3,\"method\":\"metrics\"}\n";
+  std::vector<std::string> Lines = splitLines(serveStream(Req));
+  ASSERT_EQ(Lines.size(), 3u);
+
+  JsonValue V = parseOk(Lines[2]);
+  ASSERT_EQ(V.kind(), JsonValue::Kind::Object);
+  EXPECT_EQ(V.find("id")->asNumber(), 3.0);
+  EXPECT_TRUE(V.find("ok")->asBool());
+  const JsonValue *Metrics = V.find("metrics");
+  ASSERT_NE(Metrics, nullptr);
+  const JsonValue *Hists = Metrics->find("histograms");
+  ASSERT_NE(Hists, nullptr);
+
+  const JsonValue *Lat = Hists->find("server.latency.analyze");
+  ASSERT_NE(Lat, nullptr);
+  EXPECT_EQ(Lat->find("count")->asNumber(), 2.0);
+  // The non-empty buckets must account for every recorded sample.
+  const JsonValue *Buckets = Lat->find("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  double BucketTotal = 0;
+  for (const JsonValue &B : Buckets->elements()) {
+    ASSERT_EQ(B.elements().size(), 3u); // [lo, hi, count]
+    BucketTotal += B.elements()[2].asNumber();
+  }
+  EXPECT_EQ(BucketTotal, 2.0);
+  // Both analyzes ran inline (-j1): queue_wait recorded as zero wait.
+  const JsonValue *Queue = Hists->find("server.queue_wait");
+  ASSERT_NE(Queue, nullptr);
+  EXPECT_EQ(Queue->find("count")->asNumber(), 2.0);
+  EXPECT_EQ(Queue->find("max")->asNumber(), 0.0);
+}
+
+TEST(Server, StatsLatencyBlockGatedOnTelemetry) {
+  MetricsRegistry::global().resetValues();
+  std::string Req = kAnalyzeT + "{\"id\":2,\"method\":\"stats\"}\n";
+
+  // Telemetry on (the default): stats carries the latency block.
+  JsonValue On = parseOk(splitLines(serveStream(Req)).at(1));
+  const JsonValue *Lat = On.find("latency");
+  ASSERT_NE(Lat, nullptr);
+  const JsonValue *Analyze = Lat->find("analyze");
+  ASSERT_NE(Analyze, nullptr);
+  EXPECT_EQ(Analyze->find("count")->asNumber(), 1.0);
+  ASSERT_NE(Analyze->find("p50_us"), nullptr);
+  ASSERT_NE(Analyze->find("p99_us"), nullptr);
+  // The stats histogram is recorded *after* its response is built, so the
+  // first stats request reports itself as count 0.
+  EXPECT_EQ(Lat->find("stats")->find("count")->asNumber(), 0.0);
+
+  // Telemetry off: the block is absent and the rest of stats is intact.
+  ServerConfig Dark;
+  Dark.Telemetry = false;
+  JsonValue Off = parseOk(splitLines(serveStream(Req, Dark)).at(1));
+  EXPECT_TRUE(Off.find("ok")->asBool());
+  EXPECT_EQ(Off.find("latency"), nullptr);
+  EXPECT_NE(Off.find("cache"), nullptr);
+}
+
+TEST(Server, TelemetryNeverAltersResponseBytes) {
+  // The determinism contract: histograms, the request log, and --slow-ms
+  // may not change a single response byte. (stats/metrics responses embed
+  // live telemetry by design, so the stream here is the pure-function
+  // subset: analyze, invalidate, shutdown.)
+  std::string Req = kAnalyzeT;
+  Req += "{\"id\":2,\"method\":\"analyze\",\"params\":"
+         "{\"source\":\"int g(int *p) { *p = 1; return 0; }\","
+         "\"name\":\"u.c\"}}\n";
+  Req += kAnalyzeT; // Warm repeat: exercises the cache-hit path too.
+  Req += "{\"id\":4,\"method\":\"invalidate\"}\n";
+  Req += "{\"id\":5,\"method\":\"shutdown\"}\n";
+
+  std::string Baseline = serveStream(Req);
+
+  ServerConfig Dark;
+  Dark.Telemetry = false;
+  EXPECT_EQ(serveStream(Req, Dark), Baseline);
+
+  std::ostringstream Sink;
+  ServerConfig Logged;
+  Logged.RequestLogStream = &Sink;
+  Logged.SlowMicros = 1; // Tag (nearly) everything; bytes must not move.
+  EXPECT_EQ(serveStream(Req, Logged), Baseline);
+  EXPECT_EQ(splitLines(Sink.str()).size(), 5u);
+}
+
+TEST(Server, RequestLogEmitsOneEventPerRequestInOrder) {
+  std::ostringstream Sink;
+  ServerConfig Config;
+  Config.RequestLogStream = &Sink;
+
+  std::string Req = kAnalyzeT; // Cold: cache miss, phase breakdown.
+  Req += kAnalyzeT;            // Warm: cache hit, no phases.
+  Req += "this is not json\n";
+  Req += "{\"id\":3,\"method\":\"invalidate\"}\n";
+  Req += "{\"id\":4,\"method\":\"stats\"}\n";
+  Req += "{\"id\":5,\"method\":\"shutdown\"}\n";
+  serveStream(Req, Config);
+
+  std::vector<std::string> Lines = splitLines(Sink.str());
+  ASSERT_EQ(Lines.size(), 6u);
+  const char *Methods[] = {"analyze",    "analyze", "invalid",
+                           "invalidate", "stats",   "shutdown"};
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    JsonValue Ev = parseOk(Lines[I]);
+    ASSERT_EQ(Ev.kind(), JsonValue::Kind::Object) << Lines[I];
+    // Inline serving completes in arrival order, so seq is 1..N here.
+    EXPECT_EQ(Ev.find("seq")->asNumber(), static_cast<double>(I + 1));
+    EXPECT_EQ(Ev.find("method")->asString(), Methods[I]);
+    EXPECT_EQ(Ev.find("ok")->asBool(), I != 2);
+    ASSERT_NE(Ev.find("bytes_in"), nullptr);
+    ASSERT_NE(Ev.find("bytes_out"), nullptr);
+    ASSERT_NE(Ev.find("service_us"), nullptr);
+    EXPECT_GT(Ev.find("bytes_out")->asNumber(), 0.0);
+  }
+
+  JsonValue Miss = parseOk(Lines[0]);
+  EXPECT_EQ(Miss.find("cache")->asString(), "miss");
+  EXPECT_EQ(Miss.find("exit")->asNumber(), 0.0);
+  EXPECT_EQ(Miss.find("hash")->asString().size(), 8u);
+  const JsonValue *Phases = Miss.find("phases");
+  ASSERT_NE(Phases, nullptr);
+  EXPECT_NE(Phases->find("solve"), nullptr);
+
+  JsonValue Hit = parseOk(Lines[1]);
+  EXPECT_EQ(Hit.find("cache")->asString(), "hit");
+  EXPECT_EQ(Hit.find("hash")->asString(), Miss.find("hash")->asString());
+  EXPECT_EQ(Hit.find("phases"), nullptr); // Replays skip the pipeline.
+
+  JsonValue Invalid = parseOk(Lines[2]);
+  EXPECT_TRUE(Invalid.find("id")->isNull());
+}
+
+TEST(Server, RequestLogRenderHasFixedKeyOrder) {
+  RequestLogEvent Ev;
+  Ev.Seq = 3;
+  Ev.HasId = true;
+  Ev.Id = 7;
+  Ev.Method = "analyze-delta";
+  Ev.Ok = true;
+  Ev.HasExit = true;
+  Ev.Exit = 1;
+  Ev.HashPrefix = "deadbeef";
+  Ev.Cache = "miss";
+  Ev.Snapshot = "hit";
+  Ev.Delta = "incremental";
+  Ev.BytesIn = 120;
+  Ev.BytesOut = 64;
+  Ev.QueueUs = 5;
+  Ev.ServiceUs = 240;
+  Ev.Slow = true;
+  Ev.PhasesUs = {{"parse", 57}, {"solve", 3}};
+  EXPECT_EQ(RequestLog::render(Ev),
+            "{\"seq\":3,\"id\":7,\"method\":\"analyze-delta\",\"ok\":true,"
+            "\"exit\":1,\"hash\":\"deadbeef\",\"cache\":\"miss\","
+            "\"snapshot\":\"hit\",\"delta\":\"incremental\",\"bytes_in\":120,"
+            "\"bytes_out\":64,\"queue_us\":5,\"service_us\":240,\"slow\":true,"
+            "\"phases\":{\"parse\":57,\"solve\":3}}");
+
+  RequestLogEvent Min;
+  Min.Seq = 1;
+  Min.Method = "invalid";
+  EXPECT_EQ(RequestLog::render(Min),
+            "{\"seq\":1,\"id\":null,\"method\":\"invalid\",\"ok\":false,"
+            "\"bytes_in\":0,\"bytes_out\":0,\"queue_us\":0,\"service_us\":0}");
+}
+
+TEST(Server, RequestLogSlowThresholdTagsOnCommit) {
+  std::ostringstream Sink;
+  RequestLog Log(&Sink, /*SlowMicros=*/100);
+  RequestLogEvent Fast;
+  Fast.Seq = 1;
+  Fast.Method = "analyze";
+  Fast.ServiceUs = 99;
+  Log.write(Fast);
+  RequestLogEvent Slow;
+  Slow.Seq = 2;
+  Slow.Method = "analyze";
+  Slow.ServiceUs = 100; // Threshold is inclusive.
+  Log.write(Slow);
+  std::vector<std::string> Lines = splitLines(Sink.str());
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0].find("\"slow\""), std::string::npos);
+  EXPECT_NE(Lines[1].find("\"slow\":true"), std::string::npos);
+
+  // SlowMicros == 0 (the default / --slow-ms absent) never tags.
+  std::ostringstream Sink2;
+  RequestLog Untagged(&Sink2, 0);
+  RequestLogEvent Ev;
+  Ev.Seq = 1;
+  Ev.Method = "stats";
+  Ev.ServiceUs = 1u << 30;
+  Untagged.write(Ev);
+  EXPECT_EQ(Sink2.str().find("\"slow\""), std::string::npos);
 }

@@ -15,6 +15,11 @@
 ///   --trace-out=<file>   record Chrome trace events, write them to <file>
 ///   --metrics[=table|json]  print collected metrics on exit (default table)
 ///
+/// The metrics report goes to stdout by default (the batch tools' smoke
+/// scripts parse it there). A tool whose stdout is a machine protocol --
+/// qualsd's NDJSON response stream -- must call setReportStream(stderr)
+/// so telemetry can never interleave with protocol bytes.
+///
 /// See docs/OBSERVABILITY.md for the span/metric naming conventions and how
 /// to load the trace in Perfetto.
 ///
@@ -69,6 +74,9 @@ public:
   /// True if a recognized observability flag had a malformed value.
   bool badFlag() const { return Bad; }
 
+  /// Redirects the exit-time metrics report (default stdout).
+  void setReportStream(std::FILE *To) { Report = To; }
+
   /// Turns the requested sinks on; call once after flag parsing.
   void activate() {
     if (!TraceOut.empty())
@@ -78,7 +86,7 @@ public:
   }
 
   /// Flushes on every exit path: writes the trace file and prints the
-  /// metrics report to stdout.
+  /// metrics report to the report stream (stdout unless redirected).
   ~ObsSession() {
     if (!TraceOut.empty()) {
       Tracer::instance().setEnabled(false);
@@ -87,9 +95,9 @@ public:
                      TraceOut.c_str());
     }
     if (Metrics == MetricsMode::Table)
-      std::fputs(MetricsRegistry::global().renderTable().c_str(), stdout);
+      std::fputs(MetricsRegistry::global().renderTable().c_str(), Report);
     else if (Metrics == MetricsMode::Json)
-      std::fputs(MetricsRegistry::global().renderJson().c_str(), stdout);
+      std::fputs(MetricsRegistry::global().renderJson().c_str(), Report);
   }
 
 private:
@@ -97,6 +105,7 @@ private:
 
   std::string TraceOut;
   MetricsMode Metrics = MetricsMode::Off;
+  std::FILE *Report = stdout;
   bool Bad = false;
 };
 

@@ -43,7 +43,7 @@ namespace quals {
 
 /// The project version reported by every tool's --version. One constant so
 /// the four tools can never drift apart.
-#define QUALS_VERSION_STRING "0.5.0"
+#define QUALS_VERSION_STRING "0.6.0"
 
 /// Shared flag state for one tool invocation; see the file comment.
 class ToolFlags {
@@ -133,6 +133,10 @@ public:
   /// Arms the observability sinks; call once after flag parsing. The
   /// ObsSession member flushes them on every main() exit path.
   void activate() { Obs.activate(); }
+
+  /// Redirects the exit-time --metrics report away from stdout; required
+  /// for tools whose stdout carries a machine protocol (qualsd).
+  void routeMetricsReport(std::FILE *To) { Obs.setReportStream(To); }
 
 private:
   void printUsageLine(std::FILE *To) {

@@ -18,13 +18,21 @@
 //   --cache-dir=D   spill results to D so warm state survives restarts
 //   --snapshots=N   retained analysis snapshots for analyze-delta
 //                   (default 64; 0 disables incremental re-analysis)
+//   --request-log=F append one NDJSON event per request to F ('-' =
+//                   stderr): timings, cache outcome, per-phase breakdown
+//   --slow-ms=N     tag request-log events at or above N ms "slow":true
+//   --no-telemetry  disable request-level telemetry (latency histograms,
+//                   queue metrics); responses are identical either way
 //   -jN, --jobs N   analyze requests on N pool workers; responses stay in
 //                   request order for every N (docs/PARALLEL.md)
 //
-// plus the shared observability/limit flags (tools/ToolFlags.h). The
-// protocol -- analyze / analyze-delta / invalidate / stats / shutdown --
-// cache keying, and eviction policy are specified in docs/SERVER.md;
-// incremental re-analysis in docs/INCREMENTAL.md.
+// plus the shared observability/limit flags (tools/ToolFlags.h) -- with
+// one serving-specific twist: stdout is the response stream, so the
+// --metrics report is routed to stderr (never interleaved with protocol
+// bytes). The protocol -- analyze / analyze-delta / invalidate / stats /
+// metrics / shutdown -- cache keying, and eviction policy are specified in
+// docs/SERVER.md; incremental re-analysis in docs/INCREMENTAL.md; the
+// telemetry layer in docs/OBSERVABILITY.md.
 //
 // Exit status: 0 on clean shutdown or end of input; 1 on bad arguments.
 // Per-request analysis failures are reported in responses, never as
@@ -39,21 +47,27 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 using namespace quals;
 using namespace quals::serve;
 
 static const char *kOptionsHelp =
-    "  --cache-mb=N   in-memory result-cache budget in MiB (default 64;\n"
-    "                 0 disables caching)\n"
-    "  --cache-dir=D  spill cached results to directory D (restart-warm)\n"
-    "  --snapshots=N  retained analysis snapshots for analyze-delta\n"
-    "                 (default 64; 0 disables incremental re-analysis)\n";
+    "  --cache-mb=N     in-memory result-cache budget in MiB (default 64;\n"
+    "                   0 disables caching)\n"
+    "  --cache-dir=D    spill cached results to directory D (restart-warm)\n"
+    "  --snapshots=N    retained analysis snapshots for analyze-delta\n"
+    "                   (default 64; 0 disables incremental re-analysis)\n"
+    "  --request-log=F  append one NDJSON event per request to F\n"
+    "                   ('-' writes to stderr)\n"
+    "  --slow-ms=N      tag request-log events >= N ms with \"slow\":true\n"
+    "  --no-telemetry   disable request-level latency/queue telemetry\n";
 
 int main(int argc, char **argv) {
   ServerConfig Config;
   ToolFlags Common("qualsd", "< requests.ndjson", kOptionsHelp);
+  std::string RequestLogPath;
 
   for (int I = 1; I != argc; ++I) {
     if (Common.parseCommon(argc, argv, I)) {
@@ -79,13 +93,44 @@ int main(int argc, char **argv) {
         return Common.fail(std::string("bad --snapshots value '") + Digits +
                            "' (want a count in [0, 1048576])");
       Config.MaxSnapshots = static_cast<unsigned>(N);
+    } else if (!std::strncmp(argv[I], "--request-log=", 14)) {
+      RequestLogPath = argv[I] + 14;
+      if (RequestLogPath.empty())
+        return Common.fail("--request-log= requires a file name (or '-')");
+    } else if (!std::strncmp(argv[I], "--slow-ms=", 10)) {
+      const char *Digits = argv[I] + 10;
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Digits, &End, 10);
+      if (*Digits == '\0' || *End != '\0' || N > (1ull << 32))
+        return Common.fail(std::string("bad --slow-ms value '") + Digits +
+                           "' (want milliseconds in [0, 2^32])");
+      Config.SlowMicros = static_cast<uint64_t>(N) * 1000;
+    } else if (!std::strcmp(argv[I], "--no-telemetry")) {
+      Config.Telemetry = false;
     } else {
       return Common.usageError(argv[I]);
     }
   }
   Config.Jobs = Common.jobs();
   Config.Lim = Common.limits();
+  // stdout carries the NDJSON response stream; every telemetry artifact
+  // (the --metrics report, the request log's '-' sink) goes to stderr so a
+  // peer parsing responses can never see a non-protocol line.
+  Common.routeMetricsReport(stderr);
   Common.activate();
+
+  std::ofstream LogFile;
+  if (!RequestLogPath.empty()) {
+    if (RequestLogPath == "-") {
+      Config.RequestLogStream = &std::cerr;
+    } else {
+      LogFile.open(RequestLogPath, std::ios::binary | std::ios::trunc);
+      if (!LogFile)
+        return Common.fail("cannot open request log '" + RequestLogPath +
+                           "'");
+      Config.RequestLogStream = &LogFile;
+    }
+  }
 
   Server S(Config);
   return S.run(std::cin, std::cout);

@@ -7,14 +7,20 @@
 # (a) warm answers are byte-identical to cold ones -- within one process
 # (in-memory cache), across a restart (--cache-dir spill), and at every
 # worker count; (b) the cache is genuinely hit, visible both in the `stats`
-# response and in --metrics=json counters (JSON validation skipped without
+# response and in --metrics=json counters, which qualsd routes to *stderr*
+# so stdout stays pure NDJSON responses (JSON validation skipped without
 # python3); (c) a `shutdown` request stops the daemon with exit 0 and
 # nothing after its response; (d) a served analyze matches what qualcc
 # prints for the same file; (e) the editor loop: analyze a buffer, edit one
 # function, analyze-delta the edit -- the response is byte-identical to a
 # cold analyze of the edited buffer on a fresh daemon, and the stats/metrics
-# prove summaries were actually replayed (docs/INCREMENTAL.md). Wired into
-# ctest as cli.smoke_server by tools/CMakeLists.txt.
+# prove summaries were actually replayed (docs/INCREMENTAL.md); (f) the
+# telemetry surface (docs/OBSERVABILITY.md): under -j4 with --request-log,
+# the `metrics` response carries latency histograms whose buckets sum to
+# the request count, the `stats` latency block agrees, the log has exactly
+# one well-formed event per request with seq 1..N, and stdout still parses
+# line-for-line as responses. Wired into ctest as cli.smoke_server by
+# tools/CMakeLists.txt.
 
 set -euo pipefail
 
@@ -111,14 +117,22 @@ if ! sed -n "${RESPONSES}p" "$WORKDIR/metered.out" \
 fi
 
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "$WORKDIR/metered.out" "$NREQ" <<'PYEOF' || FAILED=1
+    python3 - "$WORKDIR/metered.out" "$WORKDIR/metered.err" "$NREQ" \
+        <<'PYEOF' || FAILED=1
 import json, sys
 
-path, nreq = sys.argv[1], int(sys.argv[2])
+path, errpath, nreq = sys.argv[1], sys.argv[2], int(sys.argv[3])
 lines = open(path).read().splitlines()
-responses = lines[: 2 * nreq + 2]
-# The metrics report follows the last response on stdout.
-metrics = json.loads("\n".join(lines[2 * nreq + 2 :]))
+# stdout is pure NDJSON responses: one per request, nothing else.
+assert len(lines) == 2 * nreq + 2, len(lines)
+for line in lines:
+    resp = json.loads(line)
+    assert "id" in resp and "ok" in resp, resp
+responses = lines
+# The metrics report goes to stderr, keeping stdout machine-parseable.
+errlines = open(errpath).read().splitlines()
+start = next(i for i, l in enumerate(errlines) if l.startswith('{"counters"'))
+metrics = json.loads("\n".join(errlines[start:]))
 
 stats = json.loads(responses[2 * nreq])
 assert stats["ok"], stats
@@ -170,7 +184,7 @@ V2='int id(int *p) { return *p; }\nint use(int *q) { return id(q); }\nint leaf(i
 } >"$WORKDIR/editloop.ndjson"
 STATUS=0
 "$QUALSD" --metrics=json <"$WORKDIR/editloop.ndjson" \
-    >"$WORKDIR/editloop.out" 2>/dev/null || STATUS=$?
+    >"$WORKDIR/editloop.out" 2>"$WORKDIR/editloop.err" || STATUS=$?
 if [ "$STATUS" -ne 0 ]; then
     echo "FAIL: qualsd exited $STATUS on the edit-loop stream" >&2
     FAILED=1
@@ -190,10 +204,12 @@ if ! cmp -s "$WORKDIR/delta_line.out" "$WORKDIR/cold_line.out"; then
     FAILED=1
 fi
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "$WORKDIR/editloop.out" <<'PYEOF' || FAILED=1
+    python3 - "$WORKDIR/editloop.out" "$WORKDIR/editloop.err" \
+        <<'PYEOF' || FAILED=1
 import json, sys
 
 lines = open(sys.argv[1]).read().splitlines()
+assert len(lines) == 4, lines  # Responses only; metrics live on stderr.
 stats = json.loads(lines[2])
 delta = stats["delta"]
 # The edit was served incrementally: the snapshot from request 1 was found
@@ -202,11 +218,76 @@ assert delta["snapshot_hits"] == 1, delta
 assert delta["incremental"] == 1, delta
 assert delta["full"] == 0, delta
 assert delta["reused"] > 0, delta
-metrics = json.loads("\n".join(lines[4:]))
+errlines = open(sys.argv[2]).read().splitlines()
+start = next(i for i, l in enumerate(errlines) if l.startswith('{"counters"'))
+metrics = json.loads("\n".join(errlines[start:]))
 counters = metrics["counters"]
 assert counters.get("server.delta.requests") == 1, counters
 assert counters.get("server.delta.incremental") == 1, counters
 assert counters.get("server.delta.reused", 0) > 0, counters
+PYEOF
+fi
+
+# --- (f) telemetry: metrics request, stats latency, request log ----------
+# The parallel daemon with the full telemetry surface on: every request
+# must land in the histograms, the log, and nowhere near stdout's bytes.
+{
+    cat "$WORKDIR/doubled.ndjson"
+    METRICS_ID=$((2 * NREQ + 1))
+    printf '{"id":%d,"method":"metrics"}\n' "$METRICS_ID"
+    printf '{"id":%d,"method":"stats"}\n' "$((METRICS_ID + 1))"
+    printf '{"id":%d,"method":"shutdown"}\n' "$((METRICS_ID + 2))"
+} >"$WORKDIR/telemetry.ndjson"
+STATUS=0
+"$QUALSD" -j4 --request-log="$WORKDIR/req.log" --slow-ms=60000 \
+    <"$WORKDIR/telemetry.ndjson" >"$WORKDIR/telemetry.out" \
+    2>"$WORKDIR/telemetry.err" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: qualsd exited $STATUS on the telemetry stream" >&2
+    cat "$WORKDIR/telemetry.err" >&2
+    FAILED=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORKDIR/telemetry.out" "$WORKDIR/req.log" "$NREQ" \
+        <<'PYEOF' || FAILED=1
+import json, sys
+
+out, logpath, nreq = sys.argv[1], sys.argv[2], int(sys.argv[3])
+total = 2 * nreq + 3
+lines = open(out).read().splitlines()
+# stdout purity at -j4: exactly one JSON response per request, in request
+# order (the doubled corpus reuses ids 1..N for its second pass).
+expected_ids = list(range(1, nreq + 1)) * 2 + [total - 2, total - 1, total]
+assert len(lines) == total, (len(lines), total)
+for i, line in enumerate(lines):
+    resp = json.loads(line)
+    assert resp["id"] == expected_ids[i] and "ok" in resp, resp
+
+# The metrics response: live histograms; analyze buckets sum to the
+# number of analyzes served so far.
+metrics = json.loads(lines[2 * nreq])["metrics"]
+lat = metrics["histograms"]["server.latency.analyze"]
+assert lat["count"] == 2 * nreq, lat
+assert sum(c for _, _, c in lat["buckets"]) == lat["count"], lat
+assert lat["min"] <= lat["p50"] <= lat["p99"] <= lat["max"], lat
+assert metrics["histograms"]["server.queue_wait"]["count"] == 2 * nreq
+
+# The stats latency block agrees, and has seen the metrics request too.
+latency = json.loads(lines[2 * nreq + 1])["latency"]
+assert latency["analyze"]["count"] == 2 * nreq, latency
+assert latency["metrics"]["count"] == 1, latency
+
+# One well-formed log event per request; seq restores arrival order even
+# though -j4 writes in completion order. --slow-ms=60000 tags nothing.
+events = [json.loads(l) for l in open(logpath).read().splitlines()]
+assert len(events) == total, len(events)
+assert sorted(e["seq"] for e in events) == list(range(1, total + 1))
+for e in events:
+    assert e["ok"] and "service_us" in e and "bytes_out" in e, e
+    assert "slow" not in e, e
+methods = {e["method"] for e in events}
+assert methods == {"analyze", "metrics", "stats", "shutdown"}, methods
+assert sum(e["method"] == "analyze" for e in events) == 2 * nreq
 PYEOF
 fi
 
