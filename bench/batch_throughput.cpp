@@ -170,10 +170,16 @@ int main(int argc, char **argv) {
   std::error_code Ec;
   fs::remove_all(Dir, Ec);
 
+  // Honest-scaling guard: speedup claims are meaningless without the
+  // runner's parallelism on record, and a single-core runner can show no
+  // scaling at all -- say so loudly rather than letting ~1.0x rows read
+  // as a regression (docs/PARALLEL.md).
+  unsigned Hw = ThreadPool::defaultWorkers();
   std::printf("{\"corpus_files\":%u,\"lines_per_file\":%u,"
-              "\"hardware_threads\":%u,\"total_positions\":%llu,"
+              "\"hardware_threads\":%u,%s\"total_positions\":%llu,"
               "\"runs\":[%s\n]}\n",
-              Files, Lines, ThreadPool::defaultWorkers(),
+              Files, Lines, Hw,
+              Hw <= 1 ? "\"caveat\":\"single-core runner\"," : "",
               static_cast<unsigned long long>(Positions.load()), RunsJson.c_str());
   return 0;
 }

@@ -244,16 +244,21 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Honest-scaling guard: record the runner's parallelism next to any
+  // jobs comparison, and flag single-core runners where no cross-worker
+  // scaling is observable (docs/PARALLEL.md).
+  unsigned Hw = ThreadPool::defaultWorkers();
   std::printf("{\"files\":%u,\"lines_per_file\":%u,\"edits\":%u,"
               "\"requests\":%llu,\"jobs_compared\":%u,"
-              "\"hardware_threads\":%u,\n"
+              "\"hardware_threads\":%u,%s\n"
               " \"telemetry_on_seconds\":%.4f,\"telemetry_off_seconds\":%.4f,"
               "\"telemetry_overhead\":%.3f,\n"
               " \"request_log_events\":%llu,\"wall_seconds\":%.4f,\n"
               " \"latency_us\":{\n",
               Files, Lines, Edits,
-              static_cast<unsigned long long>(TotalRequests), Jobs,
-              ThreadPool::defaultWorkers(), OnSeconds, OffSeconds,
+              static_cast<unsigned long long>(TotalRequests), Jobs, Hw,
+              Hw <= 1 ? "\"caveat\":\"single-core runner\"," : "",
+              OnSeconds, OffSeconds,
               OffSeconds > 0 ? OnSeconds / OffSeconds : 0.0,
               static_cast<unsigned long long>(LogEvents1), Wall.seconds());
   printSummary("analyze", Analyze, ",");

@@ -12,6 +12,13 @@
 /// stars, layered DAGs, random graphs), and incremental re-solves should be
 /// proportional to the newly added constraints.
 ///
+/// BM_BulkSolveLinesPerSecond is the headline: modeled source lines
+/// analyzed per second by the solver alone, with the dense branch-free
+/// core toggled against the worklist baseline at identical collapse state
+/// (BENCH_solver.json holds the checked-in ablation; docs/SOLVER.md the
+/// design). Reports carry a "hardware_threads" context line and a
+/// "caveat" when the runner has a single core.
+///
 /// Several benchmarks take a trailing 0/1 argument toggling the solver's
 /// SCC cycle collapsing (SolverConfig::CollapseCycles) so the docs/SOLVER.md
 /// claims are an ablation, not an assertion: on the cycle-free topologies
@@ -31,6 +38,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace quals;
@@ -63,6 +71,54 @@ SolverConfig collapseConfig(bool Collapse) {
   Config.CollapseCycles = Collapse;
   return Config;
 }
+
+/// Configs for the dense-core ablation: both sides rebuild eagerly (same
+/// collapse, dedup, and CSR cost), so the delta is purely the propagation
+/// core -- worklist pushes vs levelized branch-free sweeps.
+SolverConfig denseAblationConfig(bool Dense) {
+  SolverConfig Config;
+  Config.CollapseMinNewEdges = 1;
+  Config.CollapsePressureFactor = 0;
+  Config.DenseSolve = Dense;
+  Config.DenseMinNewEdges = 1;
+  return Config;
+}
+
+void BM_BulkSolveLinesPerSecond(benchmark::State &State) {
+  // The headline number (docs/SOLVER.md, BENCH_solver.json): a bulk solve
+  // over a program-shaped layered DAG -- one qualifier variable per
+  // modeled source line, ~4 constraints each, seeds and caps sprinkled in
+  // -- with the trailing argument toggling the dense core against the
+  // worklist baseline at identical collapse state. items/s is modeled
+  // source lines analyzed per second by the solver alone.
+  QualifierSet QS = makeQuals();
+  unsigned Lines = State.range(0);
+  SolverConfig Config = denseAblationConfig(State.range(1));
+  for (auto _ : State) {
+    ConstraintSystem Sys(QS, Config);
+    Lcg R;
+    std::vector<QualVarId> Vars;
+    Vars.reserve(Lines);
+    for (unsigned I = 0; I != Lines; ++I)
+      Vars.push_back(Sys.freshVar("v"));
+    for (unsigned I = 1; I != Lines; ++I)
+      for (unsigned E = 0; E != 4; ++E)
+        Sys.addLeq(QualExpr::makeVar(Vars[R.below(I)]),
+                   QualExpr::makeVar(Vars[I]), {"edge"});
+    for (unsigned S = 0; S != Lines / 20 + 1; ++S)
+      Sys.addLeq(QualExpr::makeConst(LatticeValue(R.below(8))),
+                 QualExpr::makeVar(Vars[R.below(Lines)]), {"seed"});
+    bool Ok = Sys.solve();
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Sys.lower(Vars[Lines - 1]));
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * Lines);
+  State.counters["lines_per_second"] = benchmark::Counter(
+      static_cast<double>(State.iterations()) * Lines,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BulkSolveLinesPerSecond)
+    ->ArgsProduct({benchmark::CreateRange(1 << 12, 1 << 16, 4), {0, 1}});
 
 void BM_SolveChain(benchmark::State &State) {
   QualifierSet QS = makeQuals();
@@ -398,4 +454,19 @@ BENCHMARK(BM_SchemeGeneralizeInstantiate)->Range(1 << 4, 1 << 12);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN()) so every report carries the
+// honest-scaling context: the runner's hardware thread count, and an
+// explicit caveat when there is only one -- a single-core runner cannot
+// show parallel speedups, only the dense-vs-worklist layout delta.
+int main(int argc, char **argv) {
+  unsigned Hw = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("hardware_threads", std::to_string(Hw));
+  if (Hw <= 1)
+    benchmark::AddCustomContext("caveat", "single-core runner");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

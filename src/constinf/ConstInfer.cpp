@@ -23,6 +23,9 @@ ConstInference::ConstInference(TranslationUnit &TU, DiagnosticEngine &Diags,
   Config.CollapseCycles = this->Opts.CollapseCycles;
   Config.CollapsePressureFactor = this->Opts.CollapsePressureFactor;
   Config.MaxConstraints = Diags.limits().MaxConstraints;
+  Config.DenseSolve = this->Opts.DenseSolve;
+  Config.Jobs = this->Opts.SolverJobs;
+  Config.Pool = this->Opts.SolverPool;
   Sys = std::make_unique<ConstraintSystem>(QS, Config);
   Translator = std::make_unique<RefTranslator>(
       *Sys, Factory, Ctors, ConstQual, this->Opts.ConservativeLibraries,

@@ -10,10 +10,12 @@
 #include "support/Metrics.h"
 #include "support/Scc.h"
 #include "support/TextTable.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace quals;
 
@@ -78,13 +80,11 @@ void ConstraintSystem::addEq(QualExpr Lhs, QualExpr Rhs,
   addLeq(Rhs, Lhs, std::move(Origin));
 }
 
-bool ConstraintSystem::raiseLower(QualVarId Rep, LatticeValue NewBits,
-                                  ConstraintId Cause) {
+bool ConstraintSystem::raiseLower(QualVarId Rep, LatticeValue NewBits) {
   uint64_t Gained = NewBits.bits() & ~Vars[Rep].Lower.bits();
   if (!Gained)
     return false;
   Vars[Rep].Lower = Vars[Rep].Lower.join(NewBits);
-  Vars[Rep].FirstSet.push_back({Gained, Cause, ProvClock++});
   return true;
 }
 
@@ -104,13 +104,6 @@ QualVarId ConstraintSystem::mergeReps(QualVarId A, QualVarId B) {
   VarInfo &L = Vars[Lose];
   W.Lower = W.Lower.join(L.Lower);
   W.Upper = W.Upper.meet(L.Upper);
-  // Keep every provenance event; explain() selects the minimum-time event
-  // per bit, which is the one whose cause lies outside the merged component.
-  W.FirstSet.insert(W.FirstSet.end(), L.FirstSet.begin(), L.FirstSet.end());
-  // clear() keeps the loser's capacity until destruction: the loser is
-  // never a representative again, so its list is dead, and deferring the
-  // free keeps rebuilds out of the allocator.
-  L.FirstSet.clear();
   ++Stats.VarsCollapsed;
   return Win;
 }
@@ -356,7 +349,7 @@ void ConstraintSystem::runWorklists(std::vector<QualVarId> &LowerWork,
         ++Stats.EdgeVisits;
         ++TotalEdgeVisits;
         const Constraint &C = Constraints[Id];
-        if (raiseLower(To, LatticeValue(LV.bits() & C.Mask), Id)) {
+        if (raiseLower(To, LatticeValue(LV.bits() & C.Mask))) {
           LowerWork.push_back(To);
           ++Stats.WorklistPushes;
         }
@@ -382,6 +375,227 @@ void ConstraintSystem::runWorklists(std::vector<QualVarId> &LowerWork,
   }
 }
 
+bool ConstraintSystem::shouldSolveDense() const {
+  if (!Config.DenseSolve || !Config.CollapseCycles)
+    return false;
+  unsigned Floor = std::max(1u, Config.DenseMinNewEdges);
+  if (NewVarVarEdges < Floor)
+    return false;
+  // Bulk solves only: the new batch must be at least half the system, so
+  // over any sequence of edits the dense passes touch O(total edges) work
+  // in total (geometric growth) and incremental pipeline solves stay on
+  // the worklist tier.
+  return uint64_t(NewVarVarEdges) * 2 >= VarVarEdges.size();
+}
+
+void ConstraintSystem::solveDense() {
+  // The caller just ran rebuildCompactGraph(): every edge is in the CSR
+  // (rows keyed by representative, endpoints pre-resolved), pending lists
+  // are empty, and constraint seeds are already applied to Lower/Upper.
+  const unsigned N = Vars.size();
+
+  // Dense representative ids: lattice state and adjacency are re-indexed
+  // from sparse var ids onto [0, R) so the propagation loops run over
+  // contiguous uint64_t words instead of striding through VarInfo records.
+  std::vector<uint32_t> DenseId(N, ~0u);
+  std::vector<QualVarId> RepVar;
+  RepVar.reserve(N);
+  for (unsigned V = 0; V != N; ++V)
+    if (Reps.find(V) == V) {
+      DenseId[V] = RepVar.size();
+      RepVar.push_back(V);
+    }
+  const uint32_t R = RepVar.size();
+  const uint32_t E = CompactEdgeCount;
+
+  // Flat CSR in both directions with the constraint masks inlined next to
+  // the targets: the inner loops below never touch Constraints[] (an
+  // ~80-byte stride) or chase a pending list -- each visit is two word
+  // loads, an AND/OR, and an accumulate.
+  std::vector<uint32_t> OutStart(R + 1, 0), InStart(R + 1, 0);
+  std::vector<uint32_t> OutTgt(E), InSrc(E);
+  std::vector<uint64_t> OutMask(E), InMask(E);
+  for (uint32_t D = 0; D != R; ++D) {
+    QualVarId V = RepVar[D];
+    OutStart[D + 1] = OutStart[D] + (SuccStart[V + 1] - SuccStart[V]);
+    InStart[D + 1] = InStart[D] + (PredStart[V + 1] - PredStart[V]);
+  }
+  for (uint32_t D = 0; D != R; ++D) {
+    QualVarId V = RepVar[D];
+    uint32_t O = OutStart[D];
+    for (uint32_t I = SuccStart[V], En = SuccStart[V + 1]; I != En; ++I, ++O) {
+      OutTgt[O] = DenseId[SuccEdges[I].Other];
+      OutMask[O] = Constraints[SuccEdges[I].Cons].Mask;
+    }
+    uint32_t P = InStart[D];
+    for (uint32_t I = PredStart[V], En = PredStart[V + 1]; I != En; ++I, ++P) {
+      InSrc[P] = DenseId[PredEdges[I].Other];
+      InMask[P] = Constraints[PredEdges[I].Cons].Mask;
+    }
+  }
+
+  // Scheduling DAG: Tarjan over ALL dense edges (masked ones too -- the
+  // rebuild only collapses unmasked cycles, so masked cycles survive and
+  // must land inside one scheduling component, where they iterate to a
+  // local fixpoint as a single work item). Components come back in reverse
+  // topological order: every edge goes from a higher component index to a
+  // lower one.
+  SccFlatResult Sched = computeSccsFlat({R, OutStart.data(), OutTgt.data()});
+  const uint32_t NC = Sched.numComponents();
+
+  // Levelize: level(c) = 1 + max level of the components feeding c (0 for
+  // sources). All components on one level are pairwise non-adjacent, so a
+  // level is an independent shard set for the forward pass; and since every
+  // successor of c sits on a strictly higher level, the same partition run
+  // in reverse serves the backward pass.
+  std::vector<uint32_t> CompLevel(NC, 0);
+  uint32_t NumLevels = NC ? 1 : 0;
+  for (uint32_t C = NC; C-- > 0;) { // Descending index = topological order.
+    uint32_t Lvl = 0;
+    for (uint32_t I = Sched.CompStart[C], En = Sched.CompStart[C + 1];
+         I != En; ++I) {
+      uint32_t D = Sched.Order[I];
+      for (uint32_t J = InStart[D], E2 = InStart[D + 1]; J != E2; ++J) {
+        uint32_t SC = Sched.ComponentOf[InSrc[J]];
+        if (SC != C && CompLevel[SC] >= Lvl)
+          Lvl = CompLevel[SC] + 1;
+      }
+    }
+    CompLevel[C] = Lvl;
+    NumLevels = std::max(NumLevels, Lvl + 1);
+  }
+  std::vector<uint32_t> LevelStart(NumLevels + 1, 0);
+  for (uint32_t C = 0; C != NC; ++C)
+    ++LevelStart[CompLevel[C] + 1];
+  for (uint32_t L = 0; L != NumLevels; ++L)
+    LevelStart[L + 1] += LevelStart[L];
+  std::vector<uint32_t> CompsByLevel(NC);
+  {
+    std::vector<uint32_t> Fill(LevelStart.begin(), LevelStart.end() - 1);
+    for (uint32_t C = NC; C-- > 0;) // Topological order within each level.
+      CompsByLevel[Fill[CompLevel[C]]++] = C;
+  }
+
+  // Lattice state as packed words. Nodes outside every component (isolated
+  // representatives, excluded by computeSccsFlat) have no edges, so their
+  // seeded values are already final; the write-back below covers them
+  // harmlessly.
+  std::vector<uint64_t> Low(R), Up(R);
+  for (uint32_t D = 0; D != R; ++D) {
+    Low[D] = Vars[RepVar[D]].Lower.bits();
+    Up[D] = Vars[RepVar[D]].Upper.bits();
+  }
+
+  // One component's forward pass: pull-based join over in-edges, so this
+  // shard is the only writer of its nodes -- predecessor levels are final
+  // and same-level components are non-adjacent, which is the whole
+  // determinism argument (any schedule computes the same unique fixpoint).
+  // Multi-node components are masked cycles: sweep to a local fixpoint.
+  auto forwardComp = [&](uint32_t C) -> uint64_t {
+    uint32_t B = Sched.CompStart[C], En = Sched.CompStart[C + 1];
+    uint64_t Visits = 0;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t I = B; I != En; ++I) {
+        uint32_t D = Sched.Order[I];
+        uint64_t LV = Low[D];
+        for (uint32_t J = InStart[D], E2 = InStart[D + 1]; J != E2; ++J)
+          LV |= Low[InSrc[J]] & InMask[J];
+        Visits += InStart[D + 1] - InStart[D];
+        if (LV != Low[D]) {
+          Low[D] = LV;
+          Changed = true;
+        }
+      }
+      if (En - B == 1)
+        break; // Singleton (no self edges survive the rebuild): one sweep.
+    }
+    return Visits;
+  };
+  // The backward meet pass, symmetric over out-edges.
+  auto backwardComp = [&](uint32_t C) -> uint64_t {
+    uint32_t B = Sched.CompStart[C], En = Sched.CompStart[C + 1];
+    uint64_t Visits = 0;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t I = B; I != En; ++I) {
+        uint32_t D = Sched.Order[I];
+        uint64_t UV = Up[D];
+        for (uint32_t J = OutStart[D], E2 = OutStart[D + 1]; J != E2; ++J)
+          UV &= Up[OutTgt[J]] | ~OutMask[J];
+        Visits += OutStart[D + 1] - OutStart[D];
+        if (UV != Up[D]) {
+          Up[D] = UV;
+          Changed = true;
+        }
+      }
+      if (En - B == 1)
+        break;
+    }
+    return Visits;
+  };
+
+  // Per-level edge weight decides whether dispatching the level onto the
+  // pool can pay for itself (tiny levels run inline even at Jobs > 1).
+  std::vector<uint64_t> LevelEdges(NumLevels, 0);
+  for (uint32_t C = 0; C != NC; ++C) {
+    uint64_t W = 0;
+    for (uint32_t I = Sched.CompStart[C], En = Sched.CompStart[C + 1];
+         I != En; ++I) {
+      uint32_t D = Sched.Order[I];
+      W += InStart[D + 1] - InStart[D];
+    }
+    LevelEdges[CompLevel[C]] += W;
+  }
+
+  // Visit counts accumulate per shard chunk and merge with relaxed atomics
+  // at the level barrier; every component's count is schedule-independent,
+  // so the merged total is byte-for-byte identical at any job count.
+  std::atomic<uint64_t> DenseVisits{0};
+  const bool UsePool = Config.Pool && Config.Jobs > 1;
+  auto runLevel = [&](uint32_t L, auto &&CompFn) {
+    uint32_t LB = LevelStart[L], LE = LevelStart[L + 1];
+    if (UsePool && LE - LB > 1 && LevelEdges[L] >= Config.ShardMinLevelEdges) {
+      Config.Pool->parallelForEach(
+          LE - LB, std::max(1u, Config.ShardGrain),
+          [&](size_t Begin, size_t End) {
+            uint64_t V = 0;
+            for (size_t I = Begin; I != End; ++I)
+              V += CompFn(CompsByLevel[LB + I]);
+            DenseVisits.fetch_add(V, std::memory_order_relaxed);
+          });
+    } else {
+      uint64_t V = 0;
+      for (uint32_t I = LB; I != LE; ++I)
+        V += CompFn(CompsByLevel[I]);
+      DenseVisits.fetch_add(V, std::memory_order_relaxed);
+    }
+  };
+
+  for (uint32_t L = 0; L != NumLevels; ++L)
+    runLevel(L, forwardComp);
+  for (uint32_t L = NumLevels; L-- > 0;)
+    runLevel(L, backwardComp);
+
+  for (uint32_t D = 0; D != R; ++D) {
+    Vars[RepVar[D]].Lower = LatticeValue(Low[D]);
+    Vars[RepVar[D]].Upper = LatticeValue(Up[D]);
+  }
+
+  // Dense visits are exact one-shot work, not re-traversal pressure: they
+  // count toward the per-solve stats but not toward TotalEdgeVisits, so a
+  // bulk pass never tricks the pressure policy into an extra rebuild.
+  Stats.EdgeVisits += DenseVisits.load(std::memory_order_relaxed);
+  ++Stats.DensePasses;
+  traceInstant("solver.dense", "qual",
+               "\"reps\":" + std::to_string(R) +
+                   ",\"edges\":" + std::to_string(E) +
+                   ",\"levels\":" + std::to_string(NumLevels) +
+                   ",\"components\":" + std::to_string(NC));
+}
+
 bool ConstraintSystem::solve() {
   PhaseScope Phase("solve", "qual");
   Timer SolveTimer;
@@ -393,10 +607,15 @@ bool ConstraintSystem::solve() {
   std::vector<QualVarId> LowerWork;
   std::vector<QualVarId> UpperWork;
 
+  // A bulk ingest takes the dense path: rebuild unconditionally (collapse +
+  // dedup + CSR is the layout the dense core runs on), seed, then replace
+  // the worklist drain with the two levelized passes.
+  bool Dense = shouldSolveDense();
+
   // Pressure accumulated over earlier solves may already justify a rebuild;
   // doing it before seeding lets the new constraints land straight in the
   // compact graph. Merged representatives changed value, so they propagate.
-  if (shouldRebuild()) {
+  if (Dense || shouldRebuild()) {
     std::vector<QualVarId> Merged;
     rebuildCompactGraph(Merged);
     for (QualVarId R : Merged) {
@@ -411,14 +630,14 @@ bool ConstraintSystem::solve() {
     const Constraint &C = Constraints[Id];
     if (C.Lhs.isConst() && C.Rhs.isVar()) {
       QualVarId R = Reps.find(C.Rhs.getVar());
-      if (raiseLower(R, LatticeValue(C.Lhs.getConst().bits() & C.Mask), Id))
+      if (raiseLower(R, LatticeValue(C.Lhs.getConst().bits() & C.Mask)))
         LowerWork.push_back(R);
     } else if (C.Lhs.isVar() && C.Rhs.isVar()) {
       // A new edge may carry an already-known lower bound forward and an
       // already-known upper bound backward.
       QualVarId L = Reps.find(C.Lhs.getVar());
       QualVarId R = Reps.find(C.Rhs.getVar());
-      if (raiseLower(R, LatticeValue(Vars[L].Lower.bits() & C.Mask), Id))
+      if (raiseLower(R, LatticeValue(Vars[L].Lower.bits() & C.Mask)))
         LowerWork.push_back(R);
       if (capUpper(L, LatticeValue(Vars[R].Upper.bits() | ~C.Mask)))
         UpperWork.push_back(L);
@@ -431,8 +650,14 @@ bool ConstraintSystem::solve() {
   }
   SolvedConstraints = Constraints.size();
 
-  Stats.WorklistPushes += LowerWork.size() + UpperWork.size();
-  runWorklists(LowerWork, UpperWork);
+  if (Dense) {
+    // The dense passes recompute both fixpoints from the seeded state over
+    // the whole CSR; the incremental work vectors are subsumed.
+    solveDense();
+  } else {
+    Stats.WorklistPushes += LowerWork.size() + UpperWork.size();
+    runWorklists(LowerWork, UpperWork);
+  }
 
   // Satisfiable iff no variable's required bits exceed its allowed bits and
   // no direct upper bound fails; a cheap necessary-and-sufficient check is
@@ -498,8 +723,12 @@ bool ConstraintSystem::isSatisfiable() {
 }
 
 std::string ConstraintSystem::explain(const Violation &V) const {
-  // Follow the provenance of the lowest offending bit backwards from the
-  // violated constraint's left-hand side to the constant that introduced it.
+  // Reconstruct the provenance of the lowest offending bit backwards from
+  // the violated constraint's left-hand side to a constant that introduced
+  // it. Provenance is computed lazily here (never recorded during
+  // propagation), so the hot loops stay branch-free and the rendered chain
+  // is a pure function of the constraint sequence -- byte-identical across
+  // the worklist/dense layouts and every job count.
   uint64_t Bit = V.OffendingBits & ~(V.OffendingBits - 1);
 
   // Name every offending qualifier component in the header line.
@@ -528,38 +757,79 @@ std::string ConstraintSystem::explain(const Violation &V) const {
   Out += Cause.Origin.Reason;
   Out += '\n';
 
-  // Walk the first-set provenance chain. At each variable the minimum-time
-  // event for the bit is chosen: after cycle collapsing a representative's
-  // event list is the concatenation of its members' lists, and the earliest
-  // event is the one that carried the bit *into* the component (its cause's
-  // left-hand side is a constant or an earlier, outside variable), so the
-  // walk strictly decreases in time and cannot cycle.
-  QualExpr Cur = Cause.Lhs;
-  unsigned Guard = 0;
-  while (Cur.isVar() && Guard++ < 1000) {
-    QualVarId Rep = Reps.find(Cur.getVar());
-    const VarInfo &Info = Vars[Rep];
-    const ProvEvent *Event = nullptr;
-    for (const ProvEvent &E : Info.FirstSet)
-      if ((E.Gained & Bit) && (!Event || E.Time < Event->Time))
-        Event = &E;
-    if (!Event)
-      break; // Bit came from the variable's initial value (impossible for
-             // lower bounds, but be defensive).
-    const Constraint &Step = Constraints[Event->Cause];
-    Out += "  via: ";
-    Out += Step.Origin.Reason.empty() ? "(unlabeled constraint)"
-                                      : Step.Origin.Reason;
-    Out += '\n';
-    if (Step.Lhs == Cur)
-      break; // Self-edge; stop rather than loop.
-    if (Step.Lhs.isVar() && Reps.find(Step.Lhs.getVar()) == Rep)
-      break; // Cause inside the same collapsed component; defensive stop.
-    Cur = Step.Lhs;
-  }
-  if (Cur.isConst()) {
+  if (Cause.Lhs.isVar()) {
+    // Breadth-first search from the violated variable backwards over the
+    // constraints that can carry the bit: an edge Src <= Dst with the bit
+    // in its mask is a genuine carrier iff the bit is in Src's least
+    // solution (the solved fixpoint guarantees it then reached Dst), and a
+    // constant left-hand side with the bit under the mask is a seed. FIFO
+    // order with in-edges scanned in constraint-id order makes the chain
+    // deterministic: the shortest one, ties broken by lowest id.
+    QualVarId Root = Reps.find(Cause.Lhs.getVar());
+    std::vector<std::pair<QualVarId, ConstraintId>> Parent; // BFS tree.
+    std::vector<uint32_t> ParentOf(Vars.size(), ~0u); // Rep -> Parent index.
+    std::vector<QualVarId> Queue{Root};
+    ParentOf[Root] = ~1u; // Visited marker for the root (no parent edge).
+    ConstraintId SeedCons = ~0u;
+    QualVarId SeedAt = Root;
+    // Index the bit-carrying in-edges per representative, in id order.
+    std::vector<std::vector<ConstraintId>> InEdges(Vars.size());
+    for (ConstraintId Id = 0, E = Constraints.size(); Id != E; ++Id) {
+      const Constraint &C = Constraints[Id];
+      if (!C.Rhs.isVar() || !(C.Mask & Bit))
+        continue;
+      if (C.Lhs.isVar() && !(Vars[Reps.find(C.Lhs.getVar())].Lower.bits() & Bit))
+        continue;
+      if (C.Lhs.isConst() && !(C.Lhs.getConst().bits() & C.Mask & Bit))
+        continue;
+      InEdges[Reps.find(C.Rhs.getVar())].push_back(Id);
+    }
+    for (size_t Head = 0; Head != Queue.size() && SeedCons == ~0u; ++Head) {
+      QualVarId At = Queue[Head];
+      for (ConstraintId Id : InEdges[At]) {
+        const Constraint &C = Constraints[Id];
+        if (C.Lhs.isConst()) {
+          SeedCons = Id;
+          SeedAt = At;
+          break;
+        }
+        QualVarId Src = Reps.find(C.Lhs.getVar());
+        if (Src == At || ParentOf[Src] != ~0u)
+          continue;
+        Parent.push_back({At, Id});
+        ParentOf[Src] = Parent.size() - 1;
+        Queue.push_back(Src);
+      }
+    }
+    if (SeedCons != ~0u) {
+      // Unwind the tree from the seed's variable back to the root, then
+      // print the chain violation-first: each step's constraint, ending at
+      // the seed itself and its constant.
+      std::vector<ConstraintId> Chain;
+      for (QualVarId At = SeedAt; At != Root;) {
+        auto &Link = Parent[ParentOf[At]];
+        Chain.push_back(Link.second);
+        At = Link.first;
+      }
+      std::reverse(Chain.begin(), Chain.end());
+      Chain.push_back(SeedCons);
+      for (ConstraintId Id : Chain) {
+        const Constraint &Step = Constraints[Id];
+        Out += "  via: ";
+        Out += Step.Origin.Reason.empty() ? "(unlabeled constraint)"
+                                          : Step.Origin.Reason;
+        Out += '\n';
+      }
+      Out += "  source: qualifier constant '";
+      Out += QS.toString(Constraints[SeedCons].Lhs.getConst());
+      Out += "'\n";
+    }
+    // No seed found would mean the bit appeared from nowhere; be defensive
+    // and leave the chain empty (matches the old walker's defensive stop).
+  } else {
+    // A const <= const violation: the constant itself is the source.
     Out += "  source: qualifier constant '";
-    Out += QS.toString(Cur.getConst());
+    Out += QS.toString(Cause.Lhs.getConst());
     Out += "'\n";
   }
   return Out;
@@ -580,6 +850,7 @@ void SolverStats::publishTo(MetricsRegistry &R) const {
   R.gauge("solver.var_var_edges").set(VarVarEdges);
   R.gauge("solver.compact_edges").set(CompactEdges);
   R.counter("solver.solve_calls").add(SolveCalls);
+  R.counter("solver.dense_passes").add(DensePasses);
   R.counter("solver.collapse_passes").add(CollapsePasses);
   R.counter("solver.sccs_collapsed").add(SccsCollapsed);
   R.counter("solver.vars_collapsed").add(VarsCollapsed);
@@ -602,6 +873,7 @@ std::string quals::renderSolverStats(const SolverStats &S) {
   Row("var->var edges", S.VarVarEdges);
   Row("compact edges (post-rebuild)", S.CompactEdges);
   Row("solve() calls", S.SolveCalls);
+  Row("dense bulk passes", S.DensePasses);
   Row("collapse passes", S.CollapsePasses);
   Row("cycles (SCCs) collapsed", S.SccsCollapsed);
   Row("vars folded into a rep", S.VarsCollapsed);

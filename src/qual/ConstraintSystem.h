@@ -28,13 +28,25 @@
 ///     backed by a bump arena, dropping duplicate parallel edges and edges
 ///     internal to a collapsed component. Edges added after a rebuild go to
 ///     small per-representative pending lists until the next rebuild.
-/// \li **Pressure-triggered tiering.** Propagation is always the worklist
-///     algorithm; the O(V+E) rebuild above only fires once the worklist has
-///     demonstrably re-traversed the graph enough times to pay for it
-///     (SolverConfig::CollapsePressureFactor), checked both between solves
-///     and mid-drain. One-shot or cycle-free workloads therefore never pay
-///     for a rebuild, while dense cyclic regions tier up as soon as the
-///     re-bouncing shows up in the visit counter.
+/// \li **Pressure-triggered tiering.** Incremental propagation is the
+///     worklist algorithm; the O(V+E) rebuild above only fires once the
+///     worklist has demonstrably re-traversed the graph enough times to pay
+///     for it (SolverConfig::CollapsePressureFactor), checked both between
+///     solves and mid-drain. One-shot or cycle-free workloads therefore
+///     never pay for a rebuild, while dense cyclic regions tier up as soon
+///     as the re-bouncing shows up in the visit counter.
+/// \li **Dense bulk solving.** A solve that ingests a large batch of new
+///     edges (SolverConfig::DenseMinNewEdges and at least half the system)
+///     skips the worklist entirely: the condensation is packed into flat
+///     CSR arrays with inline masks, lattice state into plain `uint64_t`
+///     words indexed by dense representative id, and two branch-free
+///     levelized passes (forward `|=`, backward `&=`) over the topological
+///     levels of the scheduling DAG compute both fixpoints in exactly one
+///     visit per edge per direction. Levels are independent, so their
+///     components optionally solve concurrently on a support/ThreadPool
+///     (SolverConfig::Jobs/Pool) -- results and every rendered byte are
+///     identical at any job count because each node's value is written only
+///     by its own shard from already-final predecessor levels.
 ///
 /// Constraints optionally carry a bit \p Mask restricting them to a subset of
 /// the qualifier components; masked constraints implement well-formedness
@@ -59,6 +71,8 @@
 #include <vector>
 
 namespace quals {
+
+class ThreadPool;
 
 /// Where (and why) a constraint was generated; used in error explanations.
 struct ConstraintOrigin {
@@ -116,6 +130,41 @@ struct SolverConfig {
   /// latches. The analyses translate the latch into a recoverable
   /// `fatal: resource limit` diagnostic. 0 = unlimited.
   uint64_t MaxConstraints = 0;
+
+  /// Use the dense branch-free condensation core for bulk solves (see the
+  /// file comment). Requires CollapseCycles; turning either off reverts
+  /// every solve to worklist propagation (the ablation baseline measured by
+  /// bench/solver_microbench and bench/solver_throughput).
+  bool DenseSolve = true;
+
+  /// A solve takes the dense path only when at least this many var->var
+  /// edges arrived since the last rebuild AND they make up at least half of
+  /// all var->var edges ever added -- i.e. the solve is a bulk ingest, not
+  /// an incremental re-solve. The half-the-system condition keeps the total
+  /// dense work over any edit sequence amortized linear; the floor keeps
+  /// small systems on the cheap worklist tier.
+  unsigned DenseMinNewEdges = 1024;
+
+  /// Shard concurrency for the dense passes. With Jobs > 1 and Pool set,
+  /// each topological level's components are dispatched in chunks onto the
+  /// pool; results are byte-identical to Jobs == 1 (the determinism suite
+  /// asserts this). Jobs <= 1 or a null Pool solves inline.
+  unsigned Jobs = 1;
+
+  /// The pool the dense passes shard onto; borrowed, must outlive the
+  /// system. Null keeps solving inline regardless of Jobs. The caller must
+  /// not invoke solve() from inside a task of this same pool unless the
+  /// pool's parallelForEach participates from the calling thread (ours
+  /// does) -- see docs/PARALLEL.md on nested parallelism.
+  ThreadPool *Pool = nullptr;
+
+  /// Components per chunk when a level is dispatched onto the pool; keeps
+  /// thousands of tiny single-node shards from drowning the pool queue.
+  unsigned ShardGrain = 64;
+
+  /// Levels with fewer than this many dense edge visits are solved inline
+  /// even when a pool is configured (dispatch overhead would dominate).
+  unsigned ShardMinLevelEdges = 2048;
 };
 
 class MetricsRegistry;
@@ -136,13 +185,19 @@ struct SolverStats {
   unsigned VarVarEdges = 0;     ///< var <= var constraints among them.
   unsigned CompactEdges = 0;    ///< Edges in the compact graph (post-rebuild).
   unsigned SolveCalls = 0;      ///< solve() invocations.
+  unsigned DensePasses = 0;     ///< Bulk solves taken by the dense core.
   unsigned CollapsePasses = 0;  ///< Graph rebuilds (dedup + Tarjan + CSR).
   unsigned SccsCollapsed = 0;   ///< Multi-variable cycles collapsed.
   unsigned VarsCollapsed = 0;   ///< Variables folded into a representative.
   unsigned EdgesDeduped = 0;    ///< Duplicate parallel edges dropped.
   unsigned SelfEdgesDropped = 0;///< Edges internal to a collapsed component.
   uint64_t WorklistPushes = 0;  ///< Worklist insertions (incremental solves).
-  uint64_t EdgeVisits = 0;      ///< Edge traversals across all propagation.
+  /// Edge traversals across all propagation. Deterministic for a given
+  /// constraint sequence and config: the dense passes count one visit per
+  /// in/out edge per sweep with per-shard subtotals merged at each level
+  /// barrier, so the total is identical at every SolverConfig::Jobs (the
+  /// determinism suite asserts merged totals equal the -j1 totals).
+  uint64_t EdgeVisits = 0;
   double SolveSeconds = 0;      ///< Wall-clock spent inside solve().
 
   /// Zeroes every field (solve() calls this on entry; also for tests and
@@ -260,18 +315,6 @@ public:
   SolverStats getStats() const;
 
 private:
-  /// First-set provenance: the bits a representative gained, the constraint
-  /// responsible, and a global logical clock. The clock makes provenance
-  /// well-founded across cycle collapsing: the minimum-time event for a bit
-  /// always names a constraint whose left-hand side is a constant or lies
-  /// outside the representative's component, so explain() chains strictly
-  /// decrease in time and terminate at a qualifier constant.
-  struct ProvEvent {
-    uint64_t Gained;
-    ConstraintId Cause;
-    uint32_t Time;
-  };
-
   /// A compact adjacency entry: the constraint and the other endpoint's
   /// representative (resolved at rebuild time to skip find() in hot loops).
   struct CompactEdge {
@@ -284,7 +327,6 @@ private:
     SourceLoc Loc;
     LatticeValue Lower;           ///< Join of reachable lower bounds (rep).
     LatticeValue Upper;           ///< Meet of reachable upper bounds (rep).
-    std::vector<ProvEvent> FirstSet; ///< Provenance events (rep).
     /// Heads of this var's outgoing/incoming pending-edge lists (indices
     /// into PendingPool, ~0u = empty), keyed by the representative at
     /// insertion time (stable between rebuilds).
@@ -341,7 +383,6 @@ private:
   /// Ids of const <= const constraints (checked directly).
   std::vector<ConstraintId> ConstConstIds;
   unsigned SolvedConstraints = 0;
-  uint32_t ProvClock = 0;
   bool ConstraintLimitHit = false;
   SolverStats Stats;
 
@@ -352,9 +393,9 @@ private:
     return (Mask & QS.usedBits()) == QS.usedBits();
   }
 
-  /// Joins \p NewBits into \p Rep's lower solution, recording provenance.
-  /// Returns true if any bit was gained. \p Rep must be a representative.
-  bool raiseLower(QualVarId Rep, LatticeValue NewBits, ConstraintId Cause);
+  /// Joins \p NewBits into \p Rep's lower solution. Returns true if any bit
+  /// was gained. \p Rep must be a representative.
+  bool raiseLower(QualVarId Rep, LatticeValue NewBits);
 
   /// Meets \p Cap into \p Rep's upper solution; true if it shrank.
   bool capUpper(QualVarId Rep, LatticeValue Cap);
@@ -380,6 +421,22 @@ private:
   /// smaller graph.
   void runWorklists(std::vector<QualVarId> &LowerWork,
                     std::vector<QualVarId> &UpperWork);
+
+  /// True when this solve should take the dense bulk path: the dense core
+  /// is enabled and the edges added since the last rebuild are both large
+  /// in absolute terms and a large fraction of the whole system.
+  bool shouldSolveDense() const;
+
+  /// The dense branch-free core (see the file comment): packs the freshly
+  /// rebuilt condensation into flat CSR arrays with inline masks and plain
+  /// uint64_t lattice words, levelizes the scheduling DAG (Tarjan over all
+  /// edges including masked ones, so masked cycles become single fixpoint
+  /// shards), then runs one forward join pass and one backward meet pass
+  /// level by level -- optionally sharding each level's components onto
+  /// Config.Pool. Must run immediately after rebuildCompactGraph() (no
+  /// pending edges) and after the new-constraint seeding; replaces
+  /// runWorklists() for this solve.
+  void solveDense();
 };
 
 } // namespace quals

@@ -128,7 +128,14 @@ Server::Server(const ServerConfig &Config)
     QueueWait = &R.histogram("server.queue_wait");
     QueueDepth = &R.gauge("server.queue_depth");
   }
+  // Nested-parallelism policy (ServerConfig::SolverJobs): a dedicated
+  // solver pool exists only when requests run inline on the reader thread;
+  // concurrent request workers keep their solvers inline instead.
+  if (Config.SolverJobs > 1 && Config.Jobs <= 1)
+    SolverPool = std::make_unique<ThreadPool>(Config.SolverJobs);
 }
+
+Server::~Server() = default;
 
 Histogram *Server::latencyFor(Method M) const {
   switch (M) {
@@ -183,6 +190,10 @@ std::string Server::handleAnalyze(const Request &Req, uint64_t Seq,
   Job.Polymorphic = Req.Polymorphic;
   Job.Protos = Req.Protos;
   Job.Lim = Config.Lim;
+  if (SolverPool) {
+    Job.SolverJobs = Config.SolverJobs;
+    Job.SolverPool = SolverPool.get();
+  }
   if (Req.HasSource) {
     Job.Source = Req.Source;
   } else {

@@ -52,9 +52,13 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 namespace quals {
+
+class ThreadPool;
+
 namespace serve {
 
 /// One server's configuration; fixed for the daemon's lifetime.
@@ -62,6 +66,14 @@ struct ServerConfig {
   /// Analyze workers; 1 (the default) runs requests inline on the reader
   /// thread, which is fully deterministic and right for edit streams.
   unsigned Jobs = 1;
+  /// Shard the constraint solver's dense bulk passes over this many
+  /// threads (SolverConfig::Jobs; docs/SOLVER.md). Nested-parallelism
+  /// policy: this only takes effect when Jobs == 1 -- with concurrent
+  /// request workers the requests are the parallelism axis and per-request
+  /// solvers stay inline, so the two layers never compete for cores (and a
+  /// request worker can never block on a pool it is itself running on).
+  /// Response bytes are identical at every setting.
+  unsigned SolverJobs = 1;
   /// In-memory cache payload budget; 0 disables caching.
   uint64_t CacheMaxBytes = 64u << 20;
   /// Spill directory for restart-warm state; empty disables spill.
@@ -93,6 +105,7 @@ struct ServerConfig {
 class Server {
 public:
   explicit Server(const ServerConfig &Config);
+  ~Server(); // Out of line: SolverPool's ThreadPool is incomplete here.
 
   /// Serves requests from \p In until `shutdown` or end of input, writing
   /// one response line per request to \p Out in request order. Returns the
@@ -114,6 +127,10 @@ private:
   ServerConfig Config;
   ResultCache Cache;
   SummaryStore Snapshots;
+  /// Pool for sharding per-request dense solves; created only under the
+  /// nested-parallelism policy (SolverJobs > 1 AND Jobs == 1, see
+  /// ServerConfig::SolverJobs), null otherwise.
+  std::unique_ptr<ThreadPool> SolverPool;
   uint64_t Requests = 0;
 
   // analyze-delta accounting (atomic: analyzes run on pool workers).

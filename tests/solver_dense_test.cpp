@@ -1,0 +1,372 @@
+//===- tests/solver_dense_test.cpp - Dense/parallel solver determinism ----===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism contract of the dense branch-free propagation core
+/// (docs/SOLVER.md): solved bounds, rendered diagnostics, and --stats solver
+/// counters are byte-identical between the dense and worklist layouts and
+/// between -j1 and -jN shard dispatch, on cyclic, disconnected, and
+/// single-SCC graphs. Also covers the scheduling details -- masked cycles
+/// iterate to their fixpoint inside one shard, small systems never take the
+/// dense path, incremental edits after a bulk solve stay on the worklist
+/// tier -- and runs concurrent dense solves over one shared pool (the TSan
+/// CI job picks this suite up by name).
+///
+//===----------------------------------------------------------------------===//
+
+#include "qual/ConstraintSystem.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace quals;
+
+namespace {
+
+/// Deterministic 64-bit LCG (same constants as bench/solver_microbench) so
+/// random topologies are reproducible across runs and job counts.
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 11;
+  }
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+};
+
+class SolverDenseTest : public ::testing::Test {
+protected:
+  QualifierSet QS;
+  QualifierId Const, Tainted, Nonzero;
+
+  void SetUp() override {
+    Const = QS.add("const", Polarity::Positive);
+    Tainted = QS.add("tainted", Polarity::Positive);
+    Nonzero = QS.add("nonzero", Polarity::Negative);
+  }
+
+  QualExpr constOf(LatticeValue V) { return QualExpr::makeConst(V); }
+  QualExpr varOf(QualVarId V) { return QualExpr::makeVar(V); }
+  LatticeValue just(QualifierId Q) { return QS.valueWithPresent({Q}); }
+
+  /// Dense core on, with thresholds floored so even the small test systems
+  /// take the dense path and every level actually dispatches when a pool
+  /// is attached.
+  SolverConfig denseConfig(unsigned Jobs = 1, ThreadPool *Pool = nullptr) {
+    SolverConfig Config;
+    Config.DenseSolve = true;
+    Config.DenseMinNewEdges = 1;
+    Config.Jobs = Jobs;
+    Config.Pool = Pool;
+    Config.ShardGrain = 2;
+    Config.ShardMinLevelEdges = 0;
+    return Config;
+  }
+
+  /// The worklist baseline with the same collapse state as the dense path
+  /// (a rebuild on every solve), so representatives -- and therefore
+  /// explain() chains -- are directly byte-comparable.
+  SolverConfig worklistConfig() {
+    SolverConfig Config;
+    Config.DenseSolve = false;
+    Config.CollapseMinNewEdges = 1;
+    Config.CollapsePressureFactor = 0;
+    return Config;
+  }
+
+  /// Random mixed graph: NumVars vars, NumEdges var->var edges (some
+  /// masked), seeds, and caps that produce a deterministic violation set.
+  void buildCyclic(ConstraintSystem &Sys, unsigned NumVars,
+                   unsigned NumEdges, uint64_t Seed) {
+    Lcg Rng(Seed);
+    std::vector<QualVarId> V;
+    for (unsigned I = 0; I != NumVars; ++I)
+      V.push_back(Sys.freshVar("v" + std::to_string(I)));
+    uint64_t TaintOnly = QS.bitFor(Tainted);
+    for (unsigned I = 0; I != NumEdges; ++I) {
+      QualVarId From = V[Rng.below(NumVars)];
+      QualVarId To = V[Rng.below(NumVars)];
+      std::string Label = "edge " + std::to_string(I);
+      if (Rng.below(8) == 0)
+        Sys.addLeqMasked(varOf(From), varOf(To), TaintOnly, {Label});
+      else
+        Sys.addLeq(varOf(From), varOf(To), {Label});
+    }
+    for (unsigned I = 0; I != NumVars / 10 + 1; ++I) {
+      Sys.addLeq(constOf(just(Const)), varOf(V[Rng.below(NumVars)]),
+                 {"const seed " + std::to_string(I)});
+      Sys.addLeq(constOf(just(Tainted)), varOf(V[Rng.below(NumVars)]),
+                 {"taint source " + std::to_string(I)});
+    }
+    for (unsigned I = 0; I != NumVars / 20 + 1; ++I)
+      Sys.addLeq(varOf(V[Rng.below(NumVars)]), constOf(QS.notQual(Tainted)),
+                 {"sink must be untainted #" + std::to_string(I)});
+  }
+
+  /// Many small disconnected diamonds, each with its own seed and cap.
+  void buildDisconnected(ConstraintSystem &Sys, unsigned NumIslands) {
+    for (unsigned I = 0; I != NumIslands; ++I) {
+      QualVarId A = Sys.freshVar("a" + std::to_string(I));
+      QualVarId B = Sys.freshVar("b" + std::to_string(I));
+      QualVarId C = Sys.freshVar("c" + std::to_string(I));
+      QualVarId D = Sys.freshVar("d" + std::to_string(I));
+      Sys.addLeq(varOf(A), varOf(B), {"i" + std::to_string(I) + " a<=b"});
+      Sys.addLeq(varOf(A), varOf(C), {"i" + std::to_string(I) + " a<=c"});
+      Sys.addLeq(varOf(B), varOf(D), {"i" + std::to_string(I) + " b<=d"});
+      Sys.addLeq(varOf(C), varOf(D), {"i" + std::to_string(I) + " c<=d"});
+      Sys.addLeq(constOf(just(Tainted)), varOf(A),
+                 {"i" + std::to_string(I) + " source"});
+      if (I % 3 == 0)
+        Sys.addLeq(varOf(D), constOf(QS.notQual(Tainted)),
+                   {"i" + std::to_string(I) + " sink must be untainted"});
+    }
+  }
+
+  /// One giant unmasked <=-cycle over every variable (collapses to a
+  /// single representative) plus a seed and a violated cap.
+  void buildSingleScc(ConstraintSystem &Sys, unsigned NumVars) {
+    std::vector<QualVarId> V;
+    for (unsigned I = 0; I != NumVars; ++I)
+      V.push_back(Sys.freshVar("s" + std::to_string(I)));
+    for (unsigned I = 0; I != NumVars; ++I)
+      Sys.addLeq(varOf(V[I]), varOf(V[(I + 1) % NumVars]),
+                 {"ring " + std::to_string(I)});
+    Sys.addLeq(constOf(just(Tainted)), varOf(V[0]), {"ring source"});
+    Sys.addLeq(varOf(V[NumVars / 2]), constOf(QS.notQual(Tainted)),
+               {"ring sink must be untainted"});
+  }
+
+  /// Every byte the tools render from a solved system: one explanation per
+  /// violation, in collectViolations() order.
+  static std::string renderDiagnostics(ConstraintSystem &Sys) {
+    std::string Out;
+    for (const Violation &V : Sys.collectViolations())
+      Out += Sys.explain(V);
+    return Out;
+  }
+
+  /// The --stats counters that must match across layouts-with-equal-
+  /// collapse-state and across job counts (SolveSeconds excluded: it is
+  /// wall-clock and never byte-compared; docs/SOLVER.md).
+  static void expectStatsEqual(const SolverStats &A, const SolverStats &B) {
+    EXPECT_EQ(A.NumVars, B.NumVars);
+    EXPECT_EQ(A.NumConstraints, B.NumConstraints);
+    EXPECT_EQ(A.VarVarEdges, B.VarVarEdges);
+    EXPECT_EQ(A.CompactEdges, B.CompactEdges);
+    EXPECT_EQ(A.SolveCalls, B.SolveCalls);
+    EXPECT_EQ(A.DensePasses, B.DensePasses);
+    EXPECT_EQ(A.CollapsePasses, B.CollapsePasses);
+    EXPECT_EQ(A.SccsCollapsed, B.SccsCollapsed);
+    EXPECT_EQ(A.VarsCollapsed, B.VarsCollapsed);
+    EXPECT_EQ(A.EdgesDeduped, B.EdgesDeduped);
+    EXPECT_EQ(A.SelfEdgesDropped, B.SelfEdgesDropped);
+    EXPECT_EQ(A.WorklistPushes, B.WorklistPushes);
+    EXPECT_EQ(A.EdgeVisits, B.EdgeVisits);
+  }
+
+  /// Asserts bounds, diagnostics bytes, and stats counters all agree
+  /// between two identically-built, solved systems.
+  static void expectByteIdentical(ConstraintSystem &A, ConstraintSystem &B) {
+    ASSERT_EQ(A.getNumVars(), B.getNumVars());
+    for (QualVarId V = 0; V != A.getNumVars(); ++V) {
+      EXPECT_EQ(A.lower(V).bits(), B.lower(V).bits()) << "var " << V;
+      EXPECT_EQ(A.upper(V).bits(), B.upper(V).bits()) << "var " << V;
+    }
+    EXPECT_EQ(renderDiagnostics(A), renderDiagnostics(B));
+    expectStatsEqual(A.getStats(), B.getStats());
+  }
+};
+
+TEST_F(SolverDenseTest, DenseMatchesWorklistOnRandomGraphs) {
+  for (uint64_t Seed : {7ull, 99ull, 2026ull}) {
+    ConstraintSystem Dense(QS, denseConfig());
+    ConstraintSystem Work(QS, worklistConfig());
+    buildCyclic(Dense, 120, 480, Seed);
+    buildCyclic(Work, 120, 480, Seed);
+    EXPECT_EQ(Dense.solve(), Work.solve()) << "seed " << Seed;
+    EXPECT_EQ(Dense.getStats().DensePasses, 1u);
+    EXPECT_EQ(Work.getStats().DensePasses, 0u);
+    for (QualVarId V = 0; V != Dense.getNumVars(); ++V) {
+      EXPECT_EQ(Dense.lower(V).bits(), Work.lower(V).bits())
+          << "seed " << Seed << " var " << V;
+      EXPECT_EQ(Dense.upper(V).bits(), Work.upper(V).bits())
+          << "seed " << Seed << " var " << V;
+    }
+    // Same collapse state (both rebuilt this solve), so the rendered
+    // diagnostics must be byte-identical too, not just equivalent.
+    EXPECT_EQ(renderDiagnostics(Dense), renderDiagnostics(Work))
+        << "seed " << Seed;
+  }
+}
+
+TEST_F(SolverDenseTest, JobsByteIdentityOnCyclicGraph) {
+  ThreadPool Pool(4);
+  ConstraintSystem J1(QS, denseConfig());
+  ConstraintSystem JN(QS, denseConfig(4, &Pool));
+  buildCyclic(J1, 200, 800, 42);
+  buildCyclic(JN, 200, 800, 42);
+  EXPECT_EQ(J1.solve(), JN.solve());
+  EXPECT_EQ(JN.getStats().DensePasses, 1u);
+  expectByteIdentical(J1, JN);
+}
+
+TEST_F(SolverDenseTest, JobsByteIdentityOnDisconnectedComponents) {
+  // Hundreds of independent islands land on few levels with many
+  // components each -- the shape that actually exercises chunked shard
+  // dispatch (ShardGrain 2, so dozens of chunks per level).
+  ThreadPool Pool(4);
+  ConstraintSystem J1(QS, denseConfig());
+  ConstraintSystem JN(QS, denseConfig(4, &Pool));
+  buildDisconnected(J1, 300);
+  buildDisconnected(JN, 300);
+  EXPECT_EQ(J1.solve(), JN.solve());
+  EXPECT_EQ(JN.getStats().DensePasses, 1u);
+  expectByteIdentical(J1, JN);
+}
+
+TEST_F(SolverDenseTest, JobsByteIdentityOnSingleGiantScc) {
+  ThreadPool Pool(4);
+  ConstraintSystem J1(QS, denseConfig());
+  ConstraintSystem JN(QS, denseConfig(4, &Pool));
+  buildSingleScc(J1, 500);
+  buildSingleScc(JN, 500);
+  EXPECT_EQ(J1.solve(), JN.solve());
+  expectByteIdentical(J1, JN);
+  // The whole ring collapses onto one representative; the sink's taint
+  // violation survives and explains identically.
+  EXPECT_TRUE(J1.sameRep(0, 250));
+  EXPECT_NE(renderDiagnostics(J1).find("sink must be untainted"),
+            std::string::npos);
+}
+
+TEST_F(SolverDenseTest, MaskedCycleRunsToFixpointInsideOneShard) {
+  // A cycle through masked edges is never collapsed (docs/SOLVER.md), so
+  // it becomes one multi-node scheduling component that must iterate to
+  // its local fixpoint -- at any job count.
+  ThreadPool Pool(4);
+  for (unsigned Jobs : {1u, 4u}) {
+    ConstraintSystem Sys(QS,
+                         denseConfig(Jobs, Jobs > 1 ? &Pool : nullptr));
+    QualVarId A = Sys.freshVar("a"), B = Sys.freshVar("b"),
+              C = Sys.freshVar("c");
+    uint64_t TaintOnly = QS.bitFor(Tainted);
+    Sys.addLeqMasked(varOf(A), varOf(B), TaintOnly, {"a<=b taint"});
+    Sys.addLeqMasked(varOf(B), varOf(C), TaintOnly, {"b<=c taint"});
+    Sys.addLeqMasked(varOf(C), varOf(A), TaintOnly, {"c<=a taint"});
+    Sys.addLeq(constOf(just(Tainted)), varOf(A), {"taint a"});
+    Sys.addLeq(constOf(just(Const)), varOf(B), {"const b"});
+    EXPECT_TRUE(Sys.solve());
+    // Taint flows all the way around the masked cycle...
+    EXPECT_TRUE(Sys.lower(C).bits() & QS.bitFor(Tainted));
+    EXPECT_TRUE(Sys.lower(A).bits() & QS.bitFor(Tainted));
+    // ...but const does not cross the mask, and nothing collapsed.
+    EXPECT_FALSE(Sys.lower(C).bits() & QS.bitFor(Const));
+    EXPECT_FALSE(Sys.sameRep(A, B));
+  }
+}
+
+TEST_F(SolverDenseTest, SmallAndIncrementalSolvesStayOnWorklistTier) {
+  // Default config: a 200-edge system is below DenseMinNewEdges, so the
+  // dense core must not fire (the pressure policy stays in charge).
+  ConstraintSystem Small(QS);
+  buildCyclic(Small, 50, 200, 5);
+  Small.solve();
+  EXPECT_EQ(Small.getStats().DensePasses, 0u);
+
+  // A bulk ingest above the floor takes exactly one dense pass...
+  ConstraintSystem Bulk(QS);
+  buildCyclic(Bulk, 400, 1600, 5);
+  Bulk.solve();
+  EXPECT_EQ(Bulk.getStats().DensePasses, 1u);
+  EXPECT_EQ(Bulk.getStats().CollapsePasses, 1u);
+
+  // ...and a small incremental edit afterwards is not "half the system",
+  // so it re-solves on the worklist tier and still matches a from-scratch
+  // reference.
+  QualVarId X = Bulk.freshVar("x");
+  Bulk.addLeq(constOf(just(Tainted)), varOf(X), {"new source"});
+  Bulk.addLeq(varOf(X), varOf(0), {"new edge"});
+  Bulk.solve();
+  // Stats describe one solve: the re-solve itself took no dense pass.
+  EXPECT_EQ(Bulk.getStats().DensePasses, 0u);
+
+  ConstraintSystem Ref(QS, worklistConfig());
+  buildCyclic(Ref, 400, 1600, 5);
+  QualVarId Y = Ref.freshVar("x");
+  Ref.addLeq(constOf(just(Tainted)), varOf(Y), {"new source"});
+  Ref.addLeq(varOf(Y), varOf(0), {"new edge"});
+  Ref.solve();
+  for (QualVarId V = 0; V != Bulk.getNumVars(); ++V) {
+    EXPECT_EQ(Bulk.lower(V).bits(), Ref.lower(V).bits()) << "var " << V;
+    EXPECT_EQ(Bulk.upper(V).bits(), Ref.upper(V).bits()) << "var " << V;
+  }
+}
+
+TEST_F(SolverDenseTest, ExplainBytesIdenticalAcrossLayoutsAndJobs) {
+  ThreadPool Pool(4);
+  auto build = [this](ConstraintSystem &Sys) {
+    // A taint source feeding a long chain into an untainted sink: the
+    // explanation must name the chain deterministically.
+    std::vector<QualVarId> V;
+    for (unsigned I = 0; I != 40; ++I)
+      V.push_back(Sys.freshVar("h" + std::to_string(I)));
+    Sys.addLeq(constOf(just(Tainted)), varOf(V[0]), {"the source"});
+    for (unsigned I = 0; I + 1 != 40; ++I)
+      Sys.addLeq(varOf(V[I]), varOf(V[I + 1]),
+                 {"hop " + std::to_string(I)});
+    Sys.addLeq(varOf(V[39]), constOf(QS.notQual(Tainted)),
+               {"sink must be untainted"});
+  };
+  ConstraintSystem Dense1(QS, denseConfig());
+  ConstraintSystem DenseN(QS, denseConfig(4, &Pool));
+  ConstraintSystem Work(QS, worklistConfig());
+  build(Dense1);
+  build(DenseN);
+  build(Work);
+  // The taint chain violates the sink cap, so all three agree: unsat.
+  EXPECT_FALSE(Dense1.solve());
+  EXPECT_FALSE(DenseN.solve());
+  EXPECT_FALSE(Work.solve());
+  std::string D1 = renderDiagnostics(Dense1);
+  EXPECT_EQ(D1, renderDiagnostics(DenseN));
+  EXPECT_EQ(D1, renderDiagnostics(Work));
+  EXPECT_NE(D1.find("the source"), std::string::npos);
+  EXPECT_NE(D1.find("hop 38"), std::string::npos);
+  EXPECT_NE(D1.find("source: qualifier constant"), std::string::npos);
+}
+
+TEST_F(SolverDenseTest, ConcurrentDenseSolvesShareOnePool) {
+  // Several systems solving at once, all sharding onto the same pool --
+  // the TSan job runs this to prove shard dispatch, the chunked
+  // parallelForEach, and the stats merge are race-free.
+  ThreadPool Pool(4);
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Mismatches{0};
+  for (unsigned T = 0; T != 4; ++T)
+    Threads.emplace_back([this, T, &Pool, &Mismatches] {
+      ConstraintSystem Sys(QS, denseConfig(4, &Pool));
+      ConstraintSystem Ref(QS, denseConfig());
+      buildCyclic(Sys, 80, 320, 1000 + T);
+      buildCyclic(Ref, 80, 320, 1000 + T);
+      Sys.solve();
+      Ref.solve();
+      for (QualVarId V = 0; V != Sys.getNumVars(); ++V)
+        if (Sys.lower(V).bits() != Ref.lower(V).bits() ||
+            Sys.upper(V).bits() != Ref.upper(V).bits())
+          Mismatches.fetch_add(1);
+      if (Sys.getStats().EdgeVisits != Ref.getStats().EdgeVisits)
+        Mismatches.fetch_add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+}
+
+} // namespace

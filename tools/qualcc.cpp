@@ -18,10 +18,15 @@
 //   --flow-nonnull  also run the flow-sensitive (Section 6) checker
 //   --stats         print a solver statistics table
 //   --no-collapse   disable solver cycle collapsing (ablation baseline)
+//   --no-dense      disable the solver's dense bulk-solve core (ablation)
 //   --batch         analyze each file as its own translation unit (corpus
 //                   mode) instead of linking all files into one program
 //   -jN, --jobs N   batch workers; implies --batch (docs/PARALLEL.md);
 //                   output order and bytes are identical for every N
+//   --solver-jobs=N shard the solver's dense passes over N pool threads in
+//                   whole-program mode; bytes are identical for every N
+//                   (docs/SOLVER.md). Ignored in batch mode, where the
+//                   translation units are the parallelism axis.
 //   --trace-out=<file>      write a Chrome trace of the pipeline phases
 //   --metrics[=table|json]  print per-phase metrics on exit
 //   --quiet         counts only
@@ -36,6 +41,7 @@
 #include "cfront/CParser.h"
 #include "cfront/CSema.h"
 #include "constinf/ConstInfer.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include "BatchDriver.h"
@@ -44,6 +50,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace quals;
@@ -79,6 +86,9 @@ struct QualccOptions {
   bool RunFlowNonNull = false;
   bool PrintStats = false;
   bool CollapseCycles = true;
+  bool DenseSolve = true;
+  unsigned SolverJobs = 1;
+  ThreadPool *SolverPool = nullptr;
   bool Quiet = false;
   Limits Lim;
 };
@@ -124,6 +134,9 @@ static void analyzeUnit(const std::vector<std::string> &Paths,
   ConstInference::Options InfOpts;
   InfOpts.Polymorphic = Opts.Polymorphic;
   InfOpts.CollapseCycles = Opts.CollapseCycles;
+  InfOpts.DenseSolve = Opts.DenseSolve;
+  InfOpts.SolverJobs = Opts.SolverJobs;
+  InfOpts.SolverPool = Opts.SolverPool;
   ConstInference Inf(TU, Diags, InfOpts);
   Timer InferTimer;
   if (!Inf.run()) {
@@ -198,8 +211,11 @@ static const char *kOptionsHelp =
     "  --flow-nonnull  also run the flow-sensitive (Section 6) checker\n"
     "  --stats         print a solver statistics table\n"
     "  --no-collapse   disable solver cycle collapsing (ablation)\n"
+    "  --no-dense      disable the dense bulk-solve core (ablation)\n"
     "  --batch         analyze each file as its own translation unit\n"
     "                  (implied by -jN; parallelism is per unit)\n"
+    "  --solver-jobs=N shard the solver's dense passes over N threads\n"
+    "                  (whole-program mode only; bytes identical at any N)\n"
     "  --quiet         counts only\n";
 
 int main(int argc, char **argv) {
@@ -227,7 +243,17 @@ int main(int argc, char **argv) {
       Opts.PrintStats = true;
     else if (!std::strcmp(argv[I], "--no-collapse"))
       Opts.CollapseCycles = false;
-    else if (!std::strcmp(argv[I], "--batch"))
+    else if (!std::strcmp(argv[I], "--no-dense"))
+      Opts.DenseSolve = false;
+    else if (!std::strncmp(argv[I], "--solver-jobs=", 14)) {
+      const char *Digits = argv[I] + 14;
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Digits, &End, 10);
+      if (*Digits == '\0' || *End != '\0' || N == 0 || N > 1024)
+        return Common.fail(std::string("bad --solver-jobs value '") + Digits +
+                           "' (want a thread count in [1, 1024])");
+      Opts.SolverJobs = static_cast<unsigned>(N);
+    } else if (!std::strcmp(argv[I], "--batch"))
       Batch = true;
     else if (!std::strcmp(argv[I], "--quiet"))
       Opts.Quiet = true;
@@ -245,7 +271,14 @@ int main(int argc, char **argv) {
 
   if (!Batch) {
     // Whole-program mode (the paper's setup): every file is one linked
-    // translation unit, so the analysis itself cannot be sharded.
+    // translation unit, so the files cannot be sharded -- but the solver's
+    // dense passes can be (--solver-jobs; docs/SOLVER.md). Output bytes
+    // are identical at every thread count.
+    std::unique_ptr<ThreadPool> SolverPool;
+    if (Opts.SolverJobs > 1) {
+      SolverPool = std::make_unique<ThreadPool>(Opts.SolverJobs);
+      Opts.SolverPool = SolverPool.get();
+    }
     batch::FileResult R;
     analyzeUnit(Files, Opts, R);
     if (!R.Out.empty())
