@@ -1,0 +1,270 @@
+//===- bench/server_qps.cpp - Sustained multi-client QPS benchmark ---------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the socket transport and the sharded ResultCache buy
+// under sustained multi-client traffic: one in-process qualsd (unix-domain
+// socket) serves C concurrent connections, each synchronously streaming
+// analyze requests over a warm corpus (send one line, read one response --
+// the editor-integration pattern), for C in {1, 2, 4, 8}. The headline is
+// queries per second at each concurrency level; the correctness bar is
+// that every connection's response bytes equal a single-client stdio run
+// of the same request stream (abort, not a result, otherwise).
+//
+//   server_qps [--files N] [--lines N] [--requests N] [--smoke]
+//
+// Output is a JSON document (the "qps" half of BENCH_server.json):
+//
+//   {"files":24,"lines_per_file":120,"requests_per_client":200,
+//    "hardware_threads":8,"transport":"unix",
+//    "concurrency":[{"clients":1,"seconds":...,"qps":...},...],
+//    "responses_identical":true}
+//
+// Honest-scaling guard: hardware_threads is recorded, and on a 1-thread
+// runner the document carries "caveat":"single-core runner" -- concurrent
+// connections cannot scale there, so the C>1 rows measure multiplexing
+// overhead, not parallel speedup. --smoke shrinks the corpus for the
+// perf-smoke CI leg, which runs this gate on every Release build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/SynthGen.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "serve/Transport.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace quals;
+using namespace quals::serve;
+
+namespace {
+
+int connectUnix(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool sendAll(int Fd, const char *P, size_t N) {
+  while (N) {
+    ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
+    if (W <= 0) {
+      if (W < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Appends bytes to \p Out until it contains one more '\n' than before;
+/// returns false on EOF/error.
+bool recvLine(int Fd, std::string &Out) {
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Out.append(Buf, static_cast<size_t>(N));
+    if (std::memchr(Buf, '\n', static_cast<size_t>(N)))
+      return true;
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Files = 24;
+  unsigned Lines = 120;
+  unsigned RequestsPerClient = 200;
+  uint64_t Seed = 1004;
+  std::vector<unsigned> Concurrency = {1, 2, 4, 8};
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--files") && I + 1 < argc)
+      Files = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--lines") && I + 1 < argc)
+      Lines = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--requests") && I + 1 < argc)
+      RequestsPerClient = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--smoke")) {
+      Files = 8;
+      Lines = 60;
+      RequestsPerClient = 32;
+      Concurrency = {1, 2, 4};
+    } else {
+      std::fprintf(stderr, "usage: server_qps [--files N] [--lines N] "
+                           "[--requests N] [--smoke]\n");
+      return 1;
+    }
+  }
+
+  // The corpus: one request line per synthetic program. A client's stream
+  // walks the corpus round-robin with per-stream ids, so stream bytes are
+  // a pure function of (client index, request count) -- exactly
+  // reproducible over stdio for the identity gate.
+  std::vector<std::string> Corpus(Files);
+  for (unsigned I = 0; I != Files; ++I) {
+    synth::SynthProgram Prog =
+        synth::generateProgram(synth::corpusFileParams(Seed, I, Lines));
+    std::string &Req = Corpus[I];
+    Req = "{\"method\":\"analyze\",\"params\":{\"source\":";
+    appendJsonString(Req, Prog.Source);
+    Req += ",\"name\":";
+    appendJsonString(Req, synth::corpusFileName(I));
+    Req += "}}\n";
+  }
+  auto streamFor = [&](unsigned Client) {
+    std::string Stream;
+    for (unsigned R = 0; R != RequestsPerClient; ++R) {
+      const std::string &Base = Corpus[(Client + R) % Files];
+      // Per-request id: splice {"id":N, in front of "method".
+      Stream += "{\"id\":" + std::to_string(R) + "," + Base.substr(1);
+    }
+    return Stream;
+  };
+
+  // The served configuration: connections are the parallelism axis
+  // (docs/PARALLEL.md), so the server runs sessions inline and the corpus
+  // is warmed once up front -- sustained traffic then measures the
+  // protocol loop and the sharded cache's hit path, which is what a warm
+  // fleet-serving daemon spends its life doing.
+  ServerConfig Config;
+  Server S(Config);
+  {
+    std::string Warm;
+    for (const std::string &Req : Corpus)
+      Warm += Req;
+    std::istringstream In(Warm);
+    std::ostringstream Out;
+    if (S.run(In, Out) != 0) {
+      std::fprintf(stderr, "server_qps: warm pass failed\n");
+      return 1;
+    }
+  }
+
+  // Stdio references, computed against the same warm server (sessions are
+  // serial here; responses are pure functions of content so warm/cold and
+  // stdio/socket must agree byte for byte).
+  unsigned MaxClients = 0;
+  for (unsigned C : Concurrency)
+    MaxClients = std::max(MaxClients, C);
+  std::vector<std::string> Want(MaxClients);
+  for (unsigned K = 0; K != MaxClients; ++K) {
+    std::istringstream In(streamFor(K));
+    std::ostringstream Out;
+    if (S.run(In, Out) != 0) {
+      std::fprintf(stderr, "server_qps: reference pass failed\n");
+      return 1;
+    }
+    Want[K] = Out.str();
+  }
+
+  std::string SockPath =
+      (std::filesystem::temp_directory_path() /
+       ("quals_qps_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ListenSpec Spec;
+  Spec.K = ListenSpec::Kind::Unix;
+  Spec.Path = SockPath;
+  Transport T(S, Spec);
+  std::string Error;
+  if (!T.open(Error)) {
+    std::fprintf(stderr, "server_qps: %s\n", Error.c_str());
+    return 1;
+  }
+  std::thread Serve([&T] { T.serve(); });
+
+  struct Row {
+    unsigned Clients;
+    double Seconds;
+    double Qps;
+  };
+  std::vector<Row> Rows;
+  bool Identical = true;
+  for (unsigned C : Concurrency) {
+    std::vector<std::string> Got(C);
+    std::vector<std::thread> ClientThreads;
+    Timer Wall;
+    for (unsigned K = 0; K != C; ++K)
+      ClientThreads.emplace_back([&, K] {
+        int Fd = connectUnix(SockPath);
+        if (Fd < 0)
+          return;
+        // Synchronous request/response: one line out, one line back --
+        // QPS under per-connection serial latency, C-way concurrent.
+        std::string Stream = streamFor(K);
+        size_t Pos = 0;
+        for (unsigned R = 0; R != RequestsPerClient; ++R) {
+          size_t End = Stream.find('\n', Pos) + 1;
+          if (!sendAll(Fd, Stream.data() + Pos, End - Pos) ||
+              !recvLine(Fd, Got[K]))
+            break;
+          Pos = End;
+        }
+        ::close(Fd);
+      });
+    for (std::thread &Th : ClientThreads)
+      Th.join();
+    double Seconds = Wall.seconds();
+    for (unsigned K = 0; K != C; ++K)
+      if (Got[K] != Want[K]) {
+        std::fprintf(stderr,
+                     "server_qps: connection %u of %u diverged from its "
+                     "stdio reference (%zu vs %zu bytes)\n",
+                     K, C, Got[K].size(), Want[K].size());
+        Identical = false;
+      }
+    Rows.push_back({C, Seconds,
+                    Seconds > 0 ? C * RequestsPerClient / Seconds : 0.0});
+  }
+
+  T.stop();
+  Serve.join();
+
+  if (!Identical)
+    return 1; // The gate: divergent bytes are a bug, not a benchmark result.
+
+  unsigned Hw = ThreadPool::defaultWorkers();
+  std::printf("{\"files\":%u,\"lines_per_file\":%u,"
+              "\"requests_per_client\":%u,\"hardware_threads\":%u,",
+              Files, Lines, RequestsPerClient, Hw);
+  if (Hw == 1)
+    std::printf("\"caveat\":\"single-core runner\",");
+  std::printf("\"transport\":\"unix\",\n \"concurrency\":[");
+  for (size_t I = 0; I != Rows.size(); ++I)
+    std::printf("%s{\"clients\":%u,\"seconds\":%.4f,\"qps\":%.0f}",
+                I ? "," : "", Rows[I].Clients, Rows[I].Seconds,
+                Rows[I].Qps);
+  std::printf("],\"responses_identical\":true}\n");
+  return 0;
+}

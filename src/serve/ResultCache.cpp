@@ -40,10 +40,22 @@ constexpr char SpillMagic[4] = {'Q', 'S', 'D', 'C'};
 /// field must not turn into a giant allocation.
 constexpr uint64_t MaxSpillPayload = 1u << 30; // 1 GiB
 
+unsigned roundUpPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < (1u << 16))
+    P <<= 1;
+  return P;
+}
+
 } // namespace
 
-ResultCache::ResultCache(uint64_t MaxBytes, std::string SpillDir)
-    : MaxBytes(MaxBytes), SpillDir(std::move(SpillDir)) {}
+ResultCache::ResultCache(uint64_t MaxBytes, std::string SpillDir,
+                         unsigned Shards)
+    : MaxBytes(MaxBytes), SpillDir(std::move(SpillDir)),
+      NumShards(roundUpPow2(Shards ? Shards : 1)) {
+  ShardMaxBytes = (MaxBytes + NumShards - 1) / NumShards;
+  this->Shards = std::make_unique<Shard[]>(NumShards);
+}
 
 void ResultCache::bumpCacheCounter(const char *Name, uint64_t Delta) {
   if (MetricsRegistry::collecting())
@@ -51,108 +63,152 @@ void ResultCache::bumpCacheCounter(const char *Name, uint64_t Delta) {
 }
 
 bool ResultCache::lookup(const CacheKey &Key, CachedResult &Out) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Map.find(Key);
-  if (It != Map.end()) {
-    Lru.splice(Lru.begin(), Lru, It->second); // Refresh to most recent.
-    Out = It->second->second;
-    ++Counts.Hits;
-    bumpCacheCounter("cache.hits");
-    return true;
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // Refresh to recent.
+      Out = It->second->second;
+      ++S.Counts.Hits;
+      bumpCacheCounter("cache.hits");
+      return true;
+    }
   }
-  if (!SpillDir.empty() && spillLoadLocked(Key, Out)) {
+  // Memory miss: consult the spill layer with no lock held -- disk reads
+  // must stall only this request, never the shard's other traffic.
+  if (!SpillDir.empty() && spillLoad(Key, Out)) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
     // Promote the spilled entry back into memory (no re-spill: the file is
-    // already on disk).
-    insertLocked(Key, Out, /*Spill=*/false);
-    ++Counts.Hits;
-    ++Counts.SpillLoads;
+    // already on disk; and not an insert: nothing new was computed). A
+    // racing lookup may have promoted it already -- insertShardLocked
+    // refreshes in place, and the payload is identical by keying.
+    insertShardLocked(S, Key, Out, /*CountInsert=*/false);
+    ++S.Counts.Hits;
+    ++S.Counts.SpillLoads;
     bumpCacheCounter("cache.hits");
     bumpCacheCounter("cache.spill_loads");
     return true;
   }
-  ++Counts.Misses;
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  ++S.Counts.Misses;
   bumpCacheCounter("cache.misses");
   return false;
 }
 
 void ResultCache::insert(const CacheKey &Key, CachedResult Value) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  insertLocked(Key, std::move(Value), /*Spill=*/true);
-}
-
-void ResultCache::insertLocked(const CacheKey &Key, CachedResult Value,
-                               bool Spill) {
   if (MaxBytes == 0)
     return; // Caching disabled.
-  if (Spill && !SpillDir.empty())
-    spillWriteLocked(Key, Value);
-  if (entryBytes(Value) > MaxBytes)
-    return; // Larger than the whole budget: serve it, don't cache it.
-  auto It = Map.find(Key);
-  if (It != Map.end()) {
-    // Refresh: replace payload in place and move to most recent.
-    CurBytes -= entryBytes(It->second->second);
-    CurBytes += entryBytes(Value);
-    It->second->second = std::move(Value);
-    Lru.splice(Lru.begin(), Lru, It->second);
-  } else {
-    CurBytes += entryBytes(Value);
-    Lru.emplace_front(Key, std::move(Value));
-    Map[Key] = Lru.begin();
+  // Write-through spill first, outside any lock: create_directories plus a
+  // payload write and rename are the slowest thing the cache ever does,
+  // and holding a shard mutex across them would serialize every
+  // concurrent operation on the shard behind this request's disk.
+  bool Spilled = false;
+  if (!SpillDir.empty())
+    Spilled = spillWrite(Key, Value);
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (Spilled) {
+    ++S.Counts.SpillWrites;
+    bumpCacheCounter("cache.spill_writes");
   }
-  ++Counts.Inserts;
-  evictOverBudgetLocked();
+  insertShardLocked(S, Key, std::move(Value), /*CountInsert=*/true);
 }
 
-void ResultCache::evictOverBudgetLocked() {
-  while (CurBytes > MaxBytes && !Lru.empty()) {
-    auto &Victim = Lru.back();
-    CurBytes -= entryBytes(Victim.second);
-    Map.erase(Victim.first);
-    Lru.pop_back();
-    ++Counts.Evictions;
+void ResultCache::insertShardLocked(Shard &S, const CacheKey &Key,
+                                    CachedResult Value, bool CountInsert) {
+  if (MaxBytes == 0)
+    return; // Caching disabled.
+  if (entryBytes(Value) > ShardMaxBytes)
+    return; // Larger than the shard's whole budget: serve, don't cache.
+  auto It = S.Map.find(Key);
+  if (It != S.Map.end()) {
+    // Refresh: replace payload in place and move to most recent.
+    S.CurBytes -= entryBytes(It->second->second);
+    S.CurBytes += entryBytes(Value);
+    It->second->second = std::move(Value);
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  } else {
+    S.CurBytes += entryBytes(Value);
+    S.Lru.emplace_front(Key, std::move(Value));
+    S.Map[Key] = S.Lru.begin();
+  }
+  if (CountInsert) {
+    ++S.Counts.Inserts;
+  } else {
+    ++S.Counts.Promotions;
+    bumpCacheCounter("cache.promotions");
+  }
+  evictOverBudgetLocked(S);
+}
+
+void ResultCache::evictOverBudgetLocked(Shard &S) {
+  while (S.CurBytes > ShardMaxBytes && !S.Lru.empty()) {
+    auto &Victim = S.Lru.back();
+    S.CurBytes -= entryBytes(Victim.second);
+    S.Map.erase(Victim.first);
+    S.Lru.pop_back();
+    ++S.Counts.Evictions;
     bumpCacheCounter("cache.evictions");
   }
 }
 
 uint64_t ResultCache::invalidateAll() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  uint64_t Dropped = Map.size();
-  Map.clear();
-  Lru.clear();
-  CurBytes = 0;
+  uint64_t Dropped = 0;
+  for (unsigned I = 0; I != NumShards; ++I) {
+    Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Dropped += S.Map.size();
+    S.Map.clear();
+    S.Lru.clear();
+    S.CurBytes = 0;
+  }
   if (!SpillDir.empty())
-    spillRemoveAllLocked(0, /*MatchContent=*/false);
+    spillRemoveAll(0, /*MatchContent=*/false);
   return Dropped;
 }
 
 uint64_t ResultCache::invalidateContent(uint64_t ContentHash) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  // Every config of one source lives in the shard ContentHash selects.
+  Shard &S = Shards[ContentHash & (NumShards - 1)];
   uint64_t Dropped = 0;
-  for (auto It = Lru.begin(); It != Lru.end();) {
-    if (It->first.ContentHash == ContentHash) {
-      CurBytes -= entryBytes(It->second);
-      Map.erase(It->first);
-      It = Lru.erase(It);
-      ++Dropped;
-    } else {
-      ++It;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (auto It = S.Lru.begin(); It != S.Lru.end();) {
+      if (It->first.ContentHash == ContentHash) {
+        S.CurBytes -= entryBytes(It->second);
+        S.Map.erase(It->first);
+        It = S.Lru.erase(It);
+        ++Dropped;
+      } else {
+        ++It;
+      }
     }
   }
   if (!SpillDir.empty())
-    spillRemoveAllLocked(ContentHash, /*MatchContent=*/true);
+    spillRemoveAll(ContentHash, /*MatchContent=*/true);
   return Dropped;
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  CacheStats S = Counts;
-  S.Entries = Map.size();
-  S.Bytes = CurBytes;
-  return S;
+  CacheStats Sum;
+  for (unsigned I = 0; I != NumShards; ++I) {
+    const Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Sum.Hits += S.Counts.Hits;
+    Sum.Misses += S.Counts.Misses;
+    Sum.Evictions += S.Counts.Evictions;
+    Sum.Inserts += S.Counts.Inserts;
+    Sum.Promotions += S.Counts.Promotions;
+    Sum.SpillLoads += S.Counts.SpillLoads;
+    Sum.SpillWrites += S.Counts.SpillWrites;
+    Sum.Entries += S.Map.size();
+    Sum.Bytes += S.CurBytes;
+  }
+  return Sum;
 }
 
-std::string ResultCache::spillPathLocked(const CacheKey &Key) const {
+std::string ResultCache::spillPath(const CacheKey &Key) const {
   char Name[64];
   std::snprintf(Name, sizeof(Name), "%016llx-%016llx.qres",
                 static_cast<unsigned long long>(Key.ContentHash),
@@ -160,12 +216,11 @@ std::string ResultCache::spillPathLocked(const CacheKey &Key) const {
   return (std::filesystem::path(SpillDir) / Name).string();
 }
 
-void ResultCache::spillWriteLocked(const CacheKey &Key,
-                                   const CachedResult &Value) {
+bool ResultCache::spillWrite(const CacheKey &Key, const CachedResult &Value) {
   std::error_code Ec;
   std::filesystem::create_directories(SpillDir, Ec);
   if (Ec)
-    return; // Spill is best-effort; memory caching still works.
+    return false; // Spill is best-effort; memory caching still works.
   SpillHeader H;
   std::memcpy(H.Magic, SpillMagic, 4);
   H.Version = FormatVersion;
@@ -177,32 +232,35 @@ void ResultCache::spillWriteLocked(const CacheKey &Key,
   H.ErrLen = Value.Err.size();
   // Write to a temp name then rename, so a crashed/killed server never
   // leaves a half-written entry a future process would have to distrust.
-  std::string Final = spillPathLocked(Key);
-  std::string Tmp = Final + ".tmp";
+  // Concurrent writers of the same key use distinct temp names; whichever
+  // rename lands last wins with an identical payload (keying guarantees
+  // it), so the race is benign.
+  std::string Final = spillPath(Key);
+  std::string Tmp = Final + ".tmp" +
+                    std::to_string(reinterpret_cast<uintptr_t>(&Tmp) >> 4);
   {
     std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
     if (!OutF)
-      return;
+      return false;
     OutF.write(reinterpret_cast<const char *>(&H), sizeof(H));
     OutF.write(Value.Out.data(), Value.Out.size());
     OutF.write(Value.Err.data(), Value.Err.size());
     if (!OutF) {
       OutF.close();
       std::filesystem::remove(Tmp, Ec);
-      return;
+      return false;
     }
   }
   std::filesystem::rename(Tmp, Final, Ec);
   if (Ec) {
     std::filesystem::remove(Tmp, Ec);
-    return;
+    return false;
   }
-  ++Counts.SpillWrites;
-  bumpCacheCounter("cache.spill_writes");
+  return true;
 }
 
-bool ResultCache::spillLoadLocked(const CacheKey &Key, CachedResult &Out) {
-  std::string Path = spillPathLocked(Key);
+bool ResultCache::spillLoad(const CacheKey &Key, CachedResult &Out) {
+  std::string Path = spillPath(Key);
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return false;
@@ -236,8 +294,7 @@ bool ResultCache::spillLoadLocked(const CacheKey &Key, CachedResult &Out) {
   return true;
 }
 
-void ResultCache::spillRemoveAllLocked(uint64_t ContentHash,
-                                       bool MatchContent) {
+void ResultCache::spillRemoveAll(uint64_t ContentHash, bool MatchContent) {
   std::error_code Ec;
   std::filesystem::directory_iterator It(SpillDir, Ec), End;
   if (Ec)

@@ -25,6 +25,7 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 using namespace quals;
 using namespace quals::serve;
@@ -37,7 +38,10 @@ enum class ReadStatus { Eof, Ok, TooLong };
 /// Reads one line (up to but not including '\n', trailing '\r' stripped)
 /// with a hard byte cap: an over-cap line is consumed to its end and
 /// reported TooLong, so one hostile line can neither exhaust memory nor
-/// desynchronize the stream.
+/// desynchronize the stream. The cap is judged on the line *after* CR
+/// stripping -- a CRLF peer's request of exactly MaxBytes payload bytes is
+/// within budget, identical to the same request with LF framing (the
+/// buffer holds at most MaxBytes + 1 bytes to decide this).
 ReadStatus readLimitedLine(std::istream &In, std::string &Line,
                            size_t MaxBytes) {
   Line.clear();
@@ -54,13 +58,15 @@ ReadStatus readLimitedLine(std::istream &In, std::string &Line,
     ReadAny = true;
     if (C == '\n')
       break;
-    if (Line.size() >= MaxBytes)
+    if (Line.size() > MaxBytes)
       Over = true; // Keep consuming to the newline, discard the excess.
     else
       Line += static_cast<char>(C);
   }
   if (!Line.empty() && Line.back() == '\r')
     Line.pop_back();
+  if (Line.size() > MaxBytes)
+    Over = true;
   return Over ? ReadStatus::TooLong : ReadStatus::Ok;
 }
 
@@ -115,7 +121,8 @@ std::string quals::serve::makeErrorResponse(bool HasId, int64_t Id,
 }
 
 Server::Server(const ServerConfig &Config)
-    : Config(Config), Cache(Config.CacheMaxBytes, Config.SpillDir),
+    : Config(Config),
+      Cache(Config.CacheMaxBytes, Config.SpillDir, Config.CacheShards),
       Snapshots(Config.MaxSnapshots),
       Log(Config.RequestLogStream, Config.SlowMicros) {
   if (Config.Telemetry) {
@@ -128,6 +135,10 @@ Server::Server(const ServerConfig &Config)
     QueueWait = &R.histogram("server.queue_wait");
     QueueDepth = &R.gauge("server.queue_depth");
   }
+  // One shared analyze pool for every session: C connections multiplex
+  // onto Jobs workers rather than spawning C pools (docs/SERVER.md).
+  if (Config.Jobs > 1)
+    WorkerPool = std::make_unique<ThreadPool>(Config.Jobs);
   // Nested-parallelism policy (ServerConfig::SolverJobs): a dedicated
   // solver pool exists only when requests run inline on the reader thread;
   // concurrent request workers keep their solvers inline instead.
@@ -333,13 +344,15 @@ std::string Server::handleStats(const Request &Req) {
   CacheStats S = Cache.stats();
   std::string R;
   appendIdField(R, Req.HasId, Req.Id);
-  R += ",\"ok\":true,\"requests\":" + std::to_string(Requests);
+  R += ",\"ok\":true,\"requests\":" + std::to_string(Requests.load());
   R += ",\"cache\":{\"entries\":" + std::to_string(S.Entries);
   R += ",\"bytes\":" + std::to_string(S.Bytes);
+  R += ",\"shards\":" + std::to_string(Cache.shardCount());
   R += ",\"hits\":" + std::to_string(S.Hits);
   R += ",\"misses\":" + std::to_string(S.Misses);
   R += ",\"evictions\":" + std::to_string(S.Evictions);
   R += ",\"inserts\":" + std::to_string(S.Inserts);
+  R += ",\"promotions\":" + std::to_string(S.Promotions);
   R += ",\"spill_loads\":" + std::to_string(S.SpillLoads);
   R += ",\"spill_writes\":" + std::to_string(S.SpillWrites);
   R += "}";
@@ -355,8 +368,9 @@ std::string Server::handleStats(const Request &Req) {
   R += ",\"reused\":" + std::to_string(DeltaReused.load());
   R += "}";
   if (Config.Telemetry) {
-    // Live per-method latency distributions; values are exact at this
-    // point because control requests barrier on all in-flight analyzes.
+    // Live per-method latency distributions; values are exact for this
+    // session's traffic because control requests barrier on its in-flight
+    // analyzes (other connections may record concurrently).
     auto AppendHist = [&R](const char *Name, const Histogram &H) {
       char Buf[64];
       std::snprintf(Buf, sizeof(Buf), "%.3f", H.mean());
@@ -397,26 +411,125 @@ std::string Server::handleMetrics(const Request &Req) {
   return R;
 }
 
+bool Server::warmFromManifest(const std::string &ManifestPath,
+                              WarmStats &Stats, std::string &Error) {
+  std::ifstream In(ManifestPath, std::ios::binary);
+  if (!In) {
+    Error = "cannot read warm manifest '" + ManifestPath + "'";
+    return false;
+  }
+  struct Entry {
+    std::string Path;
+    std::string Language;
+  };
+  std::vector<Entry> Entries;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    Entry E;
+    size_t Tab = Line.find('\t', First);
+    if (Tab == std::string::npos) {
+      E.Path = Line.substr(First);
+    } else {
+      E.Path = Line.substr(First, Tab - First);
+      size_t LangFirst = Line.find_first_not_of(" \t", Tab);
+      if (LangFirst != std::string::npos)
+        E.Language = Line.substr(LangFirst);
+    }
+    if (E.Language.empty())
+      E.Language = E.Path.size() >= 2 &&
+                           E.Path.compare(E.Path.size() - 2, 2, ".q") == 0
+                       ? "lambda"
+                       : "c";
+    Entries.push_back(std::move(E));
+  }
+  Stats.Listed = Entries.size();
+
+  std::atomic<uint64_t> Warmed{0}, AlreadyCached{0}, Failed{0};
+  auto WarmOne = [&](size_t I) {
+    const Entry &E = Entries[I];
+    AnalyzeJob Job;
+    Job.Name = E.Path;
+    Job.Language = E.Language;
+    Job.Lim = Config.Lim;
+    {
+      std::ifstream F(E.Path, std::ios::binary);
+      if (!F) {
+        ++Failed;
+        return;
+      }
+      std::ostringstream Buffer;
+      Buffer << F.rdbuf();
+      Job.Source = std::move(Buffer).str();
+    }
+    CacheKey Key;
+    Key.ContentHash = hashString(Job.Source);
+    Key.ConfigHash = configHash(Job);
+    CachedResult Res;
+    if (Cache.lookup(Key, Res)) { // Spill-warm from a previous run.
+      ++AlreadyCached;
+      return;
+    }
+    std::shared_ptr<const constinf::UnitSnapshot> Next;
+    runAnalysis(Job, Res, &Next);
+    Snapshots.store(Job.Name, Key.ConfigHash, std::move(Next));
+    Cache.insert(Key, Res);
+    ++Warmed;
+  };
+  TraceScope Span("server.warm", "serve");
+  if (WorkerPool)
+    WorkerPool->parallelForEach(Entries.size(), WarmOne);
+  else
+    for (size_t I = 0; I != Entries.size(); ++I)
+      WarmOne(I);
+  Stats.Warmed = Warmed;
+  Stats.AlreadyCached = AlreadyCached;
+  Stats.Failed = Failed;
+  return true;
+}
+
 int Server::run(std::istream &In, std::ostream &Out) {
   TraceScope RunSpan("server.run", "serve");
-  std::unique_ptr<ThreadPool> Pool;
-  if (Config.Jobs > 1)
-    Pool = std::make_unique<ThreadPool>(Config.Jobs);
+  ThreadPool *Pool = WorkerPool.get();
 
+  // Session state: everything below is local to this connection's stream,
+  // so concurrent run() calls (one per transport connection) interact only
+  // through the shared cache/pool/telemetry.
   std::deque<Slot> Pending;
   std::mutex Mutex;
   std::condition_variable DoneCv;
 
-  // Writes the completed prefix of Pending to Out, in request order.
-  // Reader thread only (the only thread that writes Out or pops).
-  auto FlushReady = [&] {
-    std::lock_guard<std::mutex> Lock(Mutex);
+  auto SetDepthGauge = [this](int64_t Delta) {
+    int64_t Now = InFlight.fetch_add(Delta) + Delta;
+    if (QueueDepth)
+      QueueDepth->set(Now);
+  };
+  // Writes the completed prefix of Pending to Out, in request order, then
+  // flushes. Callers hold Mutex; both the reader thread and the worker
+  // that completes the front slot call this (a synchronous peer -- send
+  // one request, await the response -- must get its reply while the
+  // reader is blocked on the next line, so flushing cannot be the
+  // reader's job alone). All writes to Out happen under Mutex, so the
+  // response stream stays serialized and in request order.
+  auto FlushReadyLocked = [&] {
+    int64_t Popped = 0;
     while (!Pending.empty() && Pending.front().Done) {
       Out << Pending.front().Response;
       Pending.pop_front();
+      ++Popped;
     }
-    if (QueueDepth)
-      QueueDepth->set(static_cast<int64_t>(Pending.size()));
+    if (Popped) {
+      SetDepthGauge(-Popped);
+      Out.flush();
+    }
+  };
+  auto FlushReady = [&] {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    FlushReadyLocked();
     Out.flush();
   };
   // Blocks until every in-flight request has completed and flushed; the
@@ -424,16 +537,13 @@ int Server::run(std::istream &In, std::ostream &Out) {
   auto Barrier = [&] {
     std::unique_lock<std::mutex> Lock(Mutex);
     for (;;) {
-      while (!Pending.empty() && Pending.front().Done) {
-        Out << Pending.front().Response;
-        Pending.pop_front();
-      }
+      FlushReadyLocked();
       if (Pending.empty())
         break;
-      DoneCv.wait(Lock, [&] { return Pending.front().Done; });
+      // Workers may pop the whole queue themselves; guard front().
+      DoneCv.wait(Lock,
+                  [&] { return Pending.empty() || Pending.front().Done; });
     }
-    if (QueueDepth)
-      QueueDepth->set(0);
     Out.flush();
   };
   // Backpressure: a peer that streams analyze requests faster than the
@@ -444,42 +554,43 @@ int Server::run(std::istream &In, std::ostream &Out) {
   auto WaitBacklog = [&] {
     std::unique_lock<std::mutex> Lock(Mutex);
     while (Pending.size() >= MaxBacklog) {
-      DoneCv.wait(Lock, [&] { return Pending.front().Done; });
-      while (!Pending.empty() && Pending.front().Done) {
-        Out << Pending.front().Response;
-        Pending.pop_front();
-      }
-      if (QueueDepth)
-        QueueDepth->set(static_cast<int64_t>(Pending.size()));
-      Out.flush();
+      // size >= MaxBacklog implies nonempty, so front() is safe here.
+      DoneCv.wait(Lock,
+                  [&] { return Pending.size() < MaxBacklog ||
+                               Pending.front().Done; });
+      FlushReadyLocked();
     }
   };
   auto EmitDone = [&](std::string Response) {
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Pending.push_back({std::move(Response), true});
+      SetDepthGauge(+1);
     }
     FlushReady();
   };
-  auto CountRequest = [&](bool IsError) {
-    ++Requests;
+  // Admits one request into the server-wide sequence; the returned value
+  // is this request's seq (1-based, shared by every session).
+  auto CountRequest = [&](bool IsError) -> uint64_t {
+    uint64_t Seq = ++Requests;
     if (MetricsRegistry::collecting()) {
       MetricsRegistry::global().counter("server.requests").add();
       if (IsError)
         MetricsRegistry::global().counter("server.errors").add();
     }
+    return Seq;
   };
   // Request-level instrumentation is fully off (no clock reads) unless a
   // histogram or the request log wants the numbers.
   const bool Instrument = Config.Telemetry || static_cast<bool>(Log);
   // Logs a request that never reached a handler (over-long or unparseable
   // line): no method, no exit, just the shape and the timings.
-  auto LogInvalid = [&](bool HasId, int64_t Id, uint64_t T0,
+  auto LogInvalid = [&](uint64_t Seq, bool HasId, int64_t Id, uint64_t T0,
                         uint64_t BytesIn, const std::string &Response) {
     if (!Log)
       return;
     RequestLogEvent Ev;
-    Ev.Seq = Requests;
+    Ev.Seq = Seq;
     Ev.HasId = HasId;
     Ev.Id = Id;
     Ev.Method = "invalid";
@@ -490,8 +601,8 @@ int Server::run(std::istream &In, std::ostream &Out) {
   };
   // Telemetry + log for a control request (invalidate/stats/metrics/
   // shutdown); the barrier wait is part of its service time.
-  auto FinishControl = [&](const Request &Req, uint64_t T0, uint64_t BytesIn,
-                           const std::string &Response) {
+  auto FinishControl = [&](const Request &Req, uint64_t Seq, uint64_t T0,
+                           uint64_t BytesIn, const std::string &Response) {
     Histogram *Lat = latencyFor(Req.M);
     if (!Lat && !Log)
       return;
@@ -500,7 +611,7 @@ int Server::run(std::istream &In, std::ostream &Out) {
       Lat->record(End - T0);
     if (Log) {
       RequestLogEvent Ev;
-      Ev.Seq = Requests;
+      Ev.Seq = Seq;
       Ev.HasId = Req.HasId;
       Ev.Id = Req.Id;
       Ev.Method = methodName(Req.M);
@@ -523,23 +634,22 @@ int Server::run(std::istream &In, std::ostream &Out) {
     const uint64_t T0 = Instrument ? Tracer::nowMicros() : 0;
     const uint64_t BytesIn = Line.size();
     if (S == ReadStatus::TooLong) {
-      CountRequest(/*IsError=*/true);
+      uint64_t Seq = CountRequest(/*IsError=*/true);
       std::string R = makeErrorResponse(false, 0, "request exceeds byte limit");
-      LogInvalid(false, 0, T0, BytesIn, R);
+      LogInvalid(Seq, false, 0, T0, BytesIn, R);
       EmitDone(std::move(R));
       continue;
     }
     Request Req;
     std::string Error;
     if (!parseRequest(Line, Config.ProtoLim, Req, Error)) {
-      CountRequest(/*IsError=*/true);
+      uint64_t Seq = CountRequest(/*IsError=*/true);
       std::string R = makeErrorResponse(Req.HasId, Req.Id, Error);
-      LogInvalid(Req.HasId, Req.Id, T0, BytesIn, R);
+      LogInvalid(Seq, Req.HasId, Req.Id, T0, BytesIn, R);
       EmitDone(std::move(R));
       continue;
     }
-    CountRequest(/*IsError=*/false);
-    uint64_t Seq = Requests;
+    uint64_t Seq = CountRequest(/*IsError=*/false);
 
     switch (Req.M) {
     case Method::Analyze:
@@ -554,12 +664,11 @@ int Server::run(std::istream &In, std::ostream &Out) {
           std::lock_guard<std::mutex> Lock(Mutex);
           Pending.emplace_back();
           S2 = &Pending.back();
-          if (QueueDepth)
-            QueueDepth->set(static_cast<int64_t>(Pending.size()));
+          SetDepthGauge(+1);
         }
         const uint64_t EnqueueUs = Instrument ? Tracer::nowMicros() : 0;
-        Pool->enqueue([this, S2, &Mutex, &DoneCv, Req = std::move(Req), Seq,
-                       T0, BytesIn, EnqueueUs] {
+        Pool->enqueue([this, S2, &Mutex, &DoneCv, &FlushReadyLocked,
+                       Req = std::move(Req), Seq, T0, BytesIn, EnqueueUs] {
           const uint64_t QueueUs =
               EnqueueUs ? Tracer::nowMicros() - EnqueueUs : 0;
           RequestLogEvent Ev;
@@ -569,9 +678,12 @@ int Server::run(std::istream &In, std::ostream &Out) {
           std::lock_guard<std::mutex> Lock(Mutex);
           S2->Response = std::move(Response);
           S2->Done = true;
+          // Flush the completed prefix from here: the reader may be
+          // blocked on the next request line, and a synchronous peer
+          // won't send one until this response reaches it.
+          FlushReadyLocked();
           DoneCv.notify_all();
         });
-        FlushReady();
       } else {
         RequestLogEvent Ev;
         RequestLogEvent *EvPtr = Log ? &Ev : nullptr;
@@ -583,21 +695,21 @@ int Server::run(std::istream &In, std::ostream &Out) {
     case Method::Invalidate: {
       Barrier();
       std::string R = handleInvalidate(Req);
-      FinishControl(Req, T0, BytesIn, R);
+      FinishControl(Req, Seq, T0, BytesIn, R);
       EmitDone(std::move(R));
       break;
     }
     case Method::Stats: {
       Barrier();
       std::string R = handleStats(Req);
-      FinishControl(Req, T0, BytesIn, R);
+      FinishControl(Req, Seq, T0, BytesIn, R);
       EmitDone(std::move(R));
       break;
     }
     case Method::Metrics: {
       Barrier();
       std::string R = handleMetrics(Req);
-      FinishControl(Req, T0, BytesIn, R);
+      FinishControl(Req, Seq, T0, BytesIn, R);
       EmitDone(std::move(R));
       break;
     }
@@ -606,8 +718,11 @@ int Server::run(std::istream &In, std::ostream &Out) {
       std::string R;
       appendIdField(R, Req.HasId, Req.Id);
       R += ",\"ok\":true}\n";
-      FinishControl(Req, T0, BytesIn, R);
+      FinishControl(Req, Seq, T0, BytesIn, R);
       EmitDone(std::move(R));
+      // Signal the transport (if any): stop accepting, wind down the
+      // other sessions. This session's stream is complete at this point.
+      ShutdownFlag.store(true, std::memory_order_release);
       return 0;
     }
     }

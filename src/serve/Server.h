@@ -19,6 +19,15 @@
 /// barrier on all in-flight analyzes first, so their observable state is
 /// deterministic too.
 ///
+/// **Sessions.** run() serves one request stream (one "connection"); its
+/// state -- the ordered response slots, backpressure, barriers -- is local
+/// to the call, and the cache, snapshot store, worker pool, and telemetry
+/// are shared, so many run() calls may execute concurrently: that is
+/// exactly what serve/Transport.h does with one session per accepted
+/// socket. Response ordering and the control-request barrier are
+/// *per-session*; the sequence counter, cache, and metrics are server-wide
+/// (docs/SERVER.md defines the cross-connection semantics precisely).
+///
 /// Robustness follows docs/ROBUSTNESS.md: request lines are read under a
 /// hard byte cap (an over-long line is consumed, answered with an error,
 /// and the stream keeps serving), the protocol parser is depth- and
@@ -65,6 +74,7 @@ namespace serve {
 struct ServerConfig {
   /// Analyze workers; 1 (the default) runs requests inline on the reader
   /// thread, which is fully deterministic and right for edit streams.
+  /// With a socket transport the pool is shared by every connection.
   unsigned Jobs = 1;
   /// Shard the constraint solver's dense bulk passes over this many
   /// threads (SolverConfig::Jobs; docs/SOLVER.md). Nested-parallelism
@@ -76,6 +86,10 @@ struct ServerConfig {
   unsigned SolverJobs = 1;
   /// In-memory cache payload budget; 0 disables caching.
   uint64_t CacheMaxBytes = 64u << 20;
+  /// Result-cache shards (per-shard mutex + LRU + budget slice); rounded
+  /// up to a power of two. More shards cut lock contention under
+  /// concurrent multi-connection hits (docs/SERVER.md).
+  unsigned CacheShards = ResultCache::DefaultShards;
   /// Spill directory for restart-warm state; empty disables spill.
   std::string SpillDir;
   /// Resource budgets applied to every per-request analysis context.
@@ -94,25 +108,55 @@ struct ServerConfig {
   bool Telemetry = true;
   /// Structured request-log sink (one NDJSON event per request, completion
   /// order; serve/RequestLog.h); null disables. Not owned; must outlive
-  /// the server.
+  /// the server. Shared by every session (writes are mutex-serialized).
   std::ostream *RequestLogStream = nullptr;
   /// Request-log events with end-to-end service time at or above this many
   /// microseconds are tagged "slow":true; 0 disables tagging.
   uint64_t SlowMicros = 0;
 };
 
+/// What cache warm-up from a corpus manifest accomplished; see
+/// Server::warmFromManifest.
+struct WarmStats {
+  uint64_t Listed = 0;        ///< Manifest entries (after comments/blanks).
+  uint64_t Warmed = 0;        ///< Files analyzed and inserted.
+  uint64_t AlreadyCached = 0; ///< Files whose key was already warm (spill).
+  uint64_t Failed = 0;        ///< Files that could not be read.
+};
+
 /// The persistent analysis server; see the file comment.
 class Server {
 public:
   explicit Server(const ServerConfig &Config);
-  ~Server(); // Out of line: SolverPool's ThreadPool is incomplete here.
+  ~Server(); // Out of line: the pools' ThreadPool is incomplete here.
 
   /// Serves requests from \p In until `shutdown` or end of input, writing
   /// one response line per request to \p Out in request order. Returns the
   /// process exit code (0 on clean shutdown/EOF). May be called again on a
-  /// new stream: the cache stays warm across calls (tests and
-  /// bench/server_cache rely on this to model reconnects).
+  /// new stream (the cache stays warm across calls; tests and
+  /// bench/server_cache rely on this to model reconnects) and
+  /// concurrently from several threads, one call per connection
+  /// (serve/Transport.h) -- ordering and barriers are per-call, the cache
+  /// and pool are shared.
   int run(std::istream &In, std::ostream &Out);
+
+  /// Pre-analyzes every file listed in \p ManifestPath so the first
+  /// clients hit a warm cache (qualsd --warm). Manifest format: one entry
+  /// per line, `PATH` or `PATH<TAB>LANGUAGE`; blank lines and lines
+  /// starting with '#' are skipped; without an explicit language, `.q`
+  /// files run the lambda pipeline and everything else runs C
+  /// (docs/SERVER.md). Entries run on the worker pool when Jobs > 1.
+  /// Warm-up traffic counts into the cache.* stats (one miss + insert per
+  /// cold file). Returns false with \p Error set only when the manifest
+  /// itself cannot be read; per-file failures just count in \p Stats.
+  bool warmFromManifest(const std::string &ManifestPath, WarmStats &Stats,
+                        std::string &Error);
+
+  /// True once any session has processed a `shutdown` request; the
+  /// transport polls this to stop accepting and close other connections.
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_acquire);
+  }
 
   /// The cache, for stats assertions in tests/bench.
   const ResultCache &cache() const { return Cache; }
@@ -120,18 +164,29 @@ public:
   /// The snapshot store backing analyze-delta, for tests/bench.
   const SummaryStore &snapshots() const { return Snapshots; }
 
-  /// Requests read so far (all methods, including malformed lines).
-  uint64_t requestsServed() const { return Requests; }
+  /// Requests read so far, across every session (all methods, including
+  /// malformed lines).
+  uint64_t requestsServed() const { return Requests.load(); }
 
 private:
   ServerConfig Config;
   ResultCache Cache;
   SummaryStore Snapshots;
+  /// Analyze workers (ServerConfig::Jobs > 1), shared by every session so
+  /// C connections multiplex onto one fixed pool instead of C pools; null
+  /// when requests run inline on each session's reader thread.
+  std::unique_ptr<ThreadPool> WorkerPool;
   /// Pool for sharding per-request dense solves; created only under the
   /// nested-parallelism policy (SolverJobs > 1 AND Jobs == 1, see
   /// ServerConfig::SolverJobs), null otherwise.
   std::unique_ptr<ThreadPool> SolverPool;
-  uint64_t Requests = 0;
+  /// Server-wide request sequence; also the `stats` requests count.
+  std::atomic<uint64_t> Requests{0};
+  /// Requests admitted but not yet flushed, summed over sessions (the
+  /// server.queue_depth gauge).
+  std::atomic<int64_t> InFlight{0};
+  /// Set by the session that processes `shutdown`; never cleared.
+  std::atomic<bool> ShutdownFlag{false};
 
   // analyze-delta accounting (atomic: analyzes run on pool workers).
   std::atomic<uint64_t> DeltaRequests{0};    ///< analyze-delta lines seen.

@@ -1,0 +1,328 @@
+//===- serve/Transport.cpp - Socket transport for qualsd -------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+#include "serve/Server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <list>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <thread>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace quals;
+using namespace quals::serve;
+
+namespace {
+
+/// A bidirectional std::streambuf over one socket fd, so Server::run's
+/// stream-based protocol loop works over sockets unchanged (the bounded
+/// line reader pulls via sbumpc, responses go out via operator<<).
+/// Writes use MSG_NOSIGNAL: a peer that disappeared mid-response must
+/// surface as a stream error on this session, not SIGPIPE the process.
+class FdStreamBuf : public std::streambuf {
+public:
+  explicit FdStreamBuf(int Fd) : Fd(Fd) {
+    setg(InBuf, InBuf, InBuf);
+    setp(OutBuf, OutBuf + sizeof(OutBuf));
+  }
+  ~FdStreamBuf() override { flushOut(); }
+
+protected:
+  int_type underflow() override {
+    if (gptr() < egptr())
+      return traits_type::to_int_type(*gptr());
+    ssize_t N;
+    do {
+      N = ::recv(Fd, InBuf, sizeof(InBuf), 0);
+    } while (N < 0 && errno == EINTR);
+    if (N <= 0)
+      return traits_type::eof(); // Peer closed (or read side shut down).
+    setg(InBuf, InBuf, InBuf + N);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type C) override {
+    if (!flushOut())
+      return traits_type::eof();
+    if (!traits_type::eq_int_type(C, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(C);
+      pbump(1);
+    }
+    return traits_type::not_eof(C);
+  }
+
+  int sync() override { return flushOut() ? 0 : -1; }
+
+private:
+  bool flushOut() {
+    const char *P = pbase();
+    size_t N = static_cast<size_t>(pptr() - pbase());
+    while (N) {
+      ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return false; // Dead peer: session sees a stream error, not a signal.
+      }
+      P += W;
+      N -= static_cast<size_t>(W);
+    }
+    setp(OutBuf, OutBuf + sizeof(OutBuf));
+    return true;
+  }
+
+  int Fd;
+  char InBuf[8192];
+  char OutBuf[8192];
+};
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+} // namespace
+
+bool quals::serve::parseListenSpec(const std::string &Spec, ListenSpec &Out,
+                                   std::string &Error) {
+  if (Spec.empty()) {
+    Error = "empty --listen spec";
+    return false;
+  }
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos) {
+    Out.K = ListenSpec::Kind::Unix;
+    Out.Path = Spec;
+    return true;
+  }
+  Out.K = ListenSpec::Kind::Tcp;
+  Out.Host = Spec.substr(0, Colon);
+  std::string PortStr = Spec.substr(Colon + 1);
+  if (PortStr.empty() ||
+      PortStr.find_first_not_of("0123456789") != std::string::npos) {
+    Error = "bad port in --listen spec '" + Spec + "'";
+    return false;
+  }
+  unsigned long Port = std::strtoul(PortStr.c_str(), nullptr, 10);
+  if (Port > 65535) {
+    Error = "port out of range in --listen spec '" + Spec + "'";
+    return false;
+  }
+  Out.Port = static_cast<uint16_t>(Port);
+  return true;
+}
+
+/// One accepted connection: its socket, its session thread, and a done
+/// flag the thread raises so the accept loop can reap it. Lives in a
+/// std::list for address stability while the thread runs.
+struct TransportSession {
+  int Fd = -1;
+  std::atomic<bool> Done{false};
+  std::thread Th;
+};
+
+struct Transport::Impl {
+  std::mutex Mutex; ///< Guards Sessions (accept loop vs. stop path).
+  std::list<TransportSession> Sessions;
+  std::atomic<bool> StopRequested{false};
+};
+
+Transport::Transport(Server &S, const ListenSpec &Spec)
+    : S(S), Spec(Spec), I(new Impl) {}
+
+Transport::~Transport() {
+  // serve() joins on its way out; this handles open()-then-destroy and
+  // failure paths.
+  for (TransportSession &Sess : I->Sessions) {
+    if (Sess.Th.joinable())
+      Sess.Th.join();
+    closeFd(Sess.Fd);
+  }
+  closeFd(ListenFd);
+  closeFd(StopPipe[0]);
+  closeFd(StopPipe[1]);
+  if (Spec.K == ListenSpec::Kind::Unix && !BoundName.empty())
+    ::unlink(BoundName.c_str());
+  delete I;
+}
+
+bool Transport::open(std::string &Error) {
+  if (::pipe(StopPipe) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (Spec.K == ListenSpec::Kind::Unix) {
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Spec.Path.size() >= sizeof(Addr.sun_path)) {
+      Error = "unix socket path too long: '" + Spec.Path + "'";
+      return false;
+    }
+    std::memcpy(Addr.sun_path, Spec.Path.c_str(), Spec.Path.size() + 1);
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    ::unlink(Spec.Path.c_str()); // Replace a stale socket from a dead server.
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0) {
+      Error = "bind '" + Spec.Path + "': " + std::strerror(errno);
+      return false;
+    }
+    BoundName = Spec.Path;
+  } else {
+    addrinfo Hints{};
+    Hints.ai_family = AF_UNSPEC;
+    Hints.ai_socktype = SOCK_STREAM;
+    Hints.ai_flags = AI_PASSIVE;
+    std::string PortStr = std::to_string(Spec.Port);
+    addrinfo *Res = nullptr;
+    int Rc = ::getaddrinfo(Spec.Host.empty() ? nullptr : Spec.Host.c_str(),
+                           PortStr.c_str(), &Hints, &Res);
+    if (Rc != 0) {
+      Error = "resolve '" + Spec.Host + "': " + ::gai_strerror(Rc);
+      return false;
+    }
+    for (addrinfo *Ai = Res; Ai; Ai = Ai->ai_next) {
+      ListenFd = ::socket(Ai->ai_family, Ai->ai_socktype, Ai->ai_protocol);
+      if (ListenFd < 0)
+        continue;
+      int One = 1;
+      ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+      if (::bind(ListenFd, Ai->ai_addr, Ai->ai_addrlen) == 0)
+        break;
+      closeFd(ListenFd);
+    }
+    ::freeaddrinfo(Res);
+    if (ListenFd < 0) {
+      Error = "bind '" + Spec.Host + ":" + PortStr +
+              "': " + std::strerror(errno);
+      return false;
+    }
+    // Report the real port (PORT 0 picks an ephemeral one).
+    sockaddr_storage Bound{};
+    socklen_t Len = sizeof(Bound);
+    uint16_t Port = Spec.Port;
+    if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound), &Len) ==
+        0) {
+      if (Bound.ss_family == AF_INET)
+        Port = ntohs(reinterpret_cast<sockaddr_in *>(&Bound)->sin_port);
+      else if (Bound.ss_family == AF_INET6)
+        Port = ntohs(reinterpret_cast<sockaddr_in6 *>(&Bound)->sin6_port);
+    }
+    BoundName = (Spec.Host.empty() ? std::string("0.0.0.0") : Spec.Host) +
+                ":" + std::to_string(Port);
+  }
+  if (::listen(ListenFd, 64) != 0) {
+    Error = "listen '" + BoundName + "': " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void Transport::requestStop() {
+  if (I->StopRequested.exchange(true))
+    return;
+  char B = 0;
+  ssize_t W;
+  do {
+    W = ::write(StopPipe[1], &B, 1);
+  } while (W < 0 && errno == EINTR);
+}
+
+void Transport::stop() { requestStop(); }
+
+int Transport::serve() {
+  std::fprintf(stderr, "qualsd: listening on %s\n", BoundName.c_str());
+  // A session raises Done when its stream ends; the loop reaps (joins)
+  // done sessions each pass so a long-lived server doesn't accumulate a
+  // thread per past client.
+  auto Reap = [this](bool All) {
+    std::lock_guard<std::mutex> Lock(I->Mutex);
+    for (auto It = I->Sessions.begin(); It != I->Sessions.end();) {
+      if (All || It->Done.load(std::memory_order_acquire)) {
+        if (It->Th.joinable())
+          It->Th.join();
+        closeFd(It->Fd);
+        It = I->Sessions.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  };
+
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
+    int Rc = ::poll(Fds, 2, /*timeout ms=*/200);
+    if (Rc < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (I->StopRequested.load(std::memory_order_acquire))
+      break;
+    Reap(/*All=*/false);
+    if (Rc == 0 || !(Fds[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::lock_guard<std::mutex> Lock(I->Mutex);
+    I->Sessions.emplace_back();
+    TransportSession &Sess = I->Sessions.back();
+    Sess.Fd = Fd;
+    Sess.Th = std::thread([this, &Sess] {
+      FdStreamBuf Buf(Sess.Fd);
+      std::istream In(&Buf);
+      std::ostream Out(&Buf);
+      S.run(In, Out);
+      Out.flush();
+      ::shutdown(Sess.Fd, SHUT_WR); // FIN: the peer sees a complete stream.
+      // A `shutdown` request winds the whole transport down; the reply
+      // above is already flushed on this connection, so stopping now
+      // cannot truncate it.
+      if (S.shutdownRequested())
+        requestStop();
+      Sess.Done.store(true, std::memory_order_release);
+    });
+  }
+
+  // Wind-down: stop accepting, then close every other session's read side
+  // -- each sees EOF, drains its in-flight analyzes, flushes its remaining
+  // responses, and exits its loop. Join them all before returning.
+  closeFd(ListenFd);
+  {
+    std::lock_guard<std::mutex> Lock(I->Mutex);
+    for (TransportSession &Sess : I->Sessions)
+      if (!Sess.Done.load(std::memory_order_acquire))
+        ::shutdown(Sess.Fd, SHUT_RD);
+  }
+  Reap(/*All=*/true);
+  if (Spec.K == ListenSpec::Kind::Unix) {
+    ::unlink(BoundName.c_str());
+    BoundName.clear(); // The dtor must not unlink a path we already freed.
+  }
+  return 0;
+}

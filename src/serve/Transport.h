@@ -1,0 +1,111 @@
+//===- serve/Transport.h - Socket transport for qualsd ----------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket front end for the persistent analysis server: a listener
+/// (unix-domain or TCP) that accepts many concurrent connections and runs
+/// one Server session (one Server::run call) per connection, all
+/// multiplexed onto the server's shared worker pool and cache.
+///
+/// **Listen specs** (qualsd --listen=SPEC):
+///   - a spec containing no ':' is a filesystem path -> unix-domain socket
+///     (a stale socket file at that path is replaced);
+///   - `HOST:PORT` binds TCP on HOST (numeric or name; empty HOST means
+///     all interfaces), PORT 0 picks an ephemeral port -- boundName()
+///     reports the actual address, and the transport announces it on
+///     stderr as `qualsd: listening on ...` so scripts can scrape it.
+///
+/// **Connection lifecycle.** Each accepted socket gets a dedicated session
+/// thread running the stdio protocol loop verbatim over the socket (same
+/// bounded line reader, same ordered-slot responses, same backpressure), so
+/// per-connection byte streams are identical to what the same requests
+/// would produce over stdio. A client closing its write side (or the whole
+/// socket) ends only that session: in-flight requests drain, responses
+/// flush, the connection closes, and the server keeps serving others --
+/// unlike stdio, EOF does not stop the process.
+///
+/// **Cross-connection semantics** (docs/SERVER.md): response ordering and
+/// control-request barriers are per-connection -- an `invalidate` barriers
+/// its own connection's in-flight analyzes, then drops shared cache state;
+/// analyzes racing on *other* connections may complete before or after the
+/// drop (either order is sound: results are pure functions of content).
+/// A `shutdown` on any connection answers on that connection first, then
+/// stops the listener and closes the read side of every other connection;
+/// their sessions drain and flush before serve() returns. Responses never
+/// get dropped mid-stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_SERVE_TRANSPORT_H
+#define QUALS_SERVE_TRANSPORT_H
+
+#include <cstdint>
+#include <string>
+
+namespace quals {
+namespace serve {
+
+class Server;
+
+/// A parsed --listen spec; see the file comment for the grammar.
+struct ListenSpec {
+  enum class Kind { Unix, Tcp } K = Kind::Unix;
+  std::string Path; ///< Unix: socket path.
+  std::string Host; ///< Tcp: interface (empty = all).
+  uint16_t Port = 0; ///< Tcp: port (0 = ephemeral).
+};
+
+/// Parses \p Spec into \p Out. Returns false with \p Error set on a
+/// malformed spec (bad port, empty path).
+bool parseListenSpec(const std::string &Spec, ListenSpec &Out,
+                     std::string &Error);
+
+/// Owns the listening socket and the per-connection session threads; see
+/// the file comment. Not copyable. The Server must outlive it.
+class Transport {
+public:
+  Transport(Server &S, const ListenSpec &Spec);
+  ~Transport(); // Joins any remaining sessions, unlinks a unix socket.
+
+  Transport(const Transport &) = delete;
+  Transport &operator=(const Transport &) = delete;
+
+  /// Creates, binds, and starts listening on the socket. Returns false
+  /// with \p Error set on any socket-layer failure (path in use, port in
+  /// use, resolve failure); the transport is then unusable.
+  bool open(std::string &Error);
+
+  /// Accepts connections and serves them until a session processes
+  /// `shutdown` (or stop() is called). Blocks; returns the process exit
+  /// code (0 on clean shutdown). Call open() first.
+  int serve();
+
+  /// Asks serve() to wind down exactly as a `shutdown` request would:
+  /// stop accepting, close other connections' read sides, drain. Safe
+  /// from any thread; tests use it to end a serve() loop externally.
+  void stop();
+
+  /// The bound address in --listen syntax ("PATH" or "HOST:PORT" with the
+  /// real port), valid after open(); how tests learn an ephemeral port.
+  const std::string &boundName() const { return BoundName; }
+
+private:
+  Server &S;
+  ListenSpec Spec;
+  int ListenFd = -1;
+  int StopPipe[2] = {-1, -1}; ///< Self-pipe: wakes the accept poll.
+  std::string BoundName;
+  struct Impl; ///< Connection bookkeeping (kept out of the header).
+  Impl *I;
+
+  void requestStop();
+};
+
+} // namespace serve
+} // namespace quals
+
+#endif // QUALS_SERVE_TRANSPORT_H

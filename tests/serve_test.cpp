@@ -25,9 +25,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <unistd.h>
 
 using namespace quals;
@@ -340,8 +342,10 @@ TEST(ResultCache, KeyHalvesAreIndependent) {
 }
 
 TEST(ResultCache, EvictsLeastRecentlyUsedByBytes) {
-  // Budget fits ~3 entries of 64+36 bytes payload+overhead.
-  ResultCache Cache(300);
+  // Budget fits ~3 entries of 64+36 bytes payload+overhead. One shard:
+  // this test pins exact global-LRU semantics; the sharded default only
+  // guarantees LRU within each shard.
+  ResultCache Cache(300, "", /*Shards=*/1);
   Cache.insert({1, 1}, result(std::string(36, 'a')));
   Cache.insert({2, 1}, result(std::string(36, 'b')));
   Cache.insert({3, 1}, result(std::string(36, 'c')));
@@ -357,7 +361,7 @@ TEST(ResultCache, EvictsLeastRecentlyUsedByBytes) {
 }
 
 TEST(ResultCache, OversizedEntryIsNeverCached) {
-  ResultCache Cache(100);
+  ResultCache Cache(100, "", /*Shards=*/1);
   Cache.insert({1, 1}, result(std::string(200, 'x')));
   CachedResult Got;
   EXPECT_FALSE(Cache.lookup({1, 1}, Got));
@@ -452,6 +456,92 @@ TEST(ResultCache, InvalidateAlsoClearsSpill) {
   Cache.invalidateAll();
   EXPECT_EQ(std::distance(std::filesystem::directory_iterator(T.Dir),
                           std::filesystem::directory_iterator()), 0);
+}
+
+TEST(ResultCache, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ResultCache(1 << 20, "", 1).shardCount(), 1u);
+  EXPECT_EQ(ResultCache(1 << 20, "", 3).shardCount(), 4u);
+  EXPECT_EQ(ResultCache().shardCount(), ResultCache::DefaultShards);
+  // Entries spread across shards still aggregate into one stats view, and
+  // every key remains reachable.
+  ResultCache Cache(1 << 20, "", 8);
+  for (uint64_t I = 1; I <= 64; ++I)
+    Cache.insert({I, 1}, result("v" + std::to_string(I)));
+  CachedResult Got;
+  for (uint64_t I = 1; I <= 64; ++I)
+    EXPECT_TRUE(Cache.lookup({I, 1}, Got)) << I;
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 64u);
+  EXPECT_EQ(S.Inserts, 64u);
+  EXPECT_EQ(S.Hits, 64u);
+}
+
+TEST(ResultCache, SpillPromotionCountsAsPromotionNotInsert) {
+  TempDir T;
+  CacheKey K{hashString("warm me"), 7};
+  {
+    ResultCache Cache(1 << 20, T.Dir.string());
+    CachedResult Got;
+    EXPECT_FALSE(Cache.lookup(K, Got));
+    Cache.insert(K, result("payload\n"));
+    CacheStats S = Cache.stats();
+    EXPECT_EQ(S.Inserts, 1u);
+    EXPECT_EQ(S.Promotions, 0u);
+    EXPECT_LE(S.Inserts, S.Misses);
+  }
+  // Restart-warm: the hit is served from spill and *promoted*, never
+  // counted as an insert, so Inserts <= Misses holds across restarts (the
+  // accounting bug this pins down reported inserts > misses here).
+  ResultCache Cache(1 << 20, T.Dir.string());
+  CachedResult Got;
+  ASSERT_TRUE(Cache.lookup(K, Got));
+  ASSERT_TRUE(Cache.lookup(K, Got)); // Second hit comes from memory.
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(S.Inserts, 0u);
+  EXPECT_EQ(S.Promotions, 1u);
+  EXPECT_EQ(S.SpillLoads, 1u);
+  EXPECT_LE(S.Inserts, S.Misses);
+}
+
+TEST(ResultCache, ConcurrentSpillTrafficIsRaceFreeAndCoherent) {
+  // Regression (run under TSan in CI): spill-file I/O used to happen
+  // inside the cache critical section; now hit/miss/insert/invalidate
+  // traffic from many threads, all spill-backed, must be race-free, and
+  // every hit must observe the exact payload inserted for its key.
+  TempDir T;
+  ResultCache Cache(1 << 20, T.Dir.string(), 4);
+  constexpr int Threads = 4, Rounds = 64;
+  constexpr uint64_t Keys = 16;
+  std::atomic<uint64_t> BadPayloads{0};
+  std::vector<std::thread> Workers;
+  for (int Ti = 0; Ti != Threads; ++Ti) {
+    Workers.emplace_back([&Cache, &BadPayloads, Ti] {
+      for (int R = 0; R != Rounds; ++R) {
+        uint64_t K = static_cast<uint64_t>(Ti * 31 + R) % Keys + 1;
+        CacheKey Key{K, 1};
+        std::string Want = "payload-" + std::to_string(K) + "\n";
+        CachedResult Got;
+        if (Cache.lookup(Key, Got)) {
+          if (Got.Out != Want)
+            ++BadPayloads;
+        } else {
+          Cache.insert(Key, result(Want));
+        }
+        if (R % 17 == 0)
+          Cache.invalidateContent(K);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(BadPayloads, 0u);
+  CacheStats S = Cache.stats();
+  // Each round is exactly one lookup; misses insert, nothing else does.
+  EXPECT_EQ(S.Hits + S.Misses,
+            static_cast<uint64_t>(Threads) * Rounds);
+  EXPECT_LE(S.Inserts, S.Misses);
 }
 
 //===----------------------------------------------------------------------===//
@@ -569,6 +659,97 @@ TEST(Server, OverLongLineIsConsumedNotFatal) {
                           Config);
   EXPECT_NE(Out.find("\"ok\":false"), std::string::npos);
   EXPECT_NE(Out.find("{\"id\":2,\"ok\":true"), std::string::npos);
+}
+
+TEST(Server, RequestByteLimitJudgedAfterCrStripping) {
+  // Regression: the limit used to count a trailing '\r' before stripping
+  // it, so a CRLF peer's request of exactly MaxRequestBytes was rejected
+  // while the identical LF-framed request passed.
+  ServerConfig Config;
+  Config.Telemetry = false; // Stats latency counts would differ per call.
+  std::string Req = "{\"id\":1,\"method\":\"stats\"}";
+  Config.ProtoLim.MaxRequestBytes = Req.size(); // Exactly at the limit.
+  std::string Lf = serveStream(Req + "\n", Config);
+  std::string CrLf = serveStream(Req + "\r\n", Config);
+  EXPECT_NE(Lf.find("{\"id\":1,\"ok\":true"), std::string::npos);
+  EXPECT_EQ(Lf, CrLf); // limit and limit+'\r' are both within budget...
+  Config.ProtoLim.MaxRequestBytes = Req.size() - 1; // ...limit+1 is not,
+  std::string Over = serveStream(Req + "\n", Config);
+  EXPECT_NE(Over.find("request exceeds byte limit"), std::string::npos);
+  EXPECT_EQ(serveStream(Req + "\r\n", Config), Over); // with either framing.
+}
+
+TEST(Server, StatsInvariantHoldsAfterRestartWarm) {
+  TempDir T;
+  std::string Req = "{\"id\":1,\"method\":\"analyze\",\"params\":"
+                    "{\"source\":\"int rw(int *p) { return *p; }\","
+                    "\"name\":\"t.c\"}}\n";
+  ServerConfig Config;
+  Config.SpillDir = T.Dir.string();
+  serveStream(Req, Config); // Cold: miss + insert + spill write.
+  // "Restart": a fresh server over the same spill directory. The replay
+  // promotes from disk -- a hit, never an insert -- so the stats response
+  // keeps inserts <= misses after restart-warm workloads.
+  Server S(Config);
+  std::istringstream In(Req + "{\"id\":2,\"method\":\"stats\"}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(S.run(In, Out), 0);
+  CacheStats CS = S.cache().stats();
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Misses, 0u);
+  EXPECT_EQ(CS.Inserts, 0u);
+  EXPECT_EQ(CS.Promotions, 1u);
+  EXPECT_LE(CS.Inserts, CS.Misses);
+  EXPECT_NE(Out.str().find("\"promotions\":1"), std::string::npos);
+}
+
+TEST(Server, WarmManifestPreAnalyzesListedFiles) {
+  TempDir T;
+  std::string CPath = (T.Dir / "warm.c").string();
+  std::string QPath = (T.Dir / "warm.q").string();
+  {
+    std::ofstream C(CPath, std::ios::binary);
+    C << "int w(int *p) { return *p; }\n";
+    std::ofstream Q(QPath, std::ios::binary);
+    Q << "let x = ref 1 in !x ni\n";
+  }
+  std::string Manifest = (T.Dir / "corpus.txt").string();
+  {
+    std::ofstream M(Manifest, std::ios::binary);
+    M << "# corpus\n\n" << CPath << "\n" << QPath << "\n"
+      << (T.Dir / "missing.c").string() << "\n";
+  }
+  ServerConfig Config;
+  Config.Jobs = 2; // Warm-up runs on the shared worker pool.
+  Server S(Config);
+  WarmStats WS;
+  std::string Error;
+  ASSERT_TRUE(S.warmFromManifest(Manifest, WS, Error)) << Error;
+  EXPECT_EQ(WS.Listed, 3u);
+  EXPECT_EQ(WS.Warmed, 2u);
+  EXPECT_EQ(WS.AlreadyCached, 0u);
+  EXPECT_EQ(WS.Failed, 1u);
+  // The first client request for a warmed file is a cache hit (the .q
+  // entry was warmed under the lambda pipeline, which is what a client
+  // asking for language lambda keys to).
+  std::istringstream In(
+      "{\"id\":1,\"method\":\"analyze\",\"params\":{\"path\":\"" + CPath +
+      "\"}}\n"
+      "{\"id\":2,\"method\":\"analyze\",\"params\":{\"path\":\"" + QPath +
+      "\",\"language\":\"lambda\"}}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(S.run(In, Out), 0);
+  EXPECT_NE(Out.str().find("{\"id\":1,\"ok\":true,\"exit\":0"),
+            std::string::npos);
+  EXPECT_NE(Out.str().find("{\"id\":2,\"ok\":true,\"exit\":0"),
+            std::string::npos);
+  CacheStats CS = S.cache().stats();
+  EXPECT_EQ(CS.Misses, 2u); // The warm-up's own misses.
+  EXPECT_EQ(CS.Hits, 2u);   // Both client requests hit warm.
+  // An unreadable manifest is the only hard failure.
+  EXPECT_FALSE(
+      S.warmFromManifest((T.Dir / "no-such-manifest").string(), WS, Error));
+  EXPECT_NE(Error.find("warm manifest"), std::string::npos);
 }
 
 TEST(Server, AnalyzeReadsFilesAndReportsMissingOnes) {

@@ -12,7 +12,17 @@
 // unchanged inputs costs a hash and a lookup instead of a pipeline run.
 //
 //   qualsd [options] < requests.ndjson
+//   qualsd --listen=/run/qualsd.sock [options]
 //
+//   --listen=SPEC   serve many concurrent clients over a socket instead of
+//                   stdio: SPEC is a unix-domain socket path (no ':') or
+//                   HOST:PORT for TCP (port 0 = ephemeral; the bound
+//                   address is announced on stderr). Each connection is an
+//                   independent protocol session; `shutdown` from any
+//                   client stops the whole daemon (docs/SERVER.md).
+//   --warm=FILE     pre-analyze every file listed in FILE (one PATH or
+//                   PATH<TAB>LANGUAGE per line, '#' comments) before
+//                   serving, so first clients hit a warm cache
 //   --cache-mb=N    in-memory result-cache budget in MiB (default 64;
 //                   0 disables caching entirely)
 //   --cache-dir=D   spill results to D so warm state survives restarts
@@ -46,6 +56,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "serve/Server.h"
+#include "serve/Transport.h"
 
 #include "ToolFlags.h"
 
@@ -59,6 +70,11 @@ using namespace quals;
 using namespace quals::serve;
 
 static const char *kOptionsHelp =
+    "  --listen=SPEC    accept concurrent clients on a socket: a path is a\n"
+    "                   unix-domain socket, HOST:PORT is TCP (port 0 =\n"
+    "                   ephemeral; bound address announced on stderr)\n"
+    "  --warm=FILE      pre-analyze files listed in FILE (PATH or\n"
+    "                   PATH<TAB>LANGUAGE per line) before serving\n"
     "  --cache-mb=N     in-memory result-cache budget in MiB (default 64;\n"
     "                   0 disables caching)\n"
     "  --cache-dir=D    spill cached results to directory D (restart-warm)\n"
@@ -75,11 +91,21 @@ int main(int argc, char **argv) {
   ServerConfig Config;
   ToolFlags Common("qualsd", "< requests.ndjson", kOptionsHelp);
   std::string RequestLogPath;
+  std::string ListenSpecStr;
+  std::string WarmManifest;
 
   for (int I = 1; I != argc; ++I) {
     if (Common.parseCommon(argc, argv, I)) {
       if (Common.exitNow())
         return Common.exitStatus();
+    } else if (!std::strncmp(argv[I], "--listen=", 9)) {
+      ListenSpecStr = argv[I] + 9;
+      if (ListenSpecStr.empty())
+        return Common.fail("--listen= requires a socket path or HOST:PORT");
+    } else if (!std::strncmp(argv[I], "--warm=", 7)) {
+      WarmManifest = argv[I] + 7;
+      if (WarmManifest.empty())
+        return Common.fail("--warm= requires a manifest file");
     } else if (!std::strncmp(argv[I], "--cache-mb=", 11)) {
       const char *Digits = argv[I] + 11;
       char *End = nullptr;
@@ -148,5 +174,28 @@ int main(int argc, char **argv) {
   }
 
   Server S(Config);
-  return S.run(std::cin, std::cout);
+  if (!WarmManifest.empty()) {
+    WarmStats WS;
+    std::string Error;
+    if (!S.warmFromManifest(WarmManifest, WS, Error))
+      return Common.fail(Error);
+    std::fprintf(stderr,
+                 "qualsd: warmed %llu of %llu manifest entries "
+                 "(%llu already cached, %llu unreadable)\n",
+                 static_cast<unsigned long long>(WS.Warmed),
+                 static_cast<unsigned long long>(WS.Listed),
+                 static_cast<unsigned long long>(WS.AlreadyCached),
+                 static_cast<unsigned long long>(WS.Failed));
+  }
+  if (ListenSpecStr.empty())
+    return S.run(std::cin, std::cout);
+
+  ListenSpec Spec;
+  std::string Error;
+  if (!parseListenSpec(ListenSpecStr, Spec, Error))
+    return Common.fail(Error);
+  Transport T(S, Spec);
+  if (!T.open(Error))
+    return Common.fail(Error);
+  return T.serve();
 }

@@ -19,8 +19,11 @@
 # the `metrics` response carries latency histograms whose buckets sum to
 # the request count, the `stats` latency block agrees, the log has exactly
 # one well-formed event per request with seq 1..N, and stdout still parses
-# line-for-line as responses. Wired into ctest as cli.smoke_server by
-# tools/CMakeLists.txt.
+# line-for-line as responses; (g) the socket transport (--listen): the
+# same request stream over a unix-domain socket is byte-identical to
+# stdio, and a `shutdown` over a second connection stops the daemon with
+# exit 0 (skipped without python3, which drives the socket client). Wired
+# into ctest as cli.smoke_server by tools/CMakeLists.txt.
 
 set -euo pipefail
 
@@ -289,6 +292,75 @@ methods = {e["method"] for e in events}
 assert methods == {"analyze", "metrics", "stats", "shutdown"}, methods
 assert sum(e["method"] == "analyze" for e in events) == 2 * nreq
 PYEOF
+fi
+
+# --- (g) socket transport: socket bytes == stdio bytes -------------------
+# The same request stream over --listen (unix-domain socket, -j4) must be
+# byte-identical to the stdio daemon's responses, and a shutdown request
+# from a second connection must stop the whole daemon with exit 0.
+if command -v python3 >/dev/null 2>&1; then
+    SOCK="$WORKDIR/qualsd.sock"
+    "$QUALSD" -j4 --listen="$SOCK" 2>"$WORKDIR/socket.err" &
+    SDPID=$!
+    SEEN_SOCK=0
+    for _ in $(seq 1 100); do
+        [ -S "$SOCK" ] && { SEEN_SOCK=1; break; }
+        sleep 0.05
+    done
+    if [ "$SEEN_SOCK" -ne 1 ]; then
+        echo "FAIL: qualsd --listen never created $SOCK" >&2
+        cat "$WORKDIR/socket.err" >&2
+        kill "$SDPID" 2>/dev/null || true
+        FAILED=1
+    else
+        python3 - "$SOCK" "$REQS" "$WORKDIR/socket.out" <<'PYEOF' || FAILED=1
+import socket, sys
+
+sock_path, reqs, outpath = sys.argv[1:4]
+data = open(reqs, "rb").read()
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+s.sendall(data)
+s.shutdown(socket.SHUT_WR)  # Half-close: EOF ends the session cleanly.
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+open(outpath, "wb").write(buf)
+PYEOF
+        "$QUALSD" -j4 <"$REQS" >"$WORKDIR/stdio_ref.out"
+        if ! cmp -s "$WORKDIR/socket.out" "$WORKDIR/stdio_ref.out"; then
+            echo "FAIL: socket responses differ from stdio" >&2
+            diff "$WORKDIR/socket.out" "$WORKDIR/stdio_ref.out" | head >&2 \
+                || true
+            FAILED=1
+        fi
+        python3 - "$SOCK" <<'PYEOF' || FAILED=1
+import socket, sys
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b'{"id":1,"method":"shutdown"}\n')
+resp = b""
+while b"\n" not in resp:
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    resp += chunk
+assert resp == b'{"id":1,"ok":true}\n', resp
+PYEOF
+        STATUS=0
+        wait "$SDPID" || STATUS=$?
+        if [ "$STATUS" -ne 0 ]; then
+            echo "FAIL: qualsd --listen exited $STATUS after shutdown" >&2
+            cat "$WORKDIR/socket.err" >&2
+            FAILED=1
+        fi
+    fi
+else
+    echo "NOTE: python3 unavailable; socket scenario skipped" >&2
 fi
 
 exit "$FAILED"
