@@ -1,0 +1,50 @@
+//===- bench/HostContext.h - Honest-scaling runner context ------*- C++ -*-===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The honest-scaling context every benchmark report carries: the runner's
+/// hardware parallelism, and the explicit caveat on single-core runners
+/// where jobs/concurrency comparisons cannot show parallel speedup
+/// (docs/PARALLEL.md). Previously copy-pasted into each bench main(); one
+/// definition so the field names and the caveat string can never drift
+/// between reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QUALS_BENCH_HOSTCONTEXT_H
+#define QUALS_BENCH_HOSTCONTEXT_H
+
+#include "support/ThreadPool.h"
+
+#include <string>
+
+namespace quals {
+namespace bench {
+
+/// The caveat value flagged on runners that cannot show parallel speedup.
+inline const char *singleCoreCaveat() { return "single-core runner"; }
+
+/// The runner's hardware parallelism, recorded next to every jobs or
+/// concurrency comparison so ~1.0x scaling rows on a starved runner read
+/// as environment, not regression.
+inline unsigned hardwareThreads() { return ThreadPool::defaultWorkers(); }
+
+/// The JSON fragment `"hardware_threads":H,`, plus
+/// `"caveat":"single-core runner",` when H is 1 -- paste into an object
+/// ahead of the measurement fields.
+inline std::string hardwareThreadsJson() {
+  std::string S =
+      "\"hardware_threads\":" + std::to_string(hardwareThreads()) + ",";
+  if (hardwareThreads() <= 1)
+    S += std::string("\"caveat\":\"") + singleCoreCaveat() + "\",";
+  return S;
+}
+
+} // namespace bench
+} // namespace quals
+
+#endif // QUALS_BENCH_HOSTCONTEXT_H

@@ -27,6 +27,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostContext.h"
+
 #include "cfront/CParser.h"
 #include "cfront/CSema.h"
 #include "constinf/ConstInfer.h"
@@ -174,12 +176,10 @@ int main(int argc, char **argv) {
   // runner's parallelism on record, and a single-core runner can show no
   // scaling at all -- say so loudly rather than letting ~1.0x rows read
   // as a regression (docs/PARALLEL.md).
-  unsigned Hw = ThreadPool::defaultWorkers();
   std::printf("{\"corpus_files\":%u,\"lines_per_file\":%u,"
-              "\"hardware_threads\":%u,%s\"total_positions\":%llu,"
+              "%s\"total_positions\":%llu,"
               "\"runs\":[%s\n]}\n",
-              Files, Lines, Hw,
-              Hw <= 1 ? "\"caveat\":\"single-core runner\"," : "",
+              Files, Lines, bench::hardwareThreadsJson().c_str(),
               static_cast<unsigned long long>(Positions.load()), RunsJson.c_str());
   return 0;
 }

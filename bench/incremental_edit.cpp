@@ -30,6 +30,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostContext.h"
+
 #include "serve/Pipelines.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -164,12 +166,13 @@ int main(int argc, char **argv) {
   // hardware_threads and wall_seconds keep the numbers honest across
   // runners, matching BENCH_batch.json.
   std::printf("{\"functions\":%u,\"clusters\":%u,\"edits\":%u,"
-              "\"hardware_threads\":%u,\n"
+              "%s\n"
               " \"cold_seconds_mean\":%.6f,\"delta_seconds_mean\":%.6f,"
               "\"speedup\":%.2f,\n"
               " \"dirty_sccs_mean\":%.1f,\"reused_sccs_mean\":%.1f,\n"
               " \"wall_seconds\":%.4f,\"responses_identical\":true}\n",
-              Functions, Clusters, Edits, ThreadPool::defaultWorkers(),
+              Functions, Clusters, Edits,
+              bench::hardwareThreadsJson().c_str(),
               ColdMean, DeltaMean,
               DeltaMean > 0 ? ColdMean / DeltaMean : 0.0,
               static_cast<double>(DirtyTotal) / Edits,

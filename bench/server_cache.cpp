@@ -28,6 +28,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostContext.h"
+
 #include "gen/SynthGen.h"
 #include "serve/Protocol.h"
 #include "serve/Server.h"
@@ -111,12 +113,12 @@ int main(int argc, char **argv) {
   // hardware_threads and wall_seconds keep the numbers honest across
   // runners (a 1-thread container's timings mean something different).
   std::printf("{\"files\":%u,\"lines_per_file\":%u,"
-              "\"hardware_threads\":%u,"
+              "%s"
               "\"cold_seconds\":%.4f,\"warm_seconds\":%.4f,"
               "\"speedup\":%.1f,\"wall_seconds\":%.4f,\n"
               " \"cache\":{\"hits\":%llu,\"misses\":%llu},"
               "\"responses_identical\":true}\n",
-              Files, Lines, ThreadPool::defaultWorkers(), ColdSeconds,
+              Files, Lines, bench::hardwareThreadsJson().c_str(), ColdSeconds,
               WarmSeconds, WarmSeconds > 0 ? ColdSeconds / WarmSeconds : 0.0,
               WallSeconds, static_cast<unsigned long long>(Stats.Hits),
               static_cast<unsigned long long>(Stats.Misses));

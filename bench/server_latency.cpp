@@ -30,6 +30,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostContext.h"
+
 #include "gen/SynthGen.h"
 #include "serve/Protocol.h"
 #include "serve/Server.h"
@@ -247,17 +249,16 @@ int main(int argc, char **argv) {
   // Honest-scaling guard: record the runner's parallelism next to any
   // jobs comparison, and flag single-core runners where no cross-worker
   // scaling is observable (docs/PARALLEL.md).
-  unsigned Hw = ThreadPool::defaultWorkers();
   std::printf("{\"files\":%u,\"lines_per_file\":%u,\"edits\":%u,"
               "\"requests\":%llu,\"jobs_compared\":%u,"
-              "\"hardware_threads\":%u,%s\n"
+              "%s\n"
               " \"telemetry_on_seconds\":%.4f,\"telemetry_off_seconds\":%.4f,"
               "\"telemetry_overhead\":%.3f,\n"
               " \"request_log_events\":%llu,\"wall_seconds\":%.4f,\n"
               " \"latency_us\":{\n",
               Files, Lines, Edits,
-              static_cast<unsigned long long>(TotalRequests), Jobs, Hw,
-              Hw <= 1 ? "\"caveat\":\"single-core runner\"," : "",
+              static_cast<unsigned long long>(TotalRequests), Jobs,
+              bench::hardwareThreadsJson().c_str(),
               OnSeconds, OffSeconds,
               OffSeconds > 0 ? OnSeconds / OffSeconds : 0.0,
               static_cast<unsigned long long>(LogEvents1), Wall.seconds());

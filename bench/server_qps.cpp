@@ -31,6 +31,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostContext.h"
+
 #include "gen/SynthGen.h"
 #include "serve/Protocol.h"
 #include "serve/Server.h"
@@ -254,12 +256,10 @@ int main(int argc, char **argv) {
   if (!Identical)
     return 1; // The gate: divergent bytes are a bug, not a benchmark result.
 
-  unsigned Hw = ThreadPool::defaultWorkers();
   std::printf("{\"files\":%u,\"lines_per_file\":%u,"
-              "\"requests_per_client\":%u,\"hardware_threads\":%u,",
-              Files, Lines, RequestsPerClient, Hw);
-  if (Hw == 1)
-    std::printf("\"caveat\":\"single-core runner\",");
+              "\"requests_per_client\":%u,%s",
+              Files, Lines, RequestsPerClient,
+              bench::hardwareThreadsJson().c_str());
   std::printf("\"transport\":\"unix\",\n \"concurrency\":[");
   for (size_t I = 0; I != Rows.size(); ++I)
     std::printf("%s{\"clients\":%u,\"seconds\":%.4f,\"qps\":%.0f}",

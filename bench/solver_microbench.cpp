@@ -30,6 +30,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "HostContext.h"
+
 #include "qual/ConstraintSystem.h"
 #include "qual/TypeScheme.h"
 #include "support/Metrics.h"
@@ -459,10 +461,10 @@ BENCHMARK(BM_SchemeGeneralizeInstantiate)->Range(1 << 4, 1 << 12);
 // explicit caveat when there is only one -- a single-core runner cannot
 // show parallel speedups, only the dense-vs-worklist layout delta.
 int main(int argc, char **argv) {
-  unsigned Hw = std::thread::hardware_concurrency();
+  unsigned Hw = bench::hardwareThreads();
   benchmark::AddCustomContext("hardware_threads", std::to_string(Hw));
   if (Hw <= 1)
-    benchmark::AddCustomContext("caveat", "single-core runner");
+    benchmark::AddCustomContext("caveat", bench::singleCoreCaveat());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

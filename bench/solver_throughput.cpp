@@ -51,6 +51,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostContext.h"
+
 #include "qual/ConstraintSystem.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -295,9 +297,7 @@ RunResult runOne(const QualifierSet &QS, const Workload &W, unsigned Size,
 int main(int argc, char **argv) {
   unsigned Scale = 32768;
   unsigned Repeats = 3;
-  unsigned Hw = std::thread::hardware_concurrency();
-  if (!Hw)
-    Hw = 1;
+  unsigned Hw = bench::hardwareThreads();
   unsigned MaxJobs = std::max(4u, Hw);
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--smoke")) {
@@ -414,14 +414,14 @@ int main(int argc, char **argv) {
                  "solver_throughput: WARNING: headline dense speedup %.2fx "
                  "below the 1.5x target (noise, or a regression?)\n",
                  HeadlineSpeedup);
-  std::printf("{\"hardware_threads\":%u,%s\n"
+  std::printf("{%s\n"
               " \"lines_model\":\"one qualifier variable per modeled source "
               "line\",\n"
               " \"workloads\":[%s\n],\n"
               " \"headline\":\"layered_dag\","
               "\"headline_dense_speedup\":%.2f,\n"
               " \"geomean_dense_speedup\":%.2f,\"byte_identity\":\"ok\"}\n",
-              Hw, Hw <= 1 ? "\"caveat\":\"single-core runner\"," : "",
+              bench::hardwareThreadsJson().c_str(),
               WorkloadsJson.c_str(), HeadlineSpeedup, Geomean);
   return 0;
 }

@@ -12,12 +12,15 @@
 #include "constinf/ConstInfer.h"
 #include "lambda/Parser.h"
 #include "lambda/QualInfer.h"
+#include "link/Linker.h"
+#include "link/Qsum.h"
 #include "qual/ConstraintSystem.h"
 #include "serve/Protocol.h"
 #include "support/Limits.h"
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 using namespace quals;
 
@@ -270,5 +273,39 @@ int fuzz::runProtocol(const uint8_t *Data, size_t Size) {
   Error.clear();
   if (!parseRequest(Line, Lim, Req, Error) && Error.empty())
     std::abort();
+  return 0;
+}
+
+int fuzz::runSummary(const uint8_t *Data, size_t Size) {
+  link::TuSummary S;
+  std::string Error;
+  if (!link::deserializeSummary(Data, Size, S, Error)) {
+    if (Error.empty())
+      std::abort(); // Rejections must always carry a diagnostic.
+    return 0;
+  }
+
+  // Accepted bytes must round-trip to a serializer fixed point: one decode
+  // and re-encode is canonical, so encoding it again reproduces it byte for
+  // byte (the invariant behind content-addressed summary reuse).
+  std::string Once = link::serializeSummary(S);
+  link::TuSummary S2;
+  if (!link::deserializeSummary(
+          reinterpret_cast<const uint8_t *>(Once.data()), Once.size(), S2,
+          Error))
+    std::abort();
+  if (link::serializeSummary(S2) != Once)
+    std::abort();
+
+  // The summary also has to survive quallink's merge/unify/solve, alone
+  // and linked against a copy of itself (self-links exercise the duplicate
+  // and unification paths). Tight budget, same rationale as fuzzLimits().
+  link::LinkOptions Opts;
+  Opts.MaxConstraints = 1u << 15;
+  std::vector<link::TuSummary> One(1, S);
+  (void)link::linkSummaries(One, Opts);
+  std::vector<link::TuSummary> Two(2, S);
+  Two[1].ContentHash ^= 1; // Defeat dedup so the symbols actually unify.
+  (void)link::linkSummaries(Two, Opts);
   return 0;
 }

@@ -50,6 +50,14 @@ int runSolver(const uint8_t *Data, size_t Size);
 /// analysis: hostile *sources* are the cfront/lambda targets' job.
 int runProtocol(const uint8_t *Data, size_t Size);
 
+/// Treats \p Data as a serialized constraint summary (.qsum): the hardened
+/// deserializer must either reject it with a diagnostic or yield a summary
+/// that survives linking (quallink's load path). Accepted summaries are
+/// also round-tripped: serialize(deserialize(x)) must reach a fixed point,
+/// the invariant qualcc's content-addressed summary store rests on. Always
+/// returns 0; a missing diagnostic or an unstable round-trip aborts.
+int runSummary(const uint8_t *Data, size_t Size);
+
 } // namespace fuzz
 } // namespace quals
 

@@ -1,0 +1,26 @@
+//===- fuzz/fuzz_summary.cpp - libFuzzer main for .qsum deserialization ---===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+//
+// Feeds raw bytes to the constraint-summary deserializer (FuzzTargets.cpp):
+// the quallink load path that consumes whatever qualcc --emit-summary wrote
+// to disk, possibly truncated, bit-rotted, or attacker-supplied. Accepted
+// inputs are additionally round-tripped through the serializer and linked.
+//
+// Build with -DQUALS_ENABLE_FUZZERS=ON (clang only), then:
+//
+//   build/fuzz/fuzz_summary fuzz/corpus/summary -max_total_time=60
+//
+// Crashing inputs belong in fuzz/corpus/summary/ so fuzz.replay_corpus
+// guards the fix; see docs/ROBUSTNESS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzTargets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  return quals::fuzz::runSummary(Data, Size);
+}

@@ -18,6 +18,10 @@ using namespace quals::cfront;
 ConstInference::ConstInference(TranslationUnit &TU, DiagnosticEngine &Diags,
                                Options Opts)
     : TU(TU), Diags(Diags), Opts(Opts) {
+  // Summary mode links interface variables across TUs by name, which needs
+  // monomorphic (plain-variable) interfaces (docs/LINK.md).
+  if (this->Opts.SummaryMode)
+    this->Opts.Polymorphic = false;
   ConstQual = QS.add("const", Polarity::Positive);
   SolverConfig Config;
   Config.CollapseCycles = this->Opts.CollapseCycles;
@@ -29,7 +33,7 @@ ConstInference::ConstInference(TranslationUnit &TU, DiagnosticEngine &Diags,
   Sys = std::make_unique<ConstraintSystem>(QS, Config);
   Translator = std::make_unique<RefTranslator>(
       *Sys, Factory, Ctors, ConstQual, this->Opts.ConservativeLibraries,
-      this->Opts.StructFieldsShared);
+      this->Opts.StructFieldsShared, this->Opts.SummaryMode);
 }
 
 ConstInference::~ConstInference() = default;

@@ -143,6 +143,18 @@ public:
     /// path skips them when no selected SCC touches a global with an
     /// initializer).
     bool GenGlobalInits = true;
+
+    // Cross-TU link pipeline hook (src/link; docs/LINK.md).
+
+    /// Separate-compilation mode for `qualcc --emit-summary`: Section 4.2's
+    /// library conservatism for *named* undefined functions is deferred
+    /// (recorded in RefTranslator::deferredPins() instead of constraining
+    /// the system), because another TU may define them -- the link step
+    /// applies the pins only for symbols no TU exports. Forces monomorphic
+    /// inference: interface variables must be plain variables to unify
+    /// across TUs by name (polymorphic boundary schemes are future work,
+    /// see ROADMAP.md).
+    bool SummaryMode = false;
   };
 
   ConstInference(cfront::TranslationUnit &TU, DiagnosticEngine &Diags,
@@ -195,6 +207,18 @@ public:
   SolverStats solverStats() const;
 
   ConstraintSystem &system() { return *Sys; }
+
+  /// The l-translator, exposing memoized interface/variable types, the
+  /// interesting positions, and (in SummaryMode) the deferred library pins.
+  /// The link layer's summary extraction reads interface skeletons through
+  /// it after run().
+  RefTranslator &translator() { return *Translator; }
+
+  /// The qualifier id of "const" in system()'s qualifier set.
+  QualifierId constQualifier() const { return ConstQual; }
+
+  /// The analyzed translation unit.
+  cfront::TranslationUnit &unit() { return TU; }
 
 private:
   cfront::TranslationUnit &TU;

@@ -356,10 +356,17 @@ QualType ConstraintGen::genExpr(const CExpr *E) {
                                   "argument flows into parameter"));
       } else if (CalleeUnknown && ConservativeLibraries) {
         // Extra argument to an undefined/variadic function: conservatively
-        // non-const at every pointer level (Section 4.2).
-        Translator.forceNonConstRefs(
-            A, ConstraintOrigin(Args[I]->getLoc(),
-                                "argument to unknown/variadic function"));
+        // non-const at every pointer level (Section 4.2). In summary mode a
+        // *named* undefined callee may be defined in another TU (where the
+        // extras would simply be ignored), so the pins are deferred to the
+        // link step; an indirect call has no symbol to resolve and is
+        // pinned immediately in both modes.
+        if (Callee && Translator.deferringLibraryPins())
+          Translator.deferEscapePins(Callee, A, Args[I]->getLoc());
+        else
+          Translator.forceNonConstRefs(
+              A, ConstraintOrigin(Args[I]->getLoc(),
+                                  "argument to unknown/variadic function"));
       }
       // Extra arguments to defined functions are simply ignored.
     }

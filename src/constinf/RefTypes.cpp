@@ -149,15 +149,21 @@ QualType RefTranslator::functionInterfaceType(const FunctionDecl *FD) {
       Pos.ParamIndex = static_cast<int>(I);
       if (Defined)
         Collected.push_back(Pos);
-      else if (ConservativeLibraries && !Pos.DeclaredConst)
+      else if (ConservativeLibraries && !Pos.DeclaredConst) {
         // Section 4.2: parameters of undefined (library) functions not
-        // declared const are treated as non-const.
-        Sys.addLeq(QualExpr::makeVar(Pos.Var),
-                   QualExpr::makeConst(QS.notQual(ConstQual)),
-                   ConstraintOrigin(FD->getLoc(),
-                                    "library function '" +
-                                        std::string(FD->getName()) +
-                                        "' parameter not declared const"));
+        // declared const are treated as non-const. In summary mode the pin
+        // is deferred: another TU may define this function, in which case
+        // whole-program inference would never pin it.
+        if (DeferLibraryPins)
+          Deferred.push_back({FD, Pos.Var, FD->getLoc(), /*IsEscape=*/false});
+        else
+          Sys.addLeq(QualExpr::makeVar(Pos.Var),
+                     QualExpr::makeConst(QS.notQual(ConstQual)),
+                     ConstraintOrigin(FD->getLoc(),
+                                      "library function '" +
+                                          std::string(FD->getName()) +
+                                          "' parameter not declared const"));
+      }
     }
     // The parameter *variable* shares the interface r-type as its cell
     // contents, so writes through the pointer inside the body constrain the
@@ -197,5 +203,14 @@ void RefTranslator::forceNonConstRefs(QualType T,
     if (Node.getCtor() == Ctors.ref() && Node.getQual().isVar())
       Sys.addLeq(Node.getQual(), QualExpr::makeConst(QS.notQual(ConstQual)),
                  Origin);
+  });
+}
+
+void RefTranslator::deferEscapePins(const FunctionDecl *Callee, QualType T,
+                                    SourceLoc Loc) {
+  T.visit([&](QualType Node) {
+    if (Node.getCtor() == Ctors.ref() && Node.getQual().isVar())
+      Deferred.push_back(
+          {Callee, Node.getQual().getVar(), Loc, /*IsEscape=*/true});
   });
 }

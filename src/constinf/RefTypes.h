@@ -81,17 +81,44 @@ struct InterestingPos {
   bool DeclaredConst = false;
 };
 
+/// A Section 4.2 library-conservatism constraint withheld in summary mode
+/// (ConstInference::Options::SummaryMode): "Var <= not-const" that normal
+/// whole-program inference would add because \p Fn is undefined. A TU
+/// summary records these per imported symbol instead of adding them, and
+/// the link step applies them only when the symbol stays unresolved across
+/// every linked TU -- exactly reproducing whole-program behaviour, where a
+/// function defined in another file gets no library pins (src/link,
+/// docs/LINK.md).
+struct DeferredPin {
+  /// The undefined callee the pin belongs to.
+  const cfront::FunctionDecl *Fn = nullptr;
+  /// The variable to pin <= not-const when the symbol stays unresolved.
+  QualVarId Var = InvalidQualVar;
+  /// Diagnostic location (declaration for parameter pins, argument for
+  /// escape pins).
+  SourceLoc Loc;
+  /// False: an undeclared-const parameter position of the import's
+  /// interface. True: a ref level of an extra argument escaping into an
+  /// unknown/variadic call.
+  bool IsEscape = false;
+};
+
 /// Performs the l translation, memoizing shared structure (record field
 /// environments, variable cell types, function interfaces).
 class RefTranslator {
 public:
+  /// With \p DeferLibraryPins set (summary mode) the Section 4.2 library
+  /// pins are recorded into deferredPins() instead of being added to the
+  /// system, so the link step can drop them for symbols another TU defines.
   RefTranslator(ConstraintSystem &Sys, QualTypeFactory &Factory,
                 ConstCtors &Ctors, QualifierId ConstQual,
                 bool ConservativeLibraries = true,
-                bool StructFieldsShared = true)
+                bool StructFieldsShared = true,
+                bool DeferLibraryPins = false)
       : Sys(Sys), Factory(Factory), Ctors(Ctors), ConstQual(ConstQual),
         ConservativeLibraries(ConservativeLibraries),
-        StructFieldsShared(StructFieldsShared) {}
+        StructFieldsShared(StructFieldsShared),
+        DeferLibraryPins(DeferLibraryPins) {}
 
   /// The l-value type of \p VD: kappa ref(rho). Memoized.
   QualType varLValueType(const cfront::VarDecl *VD);
@@ -119,6 +146,20 @@ public:
   /// \p T (the conservative treatment of values escaping to unknown code).
   void forceNonConstRefs(QualType T, const ConstraintOrigin &Origin);
 
+  /// True when library pins are being recorded rather than added (summary
+  /// mode); ConstraintGen consults this at unknown-callee argument sites.
+  bool deferringLibraryPins() const { return DeferLibraryPins; }
+
+  /// Records deferred escape pins for every ref level of \p T: an extra
+  /// argument at \p Loc escaping into a call of undefined \p Callee. The
+  /// link step pins them only if \p Callee's symbol stays unresolved.
+  void deferEscapePins(const cfront::FunctionDecl *Callee, QualType T,
+                       SourceLoc Loc);
+
+  /// The library pins withheld so far (summary mode only; stable order:
+  /// recorded as interfaces and call sites are visited).
+  const std::vector<DeferredPin> &deferredPins() const { return Deferred; }
+
 private:
   ConstraintSystem &Sys;
   QualTypeFactory &Factory;
@@ -126,6 +167,8 @@ private:
   QualifierId ConstQual;
   bool ConservativeLibraries;
   bool StructFieldsShared;
+  bool DeferLibraryPins;
+  std::vector<DeferredPin> Deferred;
 
   std::unordered_map<const cfront::VarDecl *, QualType> VarTypes;
   std::unordered_map<const cfront::FieldDecl *, QualType> FieldTypes;

@@ -64,6 +64,7 @@ public:
   Generator(const SynthParams &P) : P(P), R(P.Seed) {}
 
   SynthProgram run();
+  std::vector<SynthProgram> runSplit(unsigned NumTus);
 
 private:
   const SynthParams &P;
@@ -77,7 +78,9 @@ private:
   }
 
   void planFunctions();
+  void emitLibraryDecls();
   void emitPrelude();
+  void emitMain();
   void emitGlobals();
   std::string signature(unsigned I);
   void emitFunction(unsigned I);
@@ -130,15 +133,19 @@ void Generator::planFunctions() {
   }
 }
 
-void Generator::emitPrelude() {
-  line("/* Generated benchmark: seed " + std::to_string(P.Seed) + ", " +
-       std::to_string(P.NumFunctions) + " functions. */");
-  line("");
+void Generator::emitLibraryDecls() {
   line("int printf(const char *fmt, ...);");
   line("char *strcpy(char *dst, const char *src);");
   line("int strcmp(const char *a, const char *b);");
   line("int external_io(int *buf);");
   line("int external_peek(const int *buf);");
+}
+
+void Generator::emitPrelude() {
+  line("/* Generated benchmark: seed " + std::to_string(P.Seed) + ", " +
+       std::to_string(P.NumFunctions) + " functions. */");
+  line("");
+  emitLibraryDecls();
   line("");
   for (unsigned S = 0; S != P.NumStructs; ++S) {
     line("struct rec" + std::to_string(S) + " {");
@@ -320,21 +327,8 @@ void Generator::emitFunction(unsigned I) {
   line("");
 }
 
-SynthProgram Generator::run() {
-  planFunctions();
-  emitPrelude();
-  emitGlobals();
-
-  // Forward declarations for SCC partners (called before their definition).
-  for (unsigned I = 0; I != P.NumFunctions; ++I)
-    if (Fns[I].Partner > static_cast<int>(I))
-      line(signature(Fns[I].Partner) + ";");
-  line("");
-
-  for (unsigned I = 0; I != P.NumFunctions; ++I)
-    emitFunction(I);
-
-  // main() exercises a handful of entry points.
+// main() exercises a handful of entry points.
+void Generator::emitMain() {
   line("int main(void) {");
   line("  int t = 0;");
   line("  int loc = 41;");
@@ -350,12 +344,82 @@ SynthProgram Generator::run() {
   }
   line("  return t;");
   line("}");
+}
+
+SynthProgram Generator::run() {
+  planFunctions();
+  emitPrelude();
+  emitGlobals();
+
+  // Forward declarations for SCC partners (called before their definition).
+  for (unsigned I = 0; I != P.NumFunctions; ++I)
+    if (Fns[I].Partner > static_cast<int>(I))
+      line(signature(Fns[I].Partner) + ";");
+  line("");
+
+  for (unsigned I = 0; I != P.NumFunctions; ++I)
+    emitFunction(I);
+
+  emitMain();
 
   SynthProgram Result;
   Result.LineCount =
       static_cast<unsigned>(std::count(Out.begin(), Out.end(), '\n'));
   Result.Source = std::move(Out);
   return Result;
+}
+
+std::vector<SynthProgram> Generator::runSplit(unsigned NumTus) {
+  planFunctions();
+
+  // Draw every function body (then main) in global index order, exactly as
+  // run() would: the Rng stream is the determinism backbone, so the
+  // definitions are byte-identical at every NumTus.
+  std::vector<std::string> FnText(P.NumFunctions);
+  for (unsigned I = 0; I != P.NumFunctions; ++I) {
+    Out.clear();
+    emitFunction(I);
+    FnText[I] = std::move(Out);
+  }
+  Out.clear();
+  emitMain();
+  std::string MainText = std::move(Out);
+
+  std::vector<SynthProgram> Tus(NumTus);
+  for (unsigned K = 0; K != NumTus; ++K) {
+    Out.clear();
+    line("/* Generated benchmark: seed " + std::to_string(P.Seed) + ", " +
+         std::to_string(P.NumFunctions) + " functions, TU " +
+         std::to_string(K) + " of " + std::to_string(NumTus) + ". */");
+    line("");
+    emitLibraryDecls();
+    line("");
+    // Each global is defined in one TU and extern elsewhere; gptr's
+    // address-of initializer lives in TU 0 alongside gval0's definition.
+    for (unsigned G = 0; G != P.NumGlobals; ++G) {
+      if (G % NumTus == K)
+        line("int gval" + std::to_string(G) + " = " + std::to_string(G * 3) +
+             ";");
+      else
+        line("extern int gval" + std::to_string(G) + ";");
+    }
+    line(K == 0 ? "int *gptr = &gval0;" : "extern int *gptr;");
+    line("");
+    // Whole-program prototypes: the in-TU ones merge with their definitions
+    // (covering SCC partners), the rest are the cross-TU imports quallink
+    // unifies by name.
+    for (unsigned I = 0; I != P.NumFunctions; ++I)
+      line(signature(I) + ";");
+    line("");
+    for (unsigned I = K; I < P.NumFunctions; I += NumTus)
+      Out += FnText[I];
+    if (K + 1 == NumTus)
+      Out += MainText;
+    Tus[K].LineCount =
+        static_cast<unsigned>(std::count(Out.begin(), Out.end(), '\n'));
+    Tus[K].Source = std::move(Out);
+  }
+  return Tus;
 }
 
 } // namespace
@@ -403,5 +467,36 @@ SynthParams quals::synth::corpusFileParams(uint64_t Seed, unsigned Index,
 std::string quals::synth::corpusFileName(unsigned Index) {
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "corpus_%04u.c", Index);
+  return Buf;
+}
+
+std::vector<SynthProgram>
+quals::synth::generateTuSplit(const SynthParams &Params, unsigned NumTus) {
+  PhaseScope Phase("generate-tus", "gen");
+  if (NumTus == 0)
+    NumTus = 1;
+  // No structs or typedefs in TU mode (see the SynthGen.h contract): a
+  // struct tag redefined per TU is a distinct nominal type in the
+  // concatenation, which would break split-vs-whole-program equivalence.
+  SynthParams P = Params;
+  P.NumStructs = 0;
+  P.NumTypedefs = 0;
+  Generator G(P);
+  std::vector<SynthProgram> Tus = G.runSplit(NumTus);
+  unsigned TotalLines = 0;
+  size_t TotalBytes = 0;
+  for (const SynthProgram &Tu : Tus) {
+    TotalLines += Tu.LineCount;
+    TotalBytes += Tu.Source.size();
+  }
+  Phase.setTraceArgs("\"tus\":" + std::to_string(NumTus) +
+                     ",\"lines\":" + std::to_string(TotalLines) +
+                     ",\"bytes\":" + std::to_string(TotalBytes));
+  return Tus;
+}
+
+std::string quals::synth::tuFileName(unsigned Index) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "tu_%04u.c", Index);
   return Buf;
 }

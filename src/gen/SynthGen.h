@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace quals {
 namespace synth {
@@ -87,6 +88,24 @@ SynthParams corpusFileParams(uint64_t Seed, unsigned Index,
 
 /// Canonical name of corpus file \p Index: "corpus_0042.c".
 std::string corpusFileName(unsigned Index);
+
+/// Splits one deterministic program across \p NumTus translation units
+/// (qualgen --tus; the separate-compilation workload of docs/LINK.md).
+/// Function fnI is defined in TU I mod NumTus; every TU carries prototypes
+/// for the whole program, extern declarations for the globals other TUs
+/// define, and main() lands in the last TU. Function bodies are generated
+/// in global index order, so for a fixed seed the definitions are
+/// byte-identical at every NumTus -- only the declaration boilerplate
+/// differs -- and concatenating the TUs in index order yields a program
+/// whole-program inference (`qualcc tu_*.c`) analyzes to the same bounds
+/// the link pipeline computes from per-TU summaries. TU mode generates no
+/// structs or typedefs: a struct tag redefined per TU would be a distinct
+/// nominal type in the concatenation, breaking that equivalence.
+std::vector<SynthProgram> generateTuSplit(const SynthParams &Params,
+                                          unsigned NumTus);
+
+/// Canonical name of TU file \p Index: "tu_0007.c".
+std::string tuFileName(unsigned Index);
 
 } // namespace synth
 } // namespace quals

@@ -1,0 +1,263 @@
+//===- link/SummaryBuilder.cpp - Extract a TU's summary --------------------===//
+//
+// Part of the libquals project, reproducing "A Theory of Type Qualifiers"
+// (Foster, Fähndrich, Aiken; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/SummaryBuilder.h"
+
+#include "constinf/ConstInfer.h"
+#include "support/SourceManager.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+using namespace quals;
+using namespace quals::link;
+using namespace quals::cfront;
+
+namespace {
+
+/// Interns strings into TuSummary::Strings; index 0 is the empty string.
+class StringTable {
+public:
+  explicit StringTable(std::vector<std::string> &Out) : Out(Out) {
+    Out.clear();
+    Out.emplace_back();
+    Index.emplace("", 0);
+  }
+
+  uint32_t intern(std::string_view S) {
+    auto It = Index.find(std::string(S));
+    if (It != Index.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Out.size());
+    Out.emplace_back(S);
+    Index.emplace(Out.back(), Id);
+    return Id;
+  }
+
+private:
+  std::vector<std::string> &Out;
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+/// Flattens a qualified type: appends a shape string describing the
+/// constructor tree (with constant qualifiers baked into the shape) and
+/// collects the variable qualifiers in preorder. Two types with equal shape
+/// strings have positionally-identical variable lists, which is what symbol
+/// unification relies on.
+void flattenType(QualType T, std::string &Shape,
+                 std::vector<QualVarId> &Vars) {
+  if (T.isNull()) {
+    Shape += '_';
+    return;
+  }
+  QualExpr Q = T.getQual();
+  if (Q.isVar()) {
+    Vars.push_back(Q.getVar());
+  } else {
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "[%llx]",
+                  static_cast<unsigned long long>(Q.getConst().bits()));
+    Shape += Buf;
+  }
+  Shape += T.getCtor()->getName();
+  if (unsigned N = T.getNumArgs()) {
+    Shape += '(';
+    for (unsigned I = 0; I != N; ++I) {
+      if (I)
+        Shape += ',';
+      flattenType(T.getArg(I), Shape, Vars);
+    }
+    Shape += ')';
+  }
+}
+
+QsumOrigin presumed(const SourceManager &SM, SourceLoc Loc, StringTable &ST,
+                    uint32_t Reason) {
+  QsumOrigin O;
+  PresumedLoc P = SM.getPresumedLoc(Loc);
+  if (P.isValid()) {
+    O.File = ST.intern(P.Filename);
+    O.Line = P.Line;
+    O.Col = P.Column;
+  }
+  O.Reason = Reason;
+  return O;
+}
+
+} // namespace
+
+TuSummary link::buildSummary(constinf::ConstInference &Inf,
+                             const SourceManager &SM,
+                             std::string_view SourceName, uint64_t ContentHash,
+                             uint64_t ConfigHash) {
+  TuSummary S;
+  S.ConfigHash = ConfigHash;
+  S.ContentHash = ContentHash;
+  StringTable ST(S.Strings);
+  S.SourceName = ST.intern(SourceName);
+
+  ConstraintSystem &Sys = Inf.system();
+  const QualifierSet &QS = Sys.getQualifierSet();
+  for (QualifierId I = 0, E = QS.size(); I != E; ++I) {
+    const Qualifier &Q = QS.get(I);
+    S.Qualifiers.push_back(
+        {ST.intern(Q.Name),
+         static_cast<uint8_t>(Q.Pol == Polarity::Negative ? 1 : 0)});
+  }
+
+  constinf::RefTranslator &TR = Inf.translator();
+
+  // Interface symbols. run() memoized every function interface and global
+  // cell type, so these lookups create no new variables.
+  auto makeSymbol = [&](std::string_view Name, QualType T) {
+    QsumSymbol Sym;
+    Sym.Name = ST.intern(Name);
+    std::string Shape;
+    std::vector<QualVarId> Vars;
+    flattenType(T, Shape, Vars);
+    Sym.Shape = ST.intern(Shape);
+    Sym.Vars.assign(Vars.begin(), Vars.end());
+    return Sym;
+  };
+
+  std::unordered_map<const FunctionDecl *, size_t> ImportIndex;
+  for (FunctionDecl *F : Inf.unit().Functions) {
+    QualType T = TR.functionInterfaceType(F);
+    if (!F->isDefined()) {
+      ImportIndex[F] = S.FnImports.size();
+      S.FnImports.push_back(makeSymbol(F->getName(), T));
+    } else if (F->getStorageClass() != StorageClass::Static) {
+      S.FnExports.push_back(makeSymbol(F->getName(), T));
+    }
+  }
+  for (VarDecl *G : Inf.unit().Globals) {
+    QualType T = TR.varLValueType(G);
+    StorageClass SC = G->getStorageClass();
+    if (SC == StorageClass::Static)
+      continue; // TU-local: never linked.
+    if (SC == StorageClass::Extern && !G->getInit())
+      S.GlobImports.push_back(makeSymbol(G->getName(), T));
+    else
+      S.GlobExports.push_back(makeSymbol(G->getName(), T));
+  }
+
+  // Withheld library pins, attached to the imported symbol they belong to.
+  // Every DeferredPin's function is undefined, hence present in FnImports.
+  for (const constinf::DeferredPin &DP : TR.deferredPins()) {
+    auto It = ImportIndex.find(DP.Fn);
+    if (It == ImportIndex.end())
+      continue;
+    QsumPin Pin;
+    Pin.Var = DP.Var;
+    Pin.IsEscape = DP.IsEscape;
+    uint32_t Reason =
+        ST.intern(DP.IsEscape
+                      ? std::string("argument to unknown/variadic function")
+                      : "library function '" + std::string(DP.Fn->getName()) +
+                            "' parameter not declared const");
+    Pin.Origin = presumed(SM, DP.Loc, ST, Reason);
+    S.FnImports[It->second].Pins.push_back(Pin);
+  }
+
+  // Interesting positions, keyed by function name (positions only exist
+  // for defined functions).
+  for (const constinf::InterestingPos &Pos : Inf.positions()) {
+    QsumPos P;
+    P.FnName = ST.intern(Pos.Fn->getName());
+    P.ParamIndex = Pos.ParamIndex;
+    P.Depth = Pos.Depth;
+    P.Var = Pos.Var;
+    P.DeclaredConst = Pos.DeclaredConst;
+    S.Positions.push_back(P);
+  }
+
+  // Prune to seeded components (see the header comment), then renumber the
+  // surviving variables densely in ascending original id.
+  unsigned NumVars = Sys.getNumVars();
+  unsigned NumConstraints = Sys.getNumConstraints();
+  UnionFind UF;
+  for (unsigned V = 0; V != NumVars; ++V)
+    UF.makeSet();
+  for (unsigned I = 0; I != NumConstraints; ++I) {
+    const Constraint &C = Sys.getConstraint(I);
+    if (C.Lhs.isVar() && C.Rhs.isVar())
+      UF.unite(C.Lhs.getVar(), C.Rhs.getVar());
+  }
+  std::vector<bool> Seeded(NumVars, false);
+  auto seed = [&](QualVarId V) { Seeded[UF.find(V)] = true; };
+  for (const std::vector<QsumSymbol> *Section :
+       {&S.FnExports, &S.FnImports, &S.GlobExports, &S.GlobImports})
+    for (const QsumSymbol &Sym : *Section) {
+      for (uint32_t V : Sym.Vars)
+        seed(V);
+      for (const QsumPin &P : Sym.Pins)
+        seed(P.Var);
+    }
+  for (const QsumPos &P : S.Positions)
+    seed(P.Var);
+
+  auto keepVar = [&](QualVarId V) { return Seeded[UF.find(V)]; };
+  std::vector<bool> Used(NumVars, false);
+  std::vector<const Constraint *> Kept;
+  Kept.reserve(NumConstraints);
+  for (unsigned I = 0; I != NumConstraints; ++I) {
+    const Constraint &C = Sys.getConstraint(I);
+    bool Keep = (!C.Lhs.isVar() && !C.Rhs.isVar()) ||
+                (C.Lhs.isVar() && keepVar(C.Lhs.getVar())) ||
+                (C.Rhs.isVar() && keepVar(C.Rhs.getVar()));
+    if (!Keep)
+      continue;
+    Kept.push_back(&C);
+    if (C.Lhs.isVar())
+      Used[C.Lhs.getVar()] = true;
+    if (C.Rhs.isVar())
+      Used[C.Rhs.getVar()] = true;
+  }
+  // Seeds survive even when nothing constrains them (an unread parameter's
+  // position variable must still exist at link time).
+  for (const std::vector<QsumSymbol> *Section :
+       {&S.FnExports, &S.FnImports, &S.GlobExports, &S.GlobImports})
+    for (const QsumSymbol &Sym : *Section) {
+      for (uint32_t V : Sym.Vars)
+        Used[V] = true;
+      for (const QsumPin &P : Sym.Pins)
+        Used[P.Var] = true;
+    }
+  for (const QsumPos &P : S.Positions)
+    Used[P.Var] = true;
+
+  std::vector<uint32_t> Remap(NumVars, ~0u);
+  uint32_t Next = 0;
+  for (unsigned V = 0; V != NumVars; ++V)
+    if (Used[V])
+      Remap[V] = Next++;
+  S.NumVars = Next;
+
+  S.Constraints.reserve(Kept.size());
+  for (const Constraint *C : Kept) {
+    QsumConstraint Q;
+    Q.LhsIsVar = C->Lhs.isVar();
+    Q.Lhs = Q.LhsIsVar ? Remap[C->Lhs.getVar()] : C->Lhs.getConst().bits();
+    Q.RhsIsVar = C->Rhs.isVar();
+    Q.Rhs = Q.RhsIsVar ? Remap[C->Rhs.getVar()] : C->Rhs.getConst().bits();
+    Q.Mask = C->Mask;
+    Q.Origin = presumed(SM, C->Origin.Loc, ST, ST.intern(C->Origin.Reason));
+    S.Constraints.push_back(Q);
+  }
+  for (std::vector<QsumSymbol> *Section :
+       {&S.FnExports, &S.FnImports, &S.GlobExports, &S.GlobImports})
+    for (QsumSymbol &Sym : *Section) {
+      for (uint32_t &V : Sym.Vars)
+        V = Remap[V];
+      for (QsumPin &P : Sym.Pins)
+        P.Var = Remap[P.Var];
+    }
+  for (QsumPos &P : S.Positions)
+    P.Var = Remap[P.Var];
+
+  return S;
+}

@@ -67,6 +67,44 @@ inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
                          (Seed >> 2)));
 }
 
+/// Incremental byte hashing with a chunk-split-invariant digest: feeding
+/// the same byte sequence through any sequence of update() calls yields the
+/// digest hashBytes() would produce over the concatenation. The link
+/// layer's summary content addresses are built this way (a .qsum streamed
+/// from disk in reads of any size must key identically to one hashed in a
+/// single buffer); HashBuilder::addBytes() does NOT have this property --
+/// it digests each chunk separately and combines the digests, so the chunk
+/// boundaries are part of its result.
+class StreamHasher {
+public:
+  StreamHasher &update(const void *Data, size_t Size) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Size; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ULL; // FNV prime
+    }
+    Count += Size;
+    return *this;
+  }
+  StreamHasher &update(std::string_view S) {
+    return update(S.data(), S.size());
+  }
+
+  /// Total bytes fed so far.
+  uint64_t size() const { return Count; }
+
+  /// Digest of every byte fed so far: equals hashBytes(concatenation).
+  /// Never 0; may be called at any point (it does not consume state).
+  uint64_t digest() const {
+    uint64_t D = hashMix(H ^ Count);
+    return D ? D : 1;
+  }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ULL; // FNV offset basis
+  uint64_t Count = 0;
+};
+
 /// Accumulates heterogeneous fields into one digest; the serve layer builds
 /// its cache-config hash this way. Field order matters (by design: the hash
 /// describes a specific tuple, not a set).

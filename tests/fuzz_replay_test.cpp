@@ -15,6 +15,8 @@
 
 #include "FuzzTargets.h"
 
+#include "link/Qsum.h"
+
 #include "gtest/gtest.h"
 
 #include <cstdint>
@@ -60,12 +62,17 @@ TEST(FuzzReplay, ProtocolCorpus) {
   replayDir("protocol", quals::fuzz::runProtocol);
 }
 
+TEST(FuzzReplay, SummaryCorpus) {
+  replayDir("summary", quals::fuzz::runSummary);
+}
+
 /// The handlers also accept the empty input (libFuzzer always tries it).
 TEST(FuzzReplay, EmptyInput) {
   EXPECT_EQ(0, quals::fuzz::runCFront(nullptr, 0));
   EXPECT_EQ(0, quals::fuzz::runLambda(nullptr, 0));
   EXPECT_EQ(0, quals::fuzz::runSolver(nullptr, 0));
   EXPECT_EQ(0, quals::fuzz::runProtocol(nullptr, 0));
+  EXPECT_EQ(0, quals::fuzz::runSummary(nullptr, 0));
 }
 
 /// A deterministic mini-fuzz for toolchains without libFuzzer: random
@@ -90,6 +97,7 @@ TEST(FuzzReplay, DeterministicRandomStress) {
     EXPECT_EQ(0, quals::fuzz::runLambda(Bytes.data(), Bytes.size()));
     EXPECT_EQ(0, quals::fuzz::runSolver(Bytes.data(), Bytes.size()));
     EXPECT_EQ(0, quals::fuzz::runProtocol(Bytes.data(), Bytes.size()));
+    EXPECT_EQ(0, quals::fuzz::runSummary(Bytes.data(), Bytes.size()));
   }
 
   const std::string CTemplate =
@@ -114,6 +122,48 @@ TEST(FuzzReplay, DeterministicRandomStress) {
                      reinterpret_cast<const uint8_t *>(
                          ProtocolTemplate.data()),
                      Len));
+
+  // Summary template: a well-formed .qsum built through the real
+  // serializer, swept through every truncation length and every
+  // single-byte corruption -- the reader must reject or survive each one.
+  quals::link::TuSummary Sum;
+  Sum.ConfigHash = quals::link::summaryConfigHash();
+  Sum.ContentHash = 0x1234;
+  Sum.Strings = {"", "const", "tu.c", "f", "(i,)", "call of 'f'"};
+  Sum.SourceName = 2;
+  Sum.Qualifiers.push_back({1, 0});
+  Sum.NumVars = 2;
+  quals::link::QsumConstraint C;
+  C.LhsIsVar = true;
+  C.Lhs = 0;
+  C.RhsIsVar = true;
+  C.Rhs = 1;
+  C.Mask = 1;
+  C.Origin = {2, 1, 1, 5};
+  Sum.Constraints.push_back(C);
+  quals::link::QsumPos Pos;
+  Pos.FnName = 3;
+  Pos.ParamIndex = 0;
+  Pos.Depth = 1;
+  Pos.Var = 0;
+  Sum.Positions.push_back(Pos);
+  quals::link::QsumSymbol Sym;
+  Sym.Name = 3;
+  Sym.Shape = 4;
+  Sym.Vars = {0, 1};
+  Sum.FnExports.push_back(Sym);
+  const std::string SummaryBytes = quals::link::serializeSummary(Sum);
+  const uint8_t *SummaryData =
+      reinterpret_cast<const uint8_t *>(SummaryBytes.data());
+  for (size_t Len = 0; Len <= SummaryBytes.size(); ++Len)
+    EXPECT_EQ(0, quals::fuzz::runSummary(SummaryData, Len));
+  for (size_t Byte = 0; Byte != SummaryBytes.size(); ++Byte) {
+    std::string Corrupt = SummaryBytes;
+    Corrupt[Byte] = static_cast<char>(Corrupt[Byte] ^ 0x40);
+    EXPECT_EQ(0, quals::fuzz::runSummary(
+                     reinterpret_cast<const uint8_t *>(Corrupt.data()),
+                     Corrupt.size()));
+  }
 }
 
 } // namespace

@@ -64,6 +64,55 @@ TEST(Hash, CombineIsOrderDependent) {
   EXPECT_NE(B1.digest(), B2.digest());
 }
 
+TEST(Hash, StreamHasherIsChunkSplitInvariant) {
+  // The summary content address (src/link) streams file bytes through
+  // StreamHasher in whatever read sizes the OS hands back; every split of
+  // the same bytes must produce the digest of the whole.
+  const std::string Bytes =
+      "QSUM summary bytes \x00\x01\xff with embedded NUL and high bits";
+  uint64_t Whole = hashBytes(Bytes.data(), Bytes.size());
+  for (size_t Split1 = 0; Split1 <= Bytes.size(); ++Split1) {
+    for (size_t Split2 = Split1; Split2 <= Bytes.size(); Split2 += 7) {
+      StreamHasher S;
+      S.update(Bytes.data(), Split1);
+      S.update(Bytes.data() + Split1, Split2 - Split1);
+      S.update(Bytes.data() + Split2, Bytes.size() - Split2);
+      EXPECT_EQ(S.digest(), Whole)
+          << "splits at " << Split1 << ", " << Split2;
+      EXPECT_EQ(S.size(), Bytes.size());
+    }
+  }
+  // Including the all-in-one-call and the byte-at-a-time extremes.
+  StreamHasher ByteWise;
+  for (char C : Bytes)
+    ByteWise.update(&C, 1);
+  EXPECT_EQ(ByteWise.digest(), Whole);
+  // Empty updates are no-ops.
+  StreamHasher Empty;
+  Empty.update(nullptr, 0);
+  EXPECT_EQ(Empty.digest(), hashBytes(nullptr, 0));
+  EXPECT_NE(Empty.digest(), 0u);
+}
+
+TEST(Hash, StreamHasherDigestDoesNotConsume) {
+  StreamHasher S;
+  S.update("abc");
+  uint64_t D1 = S.digest();
+  EXPECT_EQ(S.digest(), D1); // Idempotent.
+  S.update("def");
+  EXPECT_EQ(S.digest(), hashString("abcdef"));
+}
+
+TEST(Hash, HashBuilderChunksAreNotInvariant) {
+  // Documented contrast: HashBuilder::addBytes digests per chunk, so chunk
+  // boundaries are part of its result -- which is why the content address
+  // uses StreamHasher instead.
+  HashBuilder OneChunk, TwoChunks;
+  OneChunk.addBytes("abcdef", 6);
+  TwoChunks.addBytes("abc", 3).addBytes("def", 3);
+  EXPECT_NE(OneChunk.digest(), TwoChunks.digest());
+}
+
 TEST(Hash, ConfigHashSeparatesEveryField) {
   AnalyzeJob Base;
   Base.Name = "a.c";

@@ -43,7 +43,7 @@ namespace quals {
 
 /// The project version reported by every tool's --version. One constant so
 /// the four tools can never drift apart.
-#define QUALS_VERSION_STRING "0.8.0"
+#define QUALS_VERSION_STRING "0.9.0"
 
 /// Shared flag state for one tool invocation; see the file comment.
 class ToolFlags {

@@ -27,6 +27,10 @@
 //                   whole-program mode; bytes are identical for every N
 //                   (docs/SOLVER.md). Ignored in batch mode, where the
 //                   translation units are the parallelism axis.
+//   --emit-summary=FILE     whole-program mode: serialize the constraint
+//                   summary for quallink (forces --mono; docs/LINK.md)
+//   --emit-summary-dir=DIR  batch mode (implied): content-addressed summary
+//                   per TU, reusing up-to-date cache entries
 //   --trace-out=<file>      write a Chrome trace of the pipeline phases
 //   --metrics[=table|json]  print per-phase metrics on exit
 //   --quiet         counts only
@@ -41,6 +45,9 @@
 #include "cfront/CParser.h"
 #include "cfront/CSema.h"
 #include "constinf/ConstInfer.h"
+#include "link/Qsum.h"
+#include "link/SummaryBuilder.h"
+#include "support/Hash.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -52,6 +59,9 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+
+#include <cerrno>
+#include <sys/stat.h>
 
 using namespace quals;
 using namespace quals::cfront;
@@ -91,6 +101,16 @@ struct QualccOptions {
   ThreadPool *SolverPool = nullptr;
   bool Quiet = false;
   Limits Lim;
+  /// Whole-program mode: serialize the unit's constraint summary here.
+  std::string EmitSummaryPath;
+  /// Batch mode: write each TU's summary into this directory under its
+  /// content-addressed name (docs/LINK.md); an existing up-to-date summary
+  /// skips the analysis outright.
+  std::string EmitSummaryDir;
+
+  bool emitSummary() const {
+    return !EmitSummaryPath.empty() || !EmitSummaryDir.empty();
+  }
 };
 
 } // namespace
@@ -108,16 +128,50 @@ static void analyzeUnit(const std::vector<std::string> &Paths,
   StringInterner Idents;
   TranslationUnit TU;
 
+  // Sources are read before parsing: the summary content hash covers the
+  // unit's raw bytes (streamed, so it keys identically however the bytes
+  // are chunked), and a dir-mode cache hit skips the front end entirely.
   Timer CompileTimer;
-  for (const std::string &Path : Paths) {
-    std::string Source;
-    if (!readFile(Path, Source)) {
-      batch::appendf(R.Err, "qualcc: cannot read '%s'\n", Path.c_str());
+  std::vector<std::string> Sources(Paths.size());
+  StreamHasher ContentHasher;
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    if (!readFile(Paths[I], Sources[I])) {
+      batch::appendf(R.Err, "qualcc: cannot read '%s'\n", Paths[I].c_str());
       R.ExitCode = 1;
       return;
     }
-    if (!parseCSource(SM, Path, std::move(Source), Ast, Types, Idents,
-                      Diags, TU)) {
+    if (Opts.emitSummary())
+      ContentHasher.update(Sources[I]);
+  }
+  uint64_t ContentHash = ContentHasher.digest();
+  std::string SummaryOut = Opts.EmitSummaryPath;
+  std::string SummaryName;
+  if (!Opts.EmitSummaryDir.empty()) {
+    // Content-addressed summary cache, keyed like the serve layer's
+    // ResultCache: (content hash, config hash). Identical shared sources
+    // summarize once; a stale or foreign file at the key is rewritten.
+    uint64_t Key =
+        link::summaryCacheKey(ContentHash, link::summaryConfigHash());
+    SummaryName = link::summaryFileName(Key);
+    SummaryOut = Opts.EmitSummaryDir + "/" + SummaryName;
+    std::string Bytes, ProbeErr;
+    link::QsumHeader Header;
+    if (link::readFileBytes(SummaryOut, Bytes, ProbeErr) &&
+        link::readSummaryHeader(
+            reinterpret_cast<const uint8_t *>(Bytes.data()), Bytes.size(),
+            Header, ProbeErr) &&
+        Header.ConfigHash == link::summaryConfigHash() &&
+        Header.ContentHash == ContentHash) {
+      // The hit prints exactly what a miss prints, so batch output stays
+      // byte-identical whatever the cache held going in.
+      batch::appendf(R.Out, "summary: %s -> %s\n", Paths[0].c_str(),
+                     SummaryName.c_str());
+      return;
+    }
+  }
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    if (!parseCSource(SM, Paths[I], std::move(Sources[I]), Ast, Types,
+                      Idents, Diags, TU)) {
       R.Err += Diags.renderAll();
       R.ExitCode = 1;
       return;
@@ -137,6 +191,7 @@ static void analyzeUnit(const std::vector<std::string> &Paths,
   InfOpts.DenseSolve = Opts.DenseSolve;
   InfOpts.SolverJobs = Opts.SolverJobs;
   InfOpts.SolverPool = Opts.SolverPool;
+  InfOpts.SummaryMode = Opts.emitSummary();
   ConstInference Inf(TU, Diags, InfOpts);
   Timer InferTimer;
   if (!Inf.run()) {
@@ -148,6 +203,29 @@ static void analyzeUnit(const std::vector<std::string> &Paths,
     return;
   }
   double InferSeconds = InferTimer.seconds();
+
+  if (Opts.emitSummary()) {
+    link::TuSummary Summary = link::buildSummary(
+        Inf, SM, Paths[0], ContentHash, link::summaryConfigHash());
+    std::string WriteErr;
+    if (!link::writeFileAtomic(SummaryOut, link::serializeSummary(Summary),
+                               WriteErr)) {
+      batch::appendf(R.Err, "qualcc: %s\n", WriteErr.c_str());
+      R.ExitCode = 1;
+      return;
+    }
+    if (!Opts.EmitSummaryDir.empty()) {
+      // Dir mode prints one line per TU -- the same line a cache hit
+      // prints -- and nothing else, so corpus output is deterministic at
+      // any -jN even when identical TUs race for one cache slot.
+      batch::appendf(R.Out, "summary: %s -> %s\n", Paths[0].c_str(),
+                     SummaryName.c_str());
+      return;
+    }
+    if (!Opts.Quiet)
+      batch::appendf(R.Out, "summary: %s\n", SummaryOut.c_str());
+  }
+
   if (Opts.PrintStats)
     R.Out += renderSolverStats(Inf.solverStats());
 
@@ -216,6 +294,14 @@ static const char *kOptionsHelp =
     "                  (implied by -jN; parallelism is per unit)\n"
     "  --solver-jobs=N shard the solver's dense passes over N threads\n"
     "                  (whole-program mode only; bytes identical at any N)\n"
+    "  --emit-summary=FILE\n"
+    "                  whole-program mode: also serialize the unit's\n"
+    "                  constraint summary to FILE for quallink (docs/LINK.md;\n"
+    "                  forces --mono)\n"
+    "  --emit-summary-dir=DIR\n"
+    "                  batch mode (implied): write each TU's summary into\n"
+    "                  DIR under its content-addressed name; up-to-date\n"
+    "                  summaries are reused without re-analyzing\n"
     "  --quiet         counts only\n";
 
 int main(int argc, char **argv) {
@@ -253,6 +339,15 @@ int main(int argc, char **argv) {
         return Common.fail(std::string("bad --solver-jobs value '") + Digits +
                            "' (want a thread count in [1, 1024])");
       Opts.SolverJobs = static_cast<unsigned>(N);
+    } else if (!std::strncmp(argv[I], "--emit-summary=", 15)) {
+      Opts.EmitSummaryPath = argv[I] + 15;
+      if (Opts.EmitSummaryPath.empty())
+        return Common.fail("--emit-summary needs a file path");
+    } else if (!std::strncmp(argv[I], "--emit-summary-dir=", 19)) {
+      Opts.EmitSummaryDir = argv[I] + 19;
+      if (Opts.EmitSummaryDir.empty())
+        return Common.fail("--emit-summary-dir needs a directory");
+      Batch = true; // Summaries are per translation unit by construction.
     } else if (!std::strcmp(argv[I], "--batch"))
       Batch = true;
     else if (!std::strcmp(argv[I], "--quiet"))
@@ -265,6 +360,18 @@ int main(int argc, char **argv) {
   if (Files.empty())
     return Common.fail("no input files");
   Batch |= Common.jobsSeen(); // Parallelism is per translation unit.
+  if (!Opts.EmitSummaryPath.empty() && !Opts.EmitSummaryDir.empty())
+    return Common.fail(
+        "--emit-summary and --emit-summary-dir are mutually exclusive");
+  if (!Opts.EmitSummaryPath.empty() && Batch)
+    return Common.fail("--emit-summary is whole-program only; use "
+                       "--emit-summary-dir with --batch/-jN");
+  if (Opts.emitSummary())
+    Opts.Polymorphic = false; // Summary interfaces are monomorphic.
+  if (!Opts.EmitSummaryDir.empty() &&
+      mkdir(Opts.EmitSummaryDir.c_str(), 0777) != 0 && errno != EEXIST)
+    return Common.fail("cannot create summary directory '" +
+                       Opts.EmitSummaryDir + "'");
   unsigned Jobs = Common.jobs();
   Opts.Lim = Common.limits();
   Common.activate();

@@ -8,7 +8,7 @@
 // Emits deterministic synthetic C benchmarks:
 //
 //   qualgen [--lines N] [--seed S] [--const-rate R] [--writer-rate R]
-//           [--corpus N [--out-dir DIR]] [-jN]
+//           [--corpus N [--out-dir DIR]] [--tus N [--out-dir DIR]] [-jN]
 //           [--trace-out=file] [--metrics[=table|json]]
 //           [out1.c out2.c ...]
 //
@@ -20,6 +20,10 @@
 // for the paper's multi-program benchmark suite, sized per file by
 // --lines. -jN generates output files on N pool workers; every file
 // depends only on its own seed, so the corpus is bit-identical for any N.
+// --tus N instead splits ONE program across N translation units
+// tu_0000.c .. with cross-file extern declarations -- the
+// separate-compilation workload for qualcc --emit-summary-dir and quallink
+// (docs/LINK.md); --lines sizes the whole program, not each file.
 //
 // Note --metrics prints to stdout after the program text; when piping the
 // program into another tool, prefer --trace-out (which writes to a file).
@@ -73,13 +77,16 @@ static const char *kOptionsHelp =
     "  --const-rate R   fraction of declarations spelled const\n"
     "  --writer-rate R  fraction of functions that write through pointers\n"
     "  --corpus N       emit N programs corpus_0000.c.. into --out-dir\n"
-    "  --out-dir DIR    corpus destination directory (default \".\")\n";
+    "  --tus N          split one program across N files tu_0000.c..\n"
+    "                   with cross-file externs (docs/LINK.md)\n"
+    "  --out-dir DIR    corpus/TU destination directory (default \".\")\n";
 
 int main(int argc, char **argv) {
   unsigned Lines = 2000;
   uint64_t Seed = 1;
   double ConstRate = -1, WriterRate = -1;
   unsigned Corpus = 0;
+  unsigned Tus = 0;
   std::string OutDir = ".";
   bool HaveOutDir = false;
   std::vector<std::string> OutFiles;
@@ -101,6 +108,8 @@ int main(int argc, char **argv) {
       WriterRate = std::strtod(argv[++I], nullptr);
     else if (!std::strcmp(argv[I], "--corpus") && I + 1 < argc)
       Corpus = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--tus") && I + 1 < argc)
+      Tus = std::strtoul(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--out-dir") && I + 1 < argc) {
       OutDir = argv[++I];
       HaveOutDir = true;
@@ -113,9 +122,41 @@ int main(int argc, char **argv) {
   if (Corpus && !OutFiles.empty())
     return Common.fail(
         "--corpus and positional output files are mutually exclusive");
-  if (HaveOutDir && !Corpus)
-    return Common.fail("--out-dir requires --corpus");
+  if (Tus && (Corpus || !OutFiles.empty()))
+    return Common.fail(
+        "--tus is mutually exclusive with --corpus and output files");
+  if (HaveOutDir && !Corpus && !Tus)
+    return Common.fail("--out-dir requires --corpus or --tus");
   Common.activate();
+
+  if (Tus) {
+    // One program split across N files; the split is a single deterministic
+    // generation pass, so there is nothing to parallelize.
+    std::error_code Ec;
+    std::filesystem::create_directories(OutDir, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "qualgen: cannot create directory '%s': %s\n",
+                   OutDir.c_str(), Ec.message().c_str());
+      return 1;
+    }
+    SynthParams P = paramsForLines(Seed, Lines);
+    if (ConstRate >= 0)
+      P.ConstDeclRate = ConstRate;
+    if (WriterRate >= 0)
+      P.WriterRate = WriterRate;
+    std::vector<SynthProgram> Split = generateTuSplit(P, Tus);
+    int Status = 0;
+    for (unsigned I = 0; I != Split.size(); ++I) {
+      std::string Path =
+          (std::filesystem::path(OutDir) / tuFileName(I)).string();
+      std::ofstream Out(Path, std::ios::binary);
+      if (!Out || !(Out << Split[I].Source)) {
+        std::fprintf(stderr, "qualgen: cannot write '%s'\n", Path.c_str());
+        Status = 1;
+      }
+    }
+    return Status;
+  }
 
   if (Corpus) {
     std::error_code Ec;
